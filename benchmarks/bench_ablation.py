@@ -1,0 +1,105 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+1. Non-blocking SEQ increment at initiation vs completion (§4.3.1): the
+   paper increments at initiation; we measure what initiation-counting
+   buys — with waits deferred across steps, a completion-counted clock
+   would under-count in-flight operations at the cut (asserted via the
+   invariant that all initiated collectives complete at snapshots).
+2. 2PC barrier kind: poll-gap sensitivity of the trivial barrier (the
+   Ibarrier+Test loop vs an idealized zero-gap barrier).
+3. Compute jitter sensitivity: 2PC's overhead on Bcast comes from turning
+   per-rank skew into waiting; with jitter off, its overhead collapses
+   toward the pure barrier rounds.
+"""
+
+import dataclasses
+
+from repro.apps import make_app_factory
+from repro.harness.runner import launch_run
+from repro.netmodel import ModelParams
+from repro.util.stats import overhead_pct
+
+
+def _osu_run(protocol, params=None, *, jitter=None, poll_gap=None, seed=0,
+             gap_compute=2.0e-7):
+    if params is None:
+        params = ModelParams.perlmutter_like()
+    if jitter is not None:
+        params = dataclasses.replace(
+            params, compute=dataclasses.replace(params.compute, jitter_cv=jitter)
+        )
+    if poll_gap is not None:
+        params = dataclasses.replace(
+            params,
+            overheads=dataclasses.replace(params.overheads, ibarrier_poll_gap=poll_gap),
+        )
+    factory = make_app_factory(
+        "osu", niters=40, kind="bcast", nbytes=4, gap_compute=gap_compute
+    )
+    return launch_run(factory, 16, protocol=protocol, params=params, ppn=8, seed=seed)
+
+
+def test_ablation_jitter_drives_2pc_overhead(bench_once):
+    """2PC's Bcast pain includes jitter-to-waiting conversion: with real
+    compute between broadcasts, per-rank skew develops and the inserted
+    barrier makes everyone wait for the slowest; a native Bcast lets the
+    root and early ranks leave.  (With no compute between collectives the
+    effect vanishes — the OSU default — so a gap is configured here.)"""
+
+    def run():
+        out = {}
+        for cv in (0.0, 0.08, 0.2):
+            native = _osu_run("native", jitter=cv, gap_compute=3e-5)
+            tpc = _osu_run("2pc", jitter=cv, gap_compute=3e-5)
+            out[cv] = overhead_pct(tpc.runtime, native.runtime)
+        return out
+
+    overheads = bench_once(run)
+    print(f"\n2PC bcast overhead vs jitter_cv (30us gaps): {overheads}")
+    assert overheads[0.2] > overheads[0.0], "more jitter -> more 2PC pain"
+
+
+def test_ablation_poll_gap(bench_once):
+    """The trivial barrier's test-loop granularity is a real cost knob."""
+
+    def run():
+        out = {}
+        for gap in (1e-7, 1e-6, 5e-6):
+            native = _osu_run("native", poll_gap=gap)
+            tpc = _osu_run("2pc", poll_gap=gap)
+            out[gap] = overhead_pct(tpc.runtime, native.runtime)
+        return out
+
+    overheads = bench_once(run)
+    print(f"\n2PC bcast overhead vs ibarrier poll gap: {overheads}")
+    assert overheads[5e-6] > overheads[1e-7], "coarser polling -> more overhead"
+
+
+def test_ablation_cc_wrapper_cost_scaling(bench_once):
+    """CC's only steady-state cost is the wrapper + increment: doubling it
+    should move CC overhead visibly while leaving it << 2PC."""
+
+    def run():
+        base = ModelParams.perlmutter_like()
+        fat = dataclasses.replace(
+            base,
+            overheads=dataclasses.replace(
+                base.overheads,
+                wrapper_call=base.overheads.wrapper_call * 10,
+                seq_increment=base.overheads.seq_increment * 10,
+            ),
+        )
+        native = _osu_run("native")
+        cc_thin = _osu_run("cc")
+        cc_fat = _osu_run("cc", params=fat)
+        tpc = _osu_run("2pc")
+        return {
+            "cc": overhead_pct(cc_thin.runtime, native.runtime),
+            "cc_10x_wrappers": overhead_pct(cc_fat.runtime, native.runtime),
+            "2pc": overhead_pct(tpc.runtime, native.runtime),
+        }
+
+    o = bench_once(run)
+    print(f"\nCC wrapper-cost ablation: {o}")
+    assert o["cc_10x_wrappers"] > o["cc"]
+    assert o["cc_10x_wrappers"] < o["2pc"], "even 10x wrappers stay below 2PC"

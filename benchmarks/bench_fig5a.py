@@ -1,0 +1,36 @@
+"""Regenerates paper Figure 5a: blocking OSU collectives, 2PC vs CC.
+
+Expected shape: 2PC overhead is large for small messages (hundreds of
+percent on Bcast — the inserted barrier destroys the loose tree
+structure), moderate for naturally synchronizing Alltoall, and near zero
+at 1 MB for the synchronizing kinds; CC stays far below 2PC everywhere.
+"""
+
+from conftest import MSG_SIZES, OSU_ITERS, PROC_SWEEP
+
+from repro.harness import fig5a
+
+
+def test_fig5a(bench_once):
+    result = bench_once(
+        fig5a, procs=PROC_SWEEP[:2], sizes=MSG_SIZES, iters=OSU_ITERS
+    )
+    print()
+    print(result.render())
+
+    rows = {
+        (r[0], r[1], r[2]): (float(r[3]), float(r[4])) for r in result.rows
+    }
+    for (kind, msg, procs), (o2pc, occ) in rows.items():
+        # CC must always beat 2PC, usually by a lot.
+        assert occ < o2pc, f"{kind}/{msg}/{procs}: CC {occ} !< 2PC {o2pc}"
+    # Small-message bcast: the paper's flagship blowup (>100% for 2PC).
+    for procs in PROC_SWEEP[:2]:
+        o2pc, occ = rows[("bcast", "4B", procs)]
+        assert o2pc > 100.0
+        assert occ < 30.0
+    # 1MB alltoall/allreduce: both algorithms near-native (paper §5.1.1).
+    for kind in ("alltoall", "allreduce"):
+        o2pc, occ = rows[(kind, "1MB", PROC_SWEEP[0])]
+        assert o2pc < 10.0
+        assert occ < 5.0

@@ -1,0 +1,27 @@
+"""Regenerates paper Figure 5b: non-blocking OSU collectives under CC.
+
+Expected shape: 2PC is NA everywhere (it cannot wrap non-blocking
+collectives); CC overhead is higher for small messages (two wrapper
+crossings per operation, Section 5.1.2) and decays as the message size
+grows.
+"""
+
+from conftest import MSG_SIZES, OSU_ITERS, PROC_SWEEP
+
+from repro.harness import fig5b
+
+
+def test_fig5b(bench_once):
+    result = bench_once(
+        fig5b, procs=PROC_SWEEP[:2], sizes=MSG_SIZES, iters=OSU_ITERS
+    )
+    print()
+    print(result.render())
+
+    assert all(row[3] == "NA" for row in result.rows), "2PC must be NA"
+    by_key = {(r[0], r[1], r[2]): float(r[4]) for r in result.rows}
+    for kind in ("ibcast", "ialltoall", "iallreduce", "iallgather"):
+        small = by_key[(kind, "4B", PROC_SWEEP[0])]
+        large = by_key[(kind, "1MB", PROC_SWEEP[0])]
+        assert large < small, f"{kind}: overhead must decay with size"
+        assert large < 5.0

@@ -1,0 +1,24 @@
+"""Regenerates paper Figure 6: communication/computation overlap.
+
+Expected shape: CC preserves the native overlap of non-blocking
+collectives (the background progress of initiated operations is
+untouched by the wrappers).
+"""
+
+from conftest import PROC_SWEEP
+
+from repro.harness import fig6
+
+
+def test_fig6(bench_once):
+    result = bench_once(
+        fig6, procs=PROC_SWEEP[:1], sizes=(1024, 1 << 20), iters=30
+    )
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        native, cc = float(row[3]), float(row[4])
+        assert cc >= native - 10.0, f"{row[0]}/{row[1]}: CC lost overlap"
+        if row[1] == "1MB":
+            assert native > 80.0 and cc > 80.0

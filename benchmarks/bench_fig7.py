@@ -1,0 +1,23 @@
+"""Regenerates paper Figure 7: five real-world applications.
+
+Expected shape: VASP (the collective-intensive code) shows the largest
+2PC overhead with CC well below it; SW4/CoMD/LAMMPS are ~0% under both;
+Poisson runs under CC but is NA under 2PC.
+"""
+
+from repro.harness import fig7
+
+
+def test_fig7(bench_once):
+    result = bench_once(fig7, nprocs=16, ppn=8, repeats=1)
+    print()
+    print(result.render())
+
+    rows = {r[0]: r for r in result.rows}
+    vasp = rows["minivasp"]
+    assert float(vasp[4]) > 2 * float(vasp[5]), "2PC must cost >2x CC on VASP"
+    assert float(vasp[5]) < 2.0, "CC overhead on VASP should be small"
+    assert rows["poisson"][2] == "NA", "2PC cannot run Poisson"
+    for app in ("sw4", "comd", "lammps"):
+        assert abs(float(rows[app][4])) < 1.0
+        assert abs(float(rows[app][5])) < 1.0

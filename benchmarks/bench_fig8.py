@@ -1,0 +1,23 @@
+"""Regenerates paper Figure 8: miniVASP overhead vs process count.
+
+Expected shape: CC stays near zero at every scale while 2PC grows with
+the process count; 2PC exceeds CC everywhere (the paper's 2% vs 5.2%
+CC / ~7-10.6% 2PC relationship at its scales).
+"""
+
+from conftest import PROC_SWEEP
+
+from repro.harness import fig8
+
+
+def test_fig8(bench_once):
+    result = bench_once(fig8, procs=PROC_SWEEP, repeats=1, niters=10)
+    print()
+    print(result.render())
+
+    by_name = {s.name: s for s in result.series}
+    s2, sc = by_name["2PC %"], by_name["CC %"]
+    for o2pc, occ in zip(s2.ys, sc.ys):
+        assert o2pc > occ, "2PC must exceed CC at every scale"
+    assert max(sc.ys) < 2.0, "CC overhead stays small at all scales"
+    assert s2.ys[-1] > s2.ys[0], "2PC overhead grows with process count"

@@ -1,0 +1,29 @@
+"""Regenerates paper Figure 9: miniVASP checkpoint and restart times.
+
+Expected shape: checkpoint/restart times are nearly identical between
+2PC and CC (the write dominates) and grow with the node count once the
+parallel file system's aggregate bandwidth saturates.
+"""
+
+from conftest import LARGE
+
+from repro.harness import fig9
+
+
+def test_fig9(bench_once):
+    nodes = (1, 2, 4, 8) if not LARGE else (1, 2, 4, 8, 16)
+    result = bench_once(fig9, nodes=nodes, ppn=4, niters=8)
+    print()
+    print(result.render())
+
+    by_name = {s.name: s for s in result.series}
+    for phase in ("ckpt", "restart"):
+        cc = by_name[f"CC {phase} (s)"]
+        tpc = by_name[f"2PC {phase} (s)"]
+        # Growth with node count (post-saturation).
+        assert cc.ys[-1] > cc.ys[0]
+        assert tpc.ys[-1] > tpc.ys[0]
+        # The two protocols' times stay close (within 2x): the drain is
+        # cheap relative to the image write, as in the paper.
+        for a, b in zip(cc.ys, tpc.ys):
+            assert 0.5 < a / b < 2.0

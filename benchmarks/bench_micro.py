@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the core mechanisms (not a paper figure).
+
+Measures the wall-clock cost of the hot primitives: sequence-number
+increments (the CC steady-state cost), ggid hashing, the DES event loop,
+and the collective cost solvers — the pieces whose cheapness the whole
+reproduction relies on.
+"""
+
+from repro.core import SeqNumTable, compute_ggid
+from repro.des import Simulator
+from repro.netmodel import CollectiveTuning, make_solver, make_topology
+
+
+def test_seq_increment_cost(benchmark):
+    """The paper's central claim: counting collectives is nearly free."""
+    table = SeqNumTable()
+    table.ensure_group(0xABCDEF)
+    benchmark(table.increment, 0xABCDEF)
+
+
+def test_ggid_hash_cost(benchmark):
+    ranks = tuple(range(512))
+    benchmark(compute_ggid, ranks)
+
+
+def test_des_event_throughput(benchmark):
+    """Events per second of the simulation kernel (sleep ping-pong)."""
+
+    def run_events():
+        with Simulator() as sim:
+            def body():
+                for _ in range(500):
+                    sim.sleep(1e-6)
+
+            sim.spawn(body)
+            sim.run()
+            return sim.event_count
+
+    count = benchmark(run_events)
+    assert count >= 500
+
+
+def test_bcast_solver_cost(benchmark):
+    """Cost of resolving one 512-rank broadcast's exit times."""
+    topo = make_topology(512, ppn=128)
+    tuning = CollectiveTuning()
+
+    def resolve():
+        solver = make_solver("bcast", tuple(range(512)), topo, tuning, 1024)
+        for i in range(512):
+            solver.on_arrival(i, 0.0)
+        return solver.complete
+
+    assert benchmark(resolve)
+
+
+def test_alltoall_solver_cost(benchmark):
+    topo = make_topology(256, ppn=128)
+    tuning = CollectiveTuning()
+
+    def resolve():
+        solver = make_solver("alltoall", tuple(range(256)), topo, tuning, 4096)
+        for i in range(256):
+            solver.on_arrival(i, float(i) * 1e-9)
+        return solver.complete
+
+    assert benchmark(resolve)

@@ -1,0 +1,22 @@
+"""Regenerates paper Table 1: communication call rates per application.
+
+Expected shape (validated below): collective rates ordered
+OSU >> miniVASP >> Poisson >> CoMD > LAMMPS > SW4; Poisson has no p2p;
+LAMMPS is p2p-dominant.
+"""
+
+from repro.harness import table1
+
+
+def test_table1(bench_once):
+    result = bench_once(table1, nprocs=16, ppn=8)
+    print()
+    print(result.render())
+
+    rates = {row[0]: float(row[1]) for row in result.rows}
+    assert rates["osu (bcast 4B)"] > 10 * rates["minivasp"]
+    assert rates["minivasp"] > 10 * rates["poisson"]
+    assert rates["poisson"] > rates["comd"]
+    assert rates["comd"] > rates["lammps"] > rates["sw4"]
+    poisson_row = next(r for r in result.rows if r[0] == "poisson")
+    assert poisson_row[2] == "NA", "Poisson reports no p2p traffic (paper: NA)"

@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+scaled-down size (process counts 8-32 instead of 128-2048) and asserts
+the paper's qualitative *shape* (who wins, where NA appears, growth
+directions).  Set ``REPRO_BENCH_SCALE=large`` for bigger runs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+LARGE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "large"
+
+#: Scaled stand-ins for the paper's 128/256/512(/1024/2048) sweeps.
+PROC_SWEEP = (8, 16, 32) if not LARGE else (16, 32, 64, 128)
+#: Paper's message sizes: 4 B, 1 KB, 1 MB.
+MSG_SIZES = (4, 1024, 1 << 20)
+OSU_ITERS = 40 if not LARGE else 100
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a whole experiment exactly once under pytest-benchmark.
+
+    Experiments are deterministic simulations; statistical rounds would
+    only re-measure Python overhead, so one round is the honest setting.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment for this reproduction has no `wheel` package and no network
+access, so PEP 660 editable installs are unavailable; this shim enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern toolchains falls back to it too).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

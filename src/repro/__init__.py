@@ -1,0 +1,19 @@
+"""repro: reproduction of "Enabling Practical Transparent Checkpointing
+for MPI: A Topological Sort Approach" (Xu & Cooperman, CLUSTER 2024).
+
+Top-level convenience imports; see README.md for the architecture tour.
+"""
+
+__version__ = "1.0.0"
+
+from .apps import AppContext, MpiApp, make_app_factory
+from .harness import launch_run, restart_run
+
+__all__ = [
+    "__version__",
+    "MpiApp",
+    "AppContext",
+    "make_app_factory",
+    "launch_run",
+    "restart_run",
+]

@@ -1,0 +1,37 @@
+"""Mini-applications reproducing the paper's workload mix.
+
+Five real-world-shaped apps (Table 1's rate categories) plus the OSU
+micro-benchmark kernels:
+
+* :class:`MiniVasp` — very high collective rate (FFT SCF loop).
+* :class:`PoissonCG` — medium rate, *non-blocking collectives only*.
+* :class:`CoMD` — low rate, halo p2p + periodic energy reduction.
+* :class:`LammpsLJ` — p2p dominant, collectives very rare.
+* :class:`SW4` — long stencil steps, collectives rarest.
+* :class:`OsuCollective` / :class:`OsuOverlap` — the upper-limit kernels.
+"""
+
+from .base import AppContext, MpiApp
+from .comd import CoMD
+from .lammps_lj import LammpsLJ
+from .minivasp import MiniVasp
+from .osu import OSU_KINDS, OsuCollective, OsuOverlap
+from .poisson import PoissonCG
+from .registry import APP_FACTORIES, REAL_WORLD_APPS, make_app_factory
+from .sw4 import SW4
+
+__all__ = [
+    "AppContext",
+    "MpiApp",
+    "MiniVasp",
+    "PoissonCG",
+    "CoMD",
+    "LammpsLJ",
+    "SW4",
+    "OsuCollective",
+    "OsuOverlap",
+    "OSU_KINDS",
+    "APP_FACTORIES",
+    "REAL_WORLD_APPS",
+    "make_app_factory",
+]

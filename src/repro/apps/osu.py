@@ -1,0 +1,167 @@
+"""OSU micro-benchmark kernels (paper Section 5.1, Figures 5 and 6).
+
+``OsuCollective`` reproduces the OSU latency loop: a window of
+collectives in a tight loop with minimal compute in between — the upper
+limit of collective call rates (Table 1's 255k coll/s row).
+
+``OsuOverlap`` reproduces the OSU non-blocking overlap methodology
+(Figure 6): measure pure communication time ``t_pure``, then issue the
+non-blocking collective, compute for ~``t_pure``, and wait; report
+
+    overlap% = max(0, 1 - (t_overall - t_compute) / t_pure) * 100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppContext, MpiApp
+
+__all__ = ["OsuCollective", "OsuOverlap", "OSU_KINDS"]
+
+OSU_KINDS = ("bcast", "alltoall", "allreduce", "allgather")
+
+
+def _payload(kind: str, nbytes: int, nprocs: int, rank: int):
+    if kind == "alltoall":
+        per = max(nbytes // 8, 1)
+        return [np.full(per, float(rank)) for _ in range(nprocs)]
+    arr = np.full(max(nbytes // 8, 1), float(rank))
+    return arr
+
+
+class OsuCollective(MpiApp):
+    """osu_bcast / osu_alltoall / osu_allreduce / osu_allgather."""
+
+    name = "osu"
+
+    def __init__(
+        self,
+        niters: int = 100,
+        *,
+        kind: str = "bcast",
+        nbytes: int = 4,
+        blocking: bool = True,
+        gap_compute: float = 2.0e-7,
+    ):
+        super().__init__(niters)
+        if kind not in OSU_KINDS:
+            raise ValueError(f"unknown OSU kind {kind!r}; expected {OSU_KINDS}")
+        self.kind = kind
+        self.nbytes = nbytes
+        self.blocking = blocking
+        self.gap_compute = gap_compute
+        self.name = f"osu_{'' if blocking else 'i'}{kind}"
+
+    def setup(self, ctx: AppContext) -> None:
+        ctx.declare_memory(16 << 20)
+        ctx.state["t_total"] = 0.0
+        ctx.state["count"] = 0
+
+    def _issue(self, ctx: AppContext, payload):
+        comm = ctx.world
+        k = self.kind
+        if self.blocking:
+            if k == "bcast":
+                return comm.bcast(payload if ctx.rank == 0 else None, root=0)
+            if k == "alltoall":
+                return comm.alltoall(payload)
+            if k == "allreduce":
+                return comm.allreduce(payload)
+            return comm.allgather(payload)
+        if k == "bcast":
+            return comm.ibcast(payload if ctx.rank == 0 else None, root=0)
+        if k == "alltoall":
+            return comm.ialltoall(payload)
+        if k == "allreduce":
+            return comm.iallreduce(payload)
+        return comm.iallgather(payload)
+
+    def step(self, ctx: AppContext, i: int) -> None:
+        payload = _payload(self.kind, self.nbytes, ctx.nprocs, ctx.rank)
+        ctx.compute_jittered(self.gap_compute, i, "gap")
+        t0 = ctx.now()
+        result = self._issue(ctx, payload)
+        if not self.blocking:
+            result.wait()
+        t1 = ctx.now()
+        # ---- commit block ----
+        ctx.state["t_total"] = ctx.state["t_total"] + (t1 - t0)
+        ctx.state["count"] = ctx.state["count"] + 1
+
+    def finalize(self, ctx: AppContext):
+        return {
+            "avg_latency": ctx.state["t_total"] / max(ctx.state["count"], 1),
+            "iterations": ctx.state["count"],
+        }
+
+
+class OsuOverlap(MpiApp):
+    """OSU communication/computation overlap measurement (Figure 6)."""
+
+    name = "osu_overlap"
+
+    def __init__(
+        self,
+        niters: int = 60,
+        *,
+        kind: str = "bcast",
+        nbytes: int = 1024,
+        warmup: int = 10,
+    ):
+        super().__init__(niters)
+        if kind not in OSU_KINDS:
+            raise ValueError(f"unknown OSU kind {kind!r}")
+        self.kind = kind
+        self.nbytes = nbytes
+        self.warmup = warmup
+        self.name = f"osu_overlap_{kind}"
+
+    def setup(self, ctx: AppContext) -> None:
+        ctx.declare_memory(16 << 20)
+        ctx.state["t_pure"] = 0.0
+        ctx.state["overlaps"] = []
+
+    def _initiate(self, ctx: AppContext, payload):
+        comm = ctx.world
+        k = self.kind
+        if k == "bcast":
+            return comm.ibcast(payload if ctx.rank == 0 else None, root=0)
+        if k == "alltoall":
+            return comm.ialltoall(payload)
+        if k == "allreduce":
+            return comm.iallreduce(payload)
+        return comm.iallgather(payload)
+
+    def step(self, ctx: AppContext, i: int) -> None:
+        payload = _payload(self.kind, self.nbytes, ctx.nprocs, ctx.rank)
+        s = ctx.state
+        if i < self.warmup:
+            # Warmup phase: measure pure (non-overlapped) latency.
+            t0 = ctx.now()
+            req = self._initiate(ctx, payload)
+            req.wait()
+            t1 = ctx.now()
+            # ---- commit block ----
+            prev = s["t_pure"]
+            k = i + 1
+            s["t_pure"] = prev + ((t1 - t0) - prev) / k  # running mean
+            return
+        t_pure = max(s["t_pure"], 1e-12)
+        t0 = ctx.now()
+        req = self._initiate(ctx, payload)
+        ctx.compute(t_pure)  # overlap window sized to the pure latency
+        t_after_compute = ctx.now()
+        req.wait()
+        t1 = ctx.now()
+        t_compute = t_after_compute - t0
+        overlap = max(0.0, min(1.0, 1.0 - (t1 - t0 - t_compute) / t_pure)) * 100.0
+        # ---- commit block ----
+        s["overlaps"] = s["overlaps"] + [overlap]
+
+    def finalize(self, ctx: AppContext):
+        overlaps = ctx.state["overlaps"]
+        return {
+            "overlap_pct": float(np.mean(overlaps)) if overlaps else 0.0,
+            "t_pure": ctx.state["t_pure"],
+        }

@@ -1,0 +1,44 @@
+"""Application registry: name -> configured factory.
+
+Central place the harness, CLI, benchmarks, and examples use to obtain
+the paper's five applications and the OSU kernels with the default
+configurations that land in the paper's Table 1 rate categories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import MpiApp
+from .comd import CoMD
+from .lammps_lj import LammpsLJ
+from .minivasp import MiniVasp
+from .osu import OsuCollective, OsuOverlap
+from .poisson import PoissonCG
+from .sw4 import SW4
+
+__all__ = ["APP_FACTORIES", "make_app_factory", "REAL_WORLD_APPS"]
+
+#: The paper's five real-world applications (Figure 7 order).
+REAL_WORLD_APPS = ("minivasp", "sw4", "comd", "lammps", "poisson")
+
+APP_FACTORIES: dict[str, Callable[..., MpiApp]] = {
+    "minivasp": MiniVasp,
+    "poisson": PoissonCG,
+    "comd": CoMD,
+    "lammps": LammpsLJ,
+    "sw4": SW4,
+    "osu": OsuCollective,
+    "osu_overlap": OsuOverlap,
+}
+
+
+def make_app_factory(name: str, **overrides) -> Callable[[], MpiApp]:
+    """A zero-argument factory for the named app with overrides applied."""
+    try:
+        cls = APP_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {name!r}; expected one of {sorted(APP_FACTORIES)}"
+        ) from None
+    return lambda: cls(**overrides)

@@ -1,0 +1,83 @@
+"""SW4-like seismic stencil: long compute steps, collectives almost never.
+
+SW4 (LOH.1-h50 input) is the paper's lowest collective-rate code:
+0.6 coll/s vs 157.9 p2p/s (Table 1).  Steps are long (4th-order elastic
+wave stencil), halo exchange happens every step, and a stability-check
+reduction appears only every few hundred steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppContext, MpiApp
+
+__all__ = ["SW4"]
+
+
+class SW4(MpiApp):
+    """Fourth-order accurate 1D-decomposed elastic wave stencil."""
+
+    name = "sw4"
+
+    def __init__(
+        self,
+        niters: int = 30,
+        *,
+        points_per_rank: int = 128,
+        check_every: int = 260,
+        base_compute: float = 5.0e-2,
+        memory_bytes: int = 400 << 20,
+    ):
+        super().__init__(niters)
+        self.points_per_rank = points_per_rank
+        self.check_every = check_every
+        self.base_compute = base_compute
+        self.memory_bytes = memory_bytes
+
+    def setup(self, ctx: AppContext) -> None:
+        ctx.declare_memory(self.memory_bytes)
+        m = self.points_per_rank
+        xs = np.linspace(0, 1, m) + ctx.rank
+        ctx.state["u"] = np.exp(-50 * (xs - (ctx.nprocs / 2)) ** 2)
+        ctx.state["u_prev"] = ctx.state["u"].copy()
+        ctx.state["checks"] = []
+
+    def step(self, ctx: AppContext, i: int) -> None:
+        s = ctx.state
+        u, u_prev = s["u"], s["u_prev"]
+        me, n = ctx.rank, ctx.nprocs
+        right, left = (me + 1) % n, (me - 1) % n
+
+        # 4th-order stencil needs two ghost points per side: two sendrecv
+        # per direction = 8 p2p calls per step.
+        gl = ctx.world.sendrecv(u[-2:], dest=right, source=left, sendtag=1, recvtag=1)
+        gr = ctx.world.sendrecv(u[:2], dest=left, source=right, sendtag=2, recvtag=2)
+        gl2 = ctx.world.sendrecv(u_prev[-2:], dest=right, source=left, sendtag=3, recvtag=3)
+        gr2 = ctx.world.sendrecv(u_prev[:2], dest=left, source=right, sendtag=4, recvtag=4)
+
+        ext = np.concatenate([gl if me > 0 else np.zeros(2), u, gr if me < n - 1 else np.zeros(2)])
+        lap4 = (
+            -ext[:-4] + 16 * ext[1:-3] - 30 * ext[2:-2] + 16 * ext[3:-1] - ext[4:]
+        ) / 12.0
+        c2dt2 = 1e-4
+        new_u = 2 * u - u_prev + c2dt2 * lap4
+        new_u[0] += 1e-12 * float(gl2.sum())
+        new_u[-1] += 1e-12 * float(gr2.sum())
+        ctx.compute_jittered(self.base_compute, i, "stencil")
+
+        checks = s["checks"]
+        if i % self.check_every == 0:
+            peak = ctx.world.allreduce(float(np.max(np.abs(new_u))), op="max")
+            checks = checks + [peak]
+
+        # ---- commit block ----
+        s["u_prev"] = u
+        s["u"] = new_u
+        s["checks"] = checks
+
+    def finalize(self, ctx: AppContext):
+        return {
+            "peaks": tuple(round(p, 12) for p in ctx.state["checks"]),
+            "u_norm": float(np.linalg.norm(ctx.state["u"])),
+        }

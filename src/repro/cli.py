@@ -1,0 +1,60 @@
+"""Command-line entry point: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli fig5a --procs 8,16,32
+    python -m repro.cli all
+    repro-mpi fig7 --nprocs 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi",
+        description=(
+            "Reproduce the evaluation of 'Enabling Practical Transparent "
+            "Checkpointing for MPI: A Topological Sort Approach' (CLUSTER 2024)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--procs", type=str, default=None,
+                        help="comma-separated process counts (fig5a/fig5b/fig6/fig8)")
+    parser.add_argument("--nprocs", type=int, default=None,
+                        help="process count (table1/fig7)")
+    parser.add_argument("--nodes", type=str, default=None,
+                        help="comma-separated node counts (fig9)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs: dict = {"seed": args.seed}
+        if args.procs and name in ("fig5a", "fig5b", "fig6", "fig8"):
+            kwargs["procs"] = tuple(int(x) for x in args.procs.split(","))
+        if args.nprocs and name in ("table1", "fig7"):
+            kwargs["nprocs"] = args.nprocs
+        if args.nodes and name == "fig9":
+            kwargs["nodes"] = tuple(int(x) for x in args.nodes.split(","))
+        t0 = time.time()
+        result = fn(**kwargs)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

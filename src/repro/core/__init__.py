@@ -1,0 +1,57 @@
+"""The paper's core: checkpoint protocols and their supporting machinery.
+
+* :mod:`repro.core.cc` — the Collective Clock algorithm (Section 4).
+* :mod:`repro.core.twophase` — MANA 2019's 2PC baseline (Section 2.2).
+* :mod:`repro.core.native` — passthrough baseline.
+* :mod:`repro.core.seqnum` / :mod:`repro.core.ggid` — SEQ/TARGET tables
+  and global group ids (the ``seq_num.cpp`` analog).
+* :mod:`repro.core.quiescence` — coordinator-side drain-completion
+  detection.
+* :mod:`repro.core.drain` — non-blocking request drain (Section 4.3.2).
+* :mod:`repro.core.graph` — offline topological-sort safe-cut oracle.
+"""
+
+from .cc import CCCoordinatorLogic, CollectiveClockProtocol
+from .drain import drain_nonblocking_requests
+from .ggid import GgidRegistry, compute_ggid
+from .graph import CollectiveProgram, SafeCut, build_dependency_graph, compute_safe_cut
+from .native import NativeCoordinatorLogic, NativeProtocol
+from .protocol import (
+    CoordinatorLogic,
+    ProtocolError,
+    RankProtocol,
+    UnsupportedOperationError,
+)
+from .quiescence import QuiescenceTracker
+from .seqnum import SeqNumTable
+from .twophase import TwoPCCoordinatorLogic, TwoPhaseCommitProtocol
+
+#: Protocol name -> (rank protocol class, coordinator logic class).
+PROTOCOLS = {
+    "native": (NativeProtocol, NativeCoordinatorLogic),
+    "2pc": (TwoPhaseCommitProtocol, TwoPCCoordinatorLogic),
+    "cc": (CollectiveClockProtocol, CCCoordinatorLogic),
+}
+
+__all__ = [
+    "PROTOCOLS",
+    "RankProtocol",
+    "CoordinatorLogic",
+    "ProtocolError",
+    "UnsupportedOperationError",
+    "CollectiveClockProtocol",
+    "CCCoordinatorLogic",
+    "TwoPhaseCommitProtocol",
+    "TwoPCCoordinatorLogic",
+    "NativeProtocol",
+    "NativeCoordinatorLogic",
+    "SeqNumTable",
+    "GgidRegistry",
+    "compute_ggid",
+    "QuiescenceTracker",
+    "drain_nonblocking_requests",
+    "CollectiveProgram",
+    "SafeCut",
+    "compute_safe_cut",
+    "build_dependency_graph",
+]

@@ -1,0 +1,45 @@
+"""Drain of incomplete non-blocking collective requests (Section 4.3.2).
+
+At a safe state, every member of every initiated non-blocking collective
+has initiated it (the sequence numbers are equal across members), so the
+operation *will* complete; the CC algorithm keeps calling MPI_Test on
+each incomplete request until all communications have completed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mana.session import Session
+    from ..mana.vcomm import VirtualRequest
+
+__all__ = ["drain_nonblocking_requests"]
+
+
+def drain_nonblocking_requests(session: "Session") -> int:
+    """MPI_Test-loop every incomplete non-blocking collective request.
+
+    Returns the number of requests that had to be drained.  Point-to-point
+    requests are *not* waited here — they are handled by the subsequent
+    p2p drain phase (and pending receives may legitimately stay pending
+    across the checkpoint).
+    """
+    pending = [
+        vr
+        for vr in session.live_requests()
+        if vr.is_collective and not vr.done
+    ]
+    drained = len(pending)
+    test = session.overheads.test_call
+    gap = session.overheads.ibarrier_poll_gap
+    while pending:
+        still = []
+        for vr in pending:
+            session.sim.sleep(test)
+            if not vr.done:
+                still.append(vr)
+        pending = still
+        if pending:
+            session.sim.sleep(gap)
+    return drained

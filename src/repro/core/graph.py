@@ -1,0 +1,165 @@
+"""Offline model of the CC algorithm's extended directed graph.
+
+The paper views an MPI execution as a directed graph: nodes are
+collective operations, edges are labelled by processes entering/exiting
+them (Section 4.2.2).  Given each rank's *program* (its sequence of
+collective operations, identified by group) and the positions the ranks
+had reached when the checkpoint request arrived, the safe cut is the
+least fixed point of:
+
+    targets[g]   = max over ranks of executed ops on g
+    position[r] >= first position where r's counts meet all targets
+
+Advancing a rank to meet a target may push its count on *another* group
+past that group's target (the paper's Figure 2b / Figure 3b situation),
+which raises that target and forces other ranks forward — exactly the
+target-update propagation of the online algorithm.  The fixpoint here
+serves as an independent oracle: tests check that the online protocol
+stops at precisely this cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+__all__ = ["CollectiveProgram", "SafeCut", "compute_safe_cut", "build_dependency_graph"]
+
+GroupId = Hashable
+
+
+@dataclass(frozen=True)
+class CollectiveProgram:
+    """Per-rank sequences of collective operations.
+
+    ``ops[r]`` lists, in program order, the group id of each collective
+    call rank ``r`` makes.  A *legal* program must interleave so that all
+    members of a group call its operations the same number of times in
+    the same per-group order; programs generated from a global per-group
+    schedule satisfy this by construction.
+    """
+
+    ops: tuple[tuple[GroupId, ...], ...]
+    members: dict[GroupId, tuple[int, ...]]
+
+    @property
+    def nranks(self) -> int:
+        return len(self.ops)
+
+    def counts_at(self, rank: int, position: int) -> dict[GroupId, int]:
+        """Per-group executed-op counts after ``position`` ops of ``rank``."""
+        counts: dict[GroupId, int] = {}
+        for g in self.ops[rank][:position]:
+            counts[g] = counts.get(g, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Check group membership consistency: rank r may only call ops on
+        groups containing r."""
+        for r, seq in enumerate(self.ops):
+            for g in seq:
+                if r not in self.members[g]:
+                    raise ValueError(f"rank {r} calls op on group {g!r} it is not in")
+
+
+@dataclass
+class SafeCut:
+    """The resolved cut: final positions, per-group targets."""
+
+    positions: tuple[int, ...]
+    targets: dict[GroupId, int] = field(default_factory=dict)
+
+    def advanced_from(self, start: Sequence[int]) -> list[int]:
+        """Ops each rank had to execute beyond its request-time position."""
+        return [p - s for p, s in zip(self.positions, start)]
+
+
+def compute_safe_cut(
+    program: CollectiveProgram, start_positions: Sequence[int]
+) -> SafeCut:
+    """Least fixed point of the target/advance iteration.
+
+    Mirrors Algorithms 1-3: initial targets are the per-group maxima of
+    executed counts at the request; each rank then advances to the first
+    position meeting every target *that concerns a group the rank
+    belongs to*; overshoot raises targets and the iteration repeats.
+    """
+    program.validate()
+    n = program.nranks
+    if len(start_positions) != n:
+        raise ValueError(f"need {n} start positions, got {len(start_positions)}")
+    for r, p in enumerate(start_positions):
+        if not 0 <= p <= len(program.ops[r]):
+            raise ValueError(f"rank {r} position {p} out of range")
+
+    positions = list(start_positions)
+    counts = [program.counts_at(r, positions[r]) for r in range(n)]
+
+    # Algorithm 1: initial targets.
+    targets: dict[GroupId, int] = {}
+    for r in range(n):
+        for g, c in counts[r].items():
+            if c > targets.get(g, 0):
+                targets[g] = c
+
+    changed = True
+    while changed:
+        changed = False
+        for r in range(n):
+            # Advance rank r while some group it belongs to is unreached.
+            while any(
+                counts[r].get(g, 0) < t
+                for g, t in targets.items()
+                if r in program.members[g]
+            ):
+                if positions[r] >= len(program.ops[r]):
+                    raise RuntimeError(
+                        f"rank {r} exhausted its program before reaching targets; "
+                        "the input program is not legal MPI"
+                    )
+                g = program.ops[r][positions[r]]
+                positions[r] += 1
+                c = counts[r].get(g, 0) + 1
+                counts[r][g] = c
+                changed = True
+                if c > targets.get(g, 0):
+                    targets[g] = c  # overshoot: the cut moves forward
+
+    # Consistency: all members of each targeted group agree on the count.
+    for g, t in targets.items():
+        for r in program.members[g]:
+            if counts[r].get(g, 0) != t:
+                raise RuntimeError(
+                    f"fixpoint violated for group {g!r}: rank {r} at "
+                    f"{counts[r].get(g, 0)} vs target {t}"
+                )
+    return SafeCut(positions=tuple(positions), targets=targets)
+
+
+def build_dependency_graph(program: CollectiveProgram):
+    """The paper's directed graph as a networkx DiGraph.
+
+    Nodes are ``(group, k)`` — the k-th operation on that group (1-based).
+    For each rank, consecutive operations in program order get an edge
+    labelled by the rank.  The graph of a legal program is acyclic, and
+    the safe cut is a downward-closed set under its reachability — both
+    properties are asserted in tests.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    for r, seq in enumerate(program.ops):
+        per_group: dict[GroupId, int] = {}
+        prev = None
+        for gid in seq:
+            per_group[gid] = per_group.get(gid, 0) + 1
+            node = (gid, per_group[gid])
+            if not g.has_node(node):
+                g.add_node(node)
+            if prev is not None:
+                if g.has_edge(prev, node):
+                    g[prev][node]["ranks"].append(r)
+                else:
+                    g.add_edge(prev, node, ranks=[r])
+            prev = node
+    return g

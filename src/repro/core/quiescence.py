@@ -1,0 +1,96 @@
+"""Global quiescence detection for the checkpoint coordinator.
+
+The drain phase is done when (a) every rank is parked — it has reached
+all its targets (CC) or is stalled at a safe point (2PC) — and (b) no
+target-update control messages are still in flight.  Condition (b) uses
+Mattern's four-counter idea: each parked report carries the rank's
+cumulative control-message send and receive counts; when all ranks are
+parked and the global sums match, no update can be in flight (an
+in-flight message would have been counted by its sender but not yet by
+its receiver).  A confirmation round guards against reports that raced
+with an unpark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QuiescenceTracker"]
+
+
+@dataclass
+class _ParkReport:
+    generation: int
+    sent: int
+    received: int
+
+
+@dataclass
+class QuiescenceTracker:
+    """Tracks park/unpark reports and decides when to try a confirm round."""
+
+    nprocs: int
+    parked: dict[int, _ParkReport] = field(default_factory=dict)
+    confirming: bool = False
+    _confirm_votes: dict[int, bool] = field(default_factory=dict)
+
+    def on_parked(self, rank: int, generation: int, sent: int, received: int) -> None:
+        report = self.parked.get(rank)
+        if report is None or generation >= report.generation:
+            self.parked[rank] = _ParkReport(generation, sent, received)
+        if self.confirming:
+            # State changed mid-confirmation: abort the round.
+            self.confirming = False
+            self._confirm_votes.clear()
+
+    def on_unparked(self, rank: int) -> None:
+        self.parked.pop(rank, None)
+        if self.confirming:
+            self.confirming = False
+            self._confirm_votes.clear()
+
+    def candidate(self) -> bool:
+        """All ranks parked and control-message counters balance."""
+        if len(self.parked) != self.nprocs:
+            return False
+        total_sent = sum(r.sent for r in self.parked.values())
+        total_recv = sum(r.received for r in self.parked.values())
+        return total_sent == total_recv
+
+    # -- confirmation round -------------------------------------------------
+
+    def begin_confirm(self) -> None:
+        self.confirming = True
+        self._confirm_votes.clear()
+
+    def on_confirm_vote(
+        self, rank: int, still_parked: bool, sent: int, received: int
+    ) -> None:
+        if not self.confirming:
+            return
+        if not still_parked:
+            self.confirming = False
+            self._confirm_votes.clear()
+            self.parked.pop(rank, None)
+            return
+        report = self.parked.get(rank)
+        if report is None or report.sent != sent or report.received != received:
+            # Counters moved since the park report: restart detection.
+            self.confirming = False
+            self._confirm_votes.clear()
+            if report is not None:
+                self.parked[rank] = _ParkReport(report.generation, sent, received)
+            return
+        self._confirm_votes[rank] = True
+
+    def confirmed(self) -> bool:
+        return (
+            self.confirming
+            and len(self._confirm_votes) == self.nprocs
+            and self.candidate()
+        )
+
+    def reset(self) -> None:
+        self.parked.clear()
+        self.confirming = False
+        self._confirm_votes.clear()

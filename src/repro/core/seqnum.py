@@ -1,0 +1,102 @@
+"""Sequence-number and target bookkeeping — the ``seq_num.cpp`` analog.
+
+Each rank keeps, for every global group id it knows:
+
+* ``SEQ[ggid]``   — how many collective operations on that group this
+  rank has executed (incremented locally, no communication;
+  paper Section 4.2.1), and
+* ``TARGET[ggid]`` — once a checkpoint is pending, the number of
+  operations the rank must reach before it may stop (global maximum at
+  request time, monotonically raised by target-update messages;
+  Sections 4.2.2-4.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SeqNumTable"]
+
+
+@dataclass
+class SeqNumTable:
+    """Rank-local SEQ/TARGET state."""
+
+    seq: dict[int, int] = field(default_factory=dict)
+    target: dict[int, int] = field(default_factory=dict)
+
+    # -- steady-state -----------------------------------------------------
+
+    def ensure_group(self, ggid: int) -> None:
+        """Initialize SEQ[ggid]=0 on first sight of a group (communicator
+        creation), per Section 4.2.1."""
+        self.seq.setdefault(ggid, 0)
+
+    def increment(self, ggid: int) -> int:
+        """Count one collective call on the group; returns the new SEQ."""
+        value = self.seq.get(ggid, 0) + 1
+        self.seq[ggid] = value
+        return value
+
+    def seq_of(self, ggid: int) -> int:
+        return self.seq.get(ggid, 0)
+
+    # -- checkpoint-time --------------------------------------------------
+
+    def set_targets(self, targets: dict[int, int]) -> None:
+        """Install the initial targets computed by Algorithm 1."""
+        for ggid, tgt in targets.items():
+            self.ensure_group(ggid)
+            current = self.target.get(ggid, -1)
+            if tgt > current:
+                self.target[ggid] = tgt
+
+    def raise_target(self, ggid: int, value: int) -> bool:
+        """Raise TARGET[ggid] to ``value`` (idempotent; never lowers).
+
+        Returns True if the target actually increased — the condition for
+        forwarding the update to group peers (the SEND step in
+        Algorithm 2).
+        """
+        current = self.target.get(ggid, -1)
+        if value > current:
+            self.target[ggid] = value
+            return True
+        return False
+
+    def target_of(self, ggid: int) -> int:
+        return self.target.get(ggid, 0)
+
+    def unreached(self) -> list[int]:
+        """ggids with SEQ < TARGET: the groups this rank must still serve
+        (Condition A' of Section 4.2.2)."""
+        out = []
+        for ggid, tgt in self.target.items():
+            if self.seq.get(ggid, 0) < tgt:
+                out.append(ggid)
+        return out
+
+    def all_targets_reached(self) -> bool:
+        """True when SEQ[g] == TARGET[g] for every targeted group."""
+        return not self.unreached()
+
+    def overshoot(self, ggid: int) -> bool:
+        """True if SEQ[ggid] exceeds the current target (the rank just
+        executed an operation beyond the cut, so the cut must move)."""
+        return self.seq.get(ggid, 0) > self.target.get(ggid, -1)
+
+    def clear_targets(self) -> None:
+        """Forget targets after a committed checkpoint (resume)."""
+        self.target.clear()
+
+    # -- checkpointing the table itself ------------------------------------
+
+    def snapshot(self) -> dict:
+        return {"seq": dict(self.seq), "target": dict(self.target)}
+
+    @classmethod
+    def restore(cls, data: dict) -> "SeqNumTable":
+        return cls(
+            seq={int(k): int(v) for k, v in data["seq"].items()},
+            target={int(k): int(v) for k, v in data["target"].items()},
+        )

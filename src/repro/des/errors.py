@@ -1,0 +1,49 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue is empty but live processes are blocked.
+
+    The message lists every blocked process and what it is blocked on,
+    which is the primary debugging aid for protocol-level deadlocks
+    (e.g. a rank waiting in a collective that another rank never joins).
+    """
+
+
+class ProcessFailed(SimulationError):
+    """Raised by :meth:`Simulator.run` when a simulated process raised.
+
+    The original exception is attached as ``__cause__`` and via the
+    ``original`` attribute.
+    """
+
+    def __init__(self, process_name: str, original: BaseException):
+        super().__init__(f"process {process_name!r} failed: {original!r}")
+        self.process_name = process_name
+        self.original = original
+
+
+class ProcessKilled(BaseException):
+    """Injected into a process thread to unwind it when the simulation closes.
+
+    Derives from ``BaseException`` so that application-level ``except
+    Exception`` blocks cannot swallow it.
+    """
+
+
+class SimClosedError(SimulationError):
+    """Raised when an operation is attempted on a closed simulator."""
+
+
+class NotInProcessError(SimulationError):
+    """Raised when a process-only operation is called outside any process."""
+
+
+class SchedulingError(SimulationError):
+    """Raised on kernel misuse (nested run(), resuming a dead process, ...)."""

@@ -1,0 +1,536 @@
+"""Deterministic discrete-event simulation kernel with thread-backed processes.
+
+The kernel lets ordinary *blocking-style* Python code (such as an MPI
+application calling ``comm.recv(...)``) run under a virtual clock.  Each
+simulated process is a real OS thread, but **exactly one thread runs at a
+time**: the scheduler hands a token to the process whose wake-up event is
+next in virtual time, and the process hands the token back whenever it
+performs a kernel call (``sleep``, blocking on a primitive, exiting).
+Because every hand-off is mediated by the event heap, and heap entries are
+ordered by ``(time, sequence_number)``, execution is fully deterministic
+for a fixed program — no dependence on OS thread scheduling.
+
+This is the substrate on which ``repro.simmpi`` (the simulated MPI
+library) and ``repro.mana`` (the checkpointing layer) are built.
+
+Typical usage::
+
+    sim = Simulator(seed=42)
+    def worker():
+        sim.sleep(1.5)
+        print("virtual time is", sim.now())
+    sim.spawn(worker, name="w0")
+    sim.run()
+    sim.close()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from .errors import (
+    DeadlockError,
+    NotInProcessError,
+    ProcessFailed,
+    ProcessKilled,
+    SchedulingError,
+    SimClosedError,
+)
+from .trace import Tracer, TraceRecord
+
+__all__ = ["Simulator", "SimProcess", "Timer", "Interrupted", "INTERRUPTED"]
+
+_tls = threading.local()
+
+# Process lifecycle states.
+_NEW = "new"
+_READY = "ready"  # has a pending resume event in the heap
+_RUNNING = "running"
+_BLOCKED = "blocked"  # waiting for an external wake (no heap entry)
+_DONE = "done"
+_FAILED = "failed"
+_KILLED = "killed"
+
+#: Default stack size for simulated process threads.  Simulated ranks are
+#: shallow (application loop + wrapper + kernel), so a small stack keeps
+#: memory bounded when simulating hundreds of ranks.
+_STACK_SIZE = 512 * 1024
+
+
+class Interrupted:
+    """Sentinel type returned by interruptible sleeps that were cut short."""
+
+    _instance: "Interrupted | None" = None
+
+    def __new__(cls) -> "Interrupted":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<INTERRUPTED>"
+
+
+#: Singleton returned by :meth:`Simulator.sleep` when interrupted.
+INTERRUPTED = Interrupted()
+
+
+class Timer:
+    """Cancellable handle for a scheduled callback or process resume."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SimProcess:
+    """A simulated process: a thread that runs only when scheduled.
+
+    Do not instantiate directly; use :meth:`Simulator.spawn`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+    ):
+        self.sim = sim
+        self.name = name
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.state = _NEW
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        #: What the process is currently blocked on (for deadlock reports).
+        self.blocked_on: str = ""
+        #: Set while the process holds an interruptible sleep.
+        self._sleep_timer: Timer | None = None
+        self._interrupted = False
+        self._killed = False
+        self._resume = threading.Semaphore(0)
+        self._joiners: list[SimProcess] = []
+        self._waiters_on_exit: list[Callable[[], None]] = []
+        old = threading.stack_size()
+        try:
+            threading.stack_size(_STACK_SIZE)
+        except (ValueError, RuntimeError):  # pragma: no cover - platform dependent
+            pass
+        try:
+            self._thread = threading.Thread(
+                target=self._bootstrap, name=f"sim:{name}", daemon=True
+            )
+        finally:
+            try:
+                threading.stack_size(old)
+            except (ValueError, RuntimeError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has not finished, failed, or been killed."""
+        return self.state in (_NEW, _READY, _RUNNING, _BLOCKED)
+
+    @property
+    def done(self) -> bool:
+        return self.state == _DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.state == _FAILED
+
+    def __repr__(self) -> str:
+        return f"<SimProcess {self.name} state={self.state}>"
+
+    # ------------------------------------------------------------------ #
+    # Thread body
+    # ------------------------------------------------------------------ #
+
+    def _bootstrap(self) -> None:
+        _tls.proc = self
+        self._resume.acquire()
+        if self._killed:
+            self.state = _KILLED
+            self.sim._token.release()
+            return
+        self.state = _RUNNING
+        try:
+            self.result = self.fn(*self.args, **self.kwargs)
+        except ProcessKilled:
+            self.state = _KILLED
+            self.sim._token.release()
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported to scheduler
+            self.state = _FAILED
+            self.exception = exc
+            self.sim._failed.append(self)
+            self.sim._trace_emit("fail", self.name, repr(exc))
+        else:
+            self.state = _DONE
+            self.sim._trace_emit("exit", self.name, "")
+        for waker in self._waiters_on_exit:
+            waker()
+        self._waiters_on_exit.clear()
+        self.sim._token.release()
+
+    # Called from *inside* the process thread to give control back to the
+    # scheduler and wait to be resumed.
+    def _yield_and_wait(self) -> None:
+        self.sim._token.release()
+        self._resume.acquire()
+        if self._killed:
+            raise ProcessKilled()
+        self.state = _RUNNING
+
+    # ------------------------------------------------------------------ #
+    # Cross-process operations (must run while holding the token, i.e.
+    # from another process, a timer callback, or the scheduler itself)
+    # ------------------------------------------------------------------ #
+
+    def interrupt(self) -> bool:
+        """Interrupt this process's interruptible sleep, if any.
+
+        Returns True if the process was sleeping interruptibly and has been
+        scheduled to wake immediately; False otherwise (no-op).
+        """
+        if self._sleep_timer is not None and not self._sleep_timer.cancelled:
+            self._sleep_timer.cancel()
+            self._interrupted = True
+            self.sim._make_ready(self, detail="interrupt")
+            self.sim._trace_emit("interrupt", self.name, "")
+            return True
+        return False
+
+    def on_exit(self, waker: Callable[[], None]) -> None:
+        """Register a callback invoked (in scheduler context) when this
+        process terminates for any reason.  If already terminated the
+        callback runs immediately."""
+        if not self.alive:
+            waker()
+        else:
+            self._waiters_on_exit.append(waker)
+
+
+class Simulator:
+    """The event loop: a heap of timed actions plus the process registry.
+
+    Args:
+        seed: master seed for :meth:`rng` streams.  All randomness in a
+            simulation should derive from these streams so that runs are
+            reproducible.
+        tracer: optional :class:`~repro.des.trace.Tracer` for debugging.
+        max_events: safety valve — :meth:`run` raises ``SchedulingError``
+            after this many events (guards against runaway protocol loops
+            in tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        max_events: int | None = None,
+    ):
+        self._heap: list[Timer] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processes: list[SimProcess] = []
+        self._failed: list[SimProcess] = []
+        self._current: SimProcess | None = None
+        self._token = threading.Semaphore(0)
+        self._running = False
+        self._closed = False
+        self._seed = seed
+        self._seedseq = np.random.SeedSequence(seed)
+        self._rng_cache: dict[str, np.random.Generator] = {}
+        self._tracer = tracer
+        self._max_events = max_events
+        self._event_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock and RNG
+    # ------------------------------------------------------------------ #
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def rng(self, name: str) -> np.random.Generator:
+        """A named, deterministic random stream derived from the master seed.
+
+        The same ``name`` always yields the same stream for a given
+        simulator seed, independent of creation order.
+        """
+        gen = self._rng_cache.get(name)
+        if gen is None:
+            import zlib
+
+            # zlib.crc32 (not hash()): Python string hashing is salted
+            # per-interpreter, which would break run-to-run determinism.
+            child = np.random.SeedSequence(
+                entropy=self._seedseq.entropy,
+                spawn_key=(zlib.crc32(name.encode()),),
+            )
+            gen = np.random.default_rng(child)
+            self._rng_cache[name] = gen
+        return gen
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Timer:
+        """Schedule ``fn()`` to run in scheduler context at virtual ``time``."""
+        self._check_open()
+        if time < self._now - 1e-15:
+            raise SchedulingError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        timer = Timer(max(time, self._now), next(self._seq), fn)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Schedule ``fn()`` to run ``delay`` seconds of virtual time from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn)
+
+    def spawn(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str | None = None,
+        start_at: float | None = None,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create a simulated process and schedule it to start.
+
+        Args:
+            fn: the process body; runs in its own thread under the virtual
+                clock.  Its return value is stored on ``proc.result``.
+            name: diagnostic name (auto-generated if omitted).
+            start_at: virtual time at which the process begins (default:
+                now).
+        """
+        self._check_open()
+        if name is None:
+            name = f"proc-{len(self._processes)}"
+        proc = SimProcess(self, fn, args, kwargs, name)
+        self._processes.append(proc)
+        proc.state = _READY
+        start = self._now if start_at is None else start_at
+        self.call_at(start, lambda: self._resume_process(proc))
+        self._trace_emit("spawn", name, f"start_at={start}")
+        proc._thread.start()
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # Process-side operations (must be called from inside a process)
+    # ------------------------------------------------------------------ #
+
+    def current_process(self) -> SimProcess:
+        """The process the calling thread is running as."""
+        proc = getattr(_tls, "proc", None)
+        if proc is None or proc.sim is not self:
+            raise NotInProcessError(
+                "this operation must be called from inside a simulated process"
+            )
+        return proc
+
+    def sleep(self, delay: float, *, interruptible: bool = False) -> Any:
+        """Advance this process's virtual time by ``delay`` seconds.
+
+        With ``interruptible=True``, another process may cut the sleep
+        short via :meth:`SimProcess.interrupt`; in that case the return
+        value is :data:`INTERRUPTED`, otherwise ``None``.  The caller can
+        compute the remaining time from :meth:`now`.
+        """
+        proc = self.current_process()
+        if delay < 0:
+            raise SchedulingError(f"negative sleep {delay}")
+        timer = self.call_after(delay, lambda: self._make_ready(proc, detail="wake"))
+        if interruptible:
+            proc._sleep_timer = timer
+        proc.state = _BLOCKED
+        proc.blocked_on = f"sleep({delay:g})"
+        self._trace_emit("sleep", proc.name, f"{delay:g}")
+        proc._yield_and_wait()
+        proc._sleep_timer = None
+        proc.blocked_on = ""
+        if proc._interrupted:
+            proc._interrupted = False
+            return INTERRUPTED
+        return None
+
+    def block(self, reason: str = "blocked") -> None:
+        """Block the calling process until :meth:`wake` is called on it.
+
+        This is the low-level primitive used by the synchronization
+        objects in :mod:`repro.des.sync`; application code should prefer
+        those.
+        """
+        proc = self.current_process()
+        proc.state = _BLOCKED
+        proc.blocked_on = reason
+        self._trace_emit("block", proc.name, reason)
+        proc._yield_and_wait()
+        proc.blocked_on = ""
+
+    def wake(self, proc: SimProcess) -> None:
+        """Schedule ``proc`` (blocked via :meth:`block`) to resume now."""
+        self._make_ready(proc, detail="wake")
+
+    def checkpoint_yield(self) -> None:
+        """Yield to the scheduler for zero virtual time.
+
+        Lets same-timestamp events (e.g. a pending message delivery) run
+        before the caller proceeds.  Useful in polling loops.
+        """
+        self.sleep(0.0)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the heap is exhausted (or virtual time ``until``).
+
+        Returns the final virtual time.  Raises:
+            * :class:`ProcessFailed` if any process raised an exception.
+            * :class:`DeadlockError` if live processes remain blocked with
+              no pending events (a genuine distributed deadlock).
+        """
+        self._check_open()
+        if self._running:
+            raise SchedulingError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                timer = heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                if until is not None and timer.time > until:
+                    heapq.heappush(self._heap, timer)
+                    self._now = until
+                    return self._now
+                self._event_count += 1
+                if self._max_events is not None and self._event_count > self._max_events:
+                    raise SchedulingError(
+                        f"exceeded max_events={self._max_events}; "
+                        "possible runaway protocol loop"
+                    )
+                self._now = timer.time
+                timer.action()
+                self._raise_if_failed()
+            blocked = [p for p in self._processes if p.alive]
+            if blocked:
+                lines = ", ".join(f"{p.name}<-[{p.blocked_on or p.state}]" for p in blocked)
+                raise DeadlockError(
+                    f"no pending events at t={self._now:g} but "
+                    f"{len(blocked)} process(es) blocked: {lines}"
+                )
+            return self._now
+        finally:
+            self._running = False
+
+    def _raise_if_failed(self) -> None:
+        if self._failed:
+            p = self._failed.pop(0)
+            exc = p.exception
+            assert exc is not None
+            p.state = _KILLED  # don't re-raise on the next event
+            raise ProcessFailed(p.name, exc) from exc
+
+    # ------------------------------------------------------------------ #
+    # Internal transfer of control
+    # ------------------------------------------------------------------ #
+
+    def _resume_process(self, proc: SimProcess) -> None:
+        if not proc.alive:
+            return
+        previous = self._current
+        self._current = proc
+        self._trace_emit("start" if proc.state == _READY else "wake", proc.name, "")
+        proc._resume.release()
+        self._token.acquire()
+        self._current = previous
+
+    def _make_ready(self, proc: SimProcess, *, detail: str = "") -> Timer:
+        if not proc.alive:
+            raise SchedulingError(f"cannot wake non-live process {proc!r}")
+        proc.state = _READY
+        return self.call_at(self._now, lambda: self._resume_process(proc))
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Kill all live processes and join their threads.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for proc in self._processes:
+            if proc.alive and proc._thread.is_alive():
+                proc._killed = True
+                self._trace_emit("kill", proc.name, "")
+                proc._resume.release()
+                self._token.acquire()
+        for proc in self._processes:
+            if proc._thread.is_alive():
+                proc._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Simulator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SimClosedError("simulator is closed")
+
+    # ------------------------------------------------------------------ #
+    # Introspection / tracing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def processes(self) -> Iterable[SimProcess]:
+        return tuple(self._processes)
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far (a determinism fingerprint)."""
+        return self._event_count
+
+    def _trace_emit(self, kind: str, process: str, detail: str) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(TraceRecord(self._now, kind, process, detail))

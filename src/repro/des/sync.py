@@ -1,0 +1,245 @@
+"""Synchronization primitives built on the kernel's block/wake operations.
+
+All primitives are *simulation-side*: blocking a process costs zero wall
+time and suspends it in virtual time until another process (or a timer)
+fires the wake condition.  They are the building blocks for the message
+matching engine and the checkpoint control plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .errors import SchedulingError
+from .kernel import SimProcess, Simulator, Timer
+
+__all__ = ["Waiter", "TIMEOUT", "SimEvent", "Mailbox", "Gate"]
+
+
+class _Timeout:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<TIMEOUT>"
+
+
+#: Sentinel returned by timed waits that expired.
+TIMEOUT = _Timeout()
+
+
+class Waiter:
+    """A one-shot completion cell: one process waits, anyone fires.
+
+    ``fire(value)`` may happen before or after ``wait()``; the value is
+    delivered either way.  This is the primitive underlying simulated MPI
+    requests (each pending receive/collective-exit owns a Waiter).
+    """
+
+    __slots__ = ("sim", "_proc", "_value", "_fired", "_timer", "label")
+
+    def __init__(self, sim: Simulator, label: str = "waiter"):
+        self.sim = sim
+        self.label = label
+        self._proc: SimProcess | None = None
+        self._value: Any = None
+        self._fired = False
+        self._timer: Timer | None = None
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def peek(self) -> Any:
+        """The fired value (only meaningful once :attr:`fired` is True)."""
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Complete the waiter, waking the waiting process if any.
+
+        Firing twice is an error (one-shot semantics keep protocol bugs
+        visible instead of silently overwriting completion values).
+        """
+        if self._fired:
+            raise SchedulingError(f"waiter {self.label!r} fired twice")
+        self._fired = True
+        self._value = value
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._proc is not None:
+            proc, self._proc = self._proc, None
+            self.sim.wake(proc)
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block the calling process until fired; returns the fired value.
+
+        With ``timeout``, returns :data:`TIMEOUT` if the waiter did not
+        fire within that much virtual time.
+        """
+        if self._fired:
+            return self._value
+        proc = self.sim.current_process()
+        if self._proc is not None:
+            raise SchedulingError(f"waiter {self.label!r} already has a waiter")
+        self._proc = proc
+        if timeout is not None:
+            self._timer = self.sim.call_after(timeout, self._on_timeout)
+        self.sim.block(f"wait:{self.label}")
+        if self._fired:
+            return self._value
+        return TIMEOUT
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self._fired or self._proc is None:
+            return
+        proc, self._proc = self._proc, None
+        self.sim.wake(proc)
+
+
+class SimEvent:
+    """A broadcast flag: processes wait until some process sets it.
+
+    Unlike :class:`Waiter`, any number of processes may wait, and waiting
+    on an already-set event returns immediately.  Used for checkpoint
+    intent flags and phase barriers in the coordinator.
+    """
+
+    def __init__(self, sim: Simulator, label: str = "event"):
+        self.sim = sim
+        self.label = label
+        self._set = False
+        self._value: Any = None
+        self._waiters: list[SimProcess] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        """Set the flag and wake every waiting process.  Idempotent."""
+        if self._set:
+            return
+        self._set = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim.wake(proc)
+
+    def clear(self) -> None:
+        """Reset to unset (waiters registered afterwards will block)."""
+        self._set = False
+        self._value = None
+
+    def wait(self) -> Any:
+        """Block until set; returns the value passed to :meth:`set`."""
+        if self._set:
+            return self._value
+        proc = self.sim.current_process()
+        self._waiters.append(proc)
+        self.sim.block(f"event:{self.label}")
+        return self._value
+
+
+class Mailbox:
+    """An unbounded FIFO queue between processes.
+
+    ``put`` never blocks; ``get`` blocks until an item is available.
+    Delivery order is FIFO and deterministic.  This is the transport used
+    by the checkpoint control plane (coordinator <-> rank messages) —
+    deliberately separate from the simulated MPI data plane, mirroring
+    how MANA's coordinator messages ride on a DMTCP socket rather than
+    on MPI itself.
+    """
+
+    def __init__(self, sim: Simulator, label: str = "mailbox"):
+        self.sim = sim
+        self.label = label
+        self._items: deque[Any] = deque()
+        self._getters: deque[Waiter] = deque()
+        self._taps: list = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any, *, delay: float = 0.0) -> None:
+        """Deposit ``item``; with ``delay`` the deposit happens later in
+        virtual time (models control-plane latency)."""
+        if delay > 0.0:
+            self.sim.call_after(delay, lambda: self._deliver(item))
+        else:
+            self._deliver(item)
+
+    def _deliver(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().fire(item)
+        else:
+            self._items.append(item)
+        for tap in list(self._taps):
+            tap()
+
+    def add_tap(self, callback) -> None:
+        """Register a notification callback invoked (in scheduler context)
+        whenever an item is delivered.  The item itself still queues
+        normally — taps let a process blocked on *something else* learn
+        that control traffic arrived."""
+        self._taps.append(callback)
+
+    def remove_tap(self, callback) -> None:
+        try:
+            self._taps.remove(callback)
+        except ValueError:
+            pass
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Take the oldest item, blocking until one arrives.
+
+        Returns :data:`TIMEOUT` on expiry when ``timeout`` is given.
+        """
+        if self._items:
+            return self._items.popleft()
+        w = Waiter(self.sim, label=f"mailbox:{self.label}")
+        self._getters.append(w)
+        value = w.wait(timeout=timeout)
+        if value is TIMEOUT:
+            try:
+                self._getters.remove(w)
+            except ValueError:  # pragma: no cover - already consumed
+                pass
+        return value
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking take: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+
+class Gate:
+    """A counting rendezvous: opens once ``n`` processes have arrived.
+
+    Used by tests and by the world bootstrap to make sure all ranks are
+    up before time starts advancing.
+    """
+
+    def __init__(self, sim: Simulator, n: int, label: str = "gate"):
+        if n < 1:
+            raise SchedulingError(f"gate needs n >= 1, got {n}")
+        self.sim = sim
+        self.n = n
+        self.label = label
+        self._arrived = 0
+        self._event = SimEvent(sim, label=f"gate:{label}")
+
+    @property
+    def arrived(self) -> int:
+        return self._arrived
+
+    def arrive_and_wait(self) -> None:
+        """Arrive; block until all ``n`` processes have arrived."""
+        self._arrived += 1
+        if self._arrived > self.n:
+            raise SchedulingError(f"gate {self.label!r} overfilled ({self._arrived}/{self.n})")
+        if self._arrived == self.n:
+            self._event.set()
+        else:
+            self._event.wait()

@@ -1,0 +1,29 @@
+"""Experiment harness: runners and per-figure experiment drivers."""
+
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    fig5a,
+    fig5b,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+)
+from .runner import RunResult, launch_run, restart_run
+
+__all__ = [
+    "RunResult",
+    "launch_run",
+    "restart_run",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "table1",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+]

@@ -1,0 +1,229 @@
+"""The experiment runner: launch an app under a protocol, measure, checkpoint.
+
+``launch_run`` covers every execution mode the paper's evaluation needs:
+
+* native / 2PC / CC protocol selection,
+* optional checkpoint requests at given virtual times (Figure 9),
+* restart from a set of checkpoint images (restart-time measurement and
+  transparency tests),
+* per-run virtual-time, call-rate, and checkpoint statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..des import Gate, Simulator
+from ..mana import CheckpointCoordinator, CheckpointImage, CheckpointRecord, Session
+from ..mana.vcomm import session_scope
+from ..netmodel import ClusterTopology, ModelParams, StorageModel, make_topology
+from ..simmpi import World
+from ..apps.base import AppContext, MpiApp
+
+__all__ = ["RunResult", "launch_run", "restart_run"]
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulated job."""
+
+    app: str
+    protocol: str
+    nprocs: int
+    nnodes: int
+    #: Virtual seconds from all-ranks-started to last rank finished.
+    runtime: float
+    per_rank: list[Any]
+    coll_calls: int
+    p2p_calls: int
+    checkpoints: list[CheckpointRecord] = field(default_factory=list)
+    #: Restart-only: modelled image-read time charged before resume.
+    restart_read_time: float = 0.0
+    #: Restart-only: virtual time at which the last rank finished
+    #: rebuilding its lower half (the paper's "restart time").
+    restart_ready_time: float = 0.0
+    sim_events: int = 0
+
+    @property
+    def coll_rate(self) -> float:
+        """Mean collective calls per second per rank (Table 1)."""
+        if self.runtime <= 0:
+            return 0.0
+        return self.coll_calls / self.nprocs / self.runtime
+
+    @property
+    def p2p_rate(self) -> float:
+        if self.runtime <= 0:
+            return 0.0
+        return self.p2p_calls / self.nprocs / self.runtime
+
+    def committed_images(self, index: int = -1) -> dict[int, CheckpointImage]:
+        committed = [r for r in self.checkpoints if r.committed]
+        if not committed:
+            raise ValueError("run committed no checkpoints")
+        return committed[index].images
+
+
+def launch_run(
+    app_factory: Callable[[], MpiApp],
+    nprocs: int,
+    *,
+    protocol: str = "native",
+    topo: ClusterTopology | None = None,
+    params: ModelParams | None = None,
+    ppn: int | None = None,
+    seed: int = 0,
+    checkpoint_at: Sequence[float] = (),
+    storage: StorageModel | None = None,
+    restore_images: dict[int, CheckpointImage] | None = None,
+    max_events: int | None = None,
+) -> RunResult:
+    """Run one simulated MPI job to completion and return measurements.
+
+    Args:
+        app_factory: zero-argument callable producing the app instance
+            (one per rank, so per-rank state never aliases).
+        nprocs: number of MPI ranks.
+        protocol: ``"native"``, ``"2pc"``, or ``"cc"``.
+        checkpoint_at: virtual times at which the coordinator requests a
+            checkpoint (requires a non-native protocol).
+        restore_images: restart from this checkpoint set instead of a
+            fresh start; the modelled image-read time is charged before
+            ranks resume.
+    """
+    if topo is None:
+        topo = make_topology(nprocs, ppn=ppn, params=params)
+    if topo.nprocs != nprocs:
+        raise ValueError(f"topology is for {topo.nprocs} ranks, asked for {nprocs}")
+    if checkpoint_at and protocol == "native":
+        raise ValueError("native runs cannot be checkpointed (no wrapper layer)")
+    if restore_images is not None:
+        if sorted(restore_images) != list(range(nprocs)):
+            raise ValueError("restore_images must cover every rank")
+        if restore_images[0].nprocs != nprocs:
+            raise ValueError(
+                f"images were taken on {restore_images[0].nprocs} ranks, "
+                f"cannot restart on {nprocs}"
+            )
+        img_protocol = restore_images[0].protocol
+        if img_protocol != protocol:
+            raise ValueError(
+                f"images were taken under {img_protocol!r}, cannot restart as {protocol!r}"
+            )
+
+    sim = Simulator(seed=seed, max_events=max_events)
+    try:
+        world = World(sim, topo)
+        storage = storage or StorageModel()
+        coordinator = None
+        if protocol != "native":
+            coordinator = CheckpointCoordinator(
+                sim, protocol, storage=storage, nnodes=topo.nnodes
+            )
+
+        sessions: dict[int, Session] = {}
+        restart_read_time = 0.0
+        if restore_images is None:
+            for rank in range(nprocs):
+                sessions[rank] = Session(world, rank, protocol, coordinator)
+        else:
+            total_bytes = sum(im.declared_bytes for im in restore_images.values())
+            restart_read_time = storage.read_time(total_bytes, topo.nnodes)
+            for rank in range(nprocs):
+                sessions[rank] = Session.from_image(
+                    world, restore_images[rank], coordinator
+                )
+        for sess in sessions.values():
+            sess.wire_peers(sessions)
+
+        gate = Gate(sim, nprocs, label="mpi_init")
+        procs = {}
+        apps = {rank: app_factory() for rank in range(nprocs)}
+        ready_times: list[float] = []
+
+        def make_body(rank: int) -> Callable[[], Any]:
+            def body() -> Any:
+                sess = sessions[rank]
+                with session_scope(sess):
+                    gate.arrive_and_wait()
+                    if restore_images is not None:
+                        # Read the image back from storage, then rebuild
+                        # the lower half (fresh communicators, re-posted
+                        # receives) before the application resumes.
+                        sim.sleep(restart_read_time)
+                        sess.rebuild_lower()
+                        sess.prepare_protocol()
+                        ready_times.append(sim.now())
+                    else:
+                        sess.prepare_protocol()
+                    ctx = AppContext(sess, seed=seed)
+                    result = apps[rank].run(ctx)
+                    sess.on_app_finished()
+                    return result
+
+            return body
+
+        for rank in range(nprocs):
+            proc = sim.spawn(make_body(rank), name=f"rank{rank}")
+            world.register_process(proc, rank)
+            procs[rank] = proc
+
+        if coordinator is not None:
+            coordinator.attach(sessions, procs)
+            for t in checkpoint_at:
+                sim.call_at(t, coordinator.request_checkpoint)
+
+        end = sim.run()
+        app0 = apps[0]
+        return RunResult(
+            app=app0.name,
+            protocol=protocol,
+            nprocs=nprocs,
+            nnodes=topo.nnodes,
+            runtime=end,
+            per_rank=[procs[r].result for r in range(nprocs)],
+            coll_calls=world.stats.total_coll(),
+            p2p_calls=world.stats.total_p2p(),
+            checkpoints=list(coordinator.records) if coordinator else [],
+            restart_read_time=restart_read_time,
+            restart_ready_time=max(ready_times) if ready_times else 0.0,
+            sim_events=sim.event_count,
+        )
+    finally:
+        sim.close()
+        # Simulations leave reference cycles (processes <-> closures <->
+        # sites holding numpy payloads); collect eagerly so sweeping
+        # experiments don't accumulate multi-GB garbage between runs.
+        import gc
+
+        gc.collect()
+
+
+def restart_run(
+    app_factory: Callable[[], MpiApp],
+    images: dict[int, CheckpointImage],
+    *,
+    topo: ClusterTopology | None = None,
+    params: ModelParams | None = None,
+    ppn: int | None = None,
+    seed: int = 0,
+    storage: StorageModel | None = None,
+    checkpoint_at: Sequence[float] = (),
+) -> RunResult:
+    """Restart a job from a checkpoint set (a fresh lower half, as in
+    MANA: a new 'trivial' MPI job adopts the images)."""
+    nprocs = len(images)
+    protocol = images[0].protocol
+    return launch_run(
+        app_factory,
+        nprocs,
+        protocol=protocol,
+        topo=topo,
+        params=params,
+        ppn=ppn,
+        seed=seed,
+        storage=storage,
+        restore_images=images,
+        checkpoint_at=checkpoint_at,
+    )

@@ -1,0 +1,328 @@
+"""The checkpoint coordinator — the DMTCP-coordinator analog.
+
+The coordinator is *event-driven*: it never blocks a simulated process.
+Ranks talk to it over the control plane (each message pays the control
+latency), and it drives the checkpoint state machine:
+
+    idle -> [collect SEQ reports (CC only, Algorithm 1)]
+         -> draining (ranks run to their targets; 2PC ranks stall at
+            trivial barriers)
+         -> confirming (quiescence double-check)
+         -> committing (drain non-blocking collectives; exchange p2p
+            counts; drain in-flight p2p; write images)
+         -> idle
+
+Checkpoint timing (request-to-written, phase breakdown) is recorded per
+checkpoint — the measurement behind Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from ..core import PROTOCOLS, QuiescenceTracker
+from ..core.protocol import ProtocolError
+from ..netmodel import StorageModel
+from .image import CheckpointImage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..des import SimProcess, Simulator
+    from .session import Session
+
+__all__ = ["CheckpointCoordinator", "CheckpointRecord"]
+
+
+@dataclass
+class CheckpointRecord:
+    """Timing and contents of one checkpoint attempt."""
+
+    ckpt_id: int
+    protocol: str
+    t_request: float
+    t_targets: float | None = None
+    t_quiesced: float | None = None
+    t_drained: float | None = None
+    t_written: float | None = None
+    t_resumed: float | None = None
+    aborted: bool = False
+    abort_reason: str = ""
+    images: dict[int, CheckpointImage] = field(default_factory=dict)
+    total_image_bytes: int = 0
+    #: Request-time SEQ tables (CC only): rank -> {ggid: seq}.  Retained
+    #: so tests can compare the online cut against the offline
+    #: topological-sort oracle.
+    seq_reports: dict[int, dict[int, int]] = field(default_factory=dict)
+    #: The targets computed from the reports (Algorithm 1's output).
+    initial_targets: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.t_written is not None and not self.aborted
+
+    @property
+    def checkpoint_time(self) -> float:
+        """Request-to-images-written duration (Figure 9's checkpoint time)."""
+        if self.t_written is None:
+            raise ValueError("checkpoint did not complete")
+        return self.t_written - self.t_request
+
+    @property
+    def drain_time(self) -> float:
+        if self.t_drained is None:
+            raise ValueError("checkpoint did not reach the drain phase")
+        return self.t_drained - self.t_request
+
+
+class CheckpointCoordinator:
+    """Protocol-agnostic coordinator; protocol specifics via CoordinatorLogic."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        protocol_name: str,
+        *,
+        storage: StorageModel | None = None,
+        nnodes: int = 1,
+    ):
+        if protocol_name not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol_name!r}")
+        _proto, logic_cls = PROTOCOLS[protocol_name]
+        self.sim = sim
+        self.protocol_name = protocol_name
+        self.logic = logic_cls()
+        self.storage = storage or StorageModel()
+        self.nnodes = nnodes
+        self.sessions: dict[int, "Session"] = {}
+        self.procs: dict[int, "SimProcess"] = {}
+        self.records: list[CheckpointRecord] = []
+        self.finished_ranks: set[int] = set()
+        self._state = "idle"
+        self._next_ckpt_id = 0
+        self._deferred_requests = 0
+        self._tracker: QuiescenceTracker | None = None
+        self._record: CheckpointRecord | None = None
+        self._seq_reports: dict[int, dict[int, int]] = {}
+        self._nbc_reports: dict[int, dict] = {}
+        self._p2p_done: dict[int, int] = {}
+        self._written: dict[int, CheckpointImage] = {}
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+
+    def attach(self, sessions: dict[int, "Session"], procs: dict[int, "SimProcess"]) -> None:
+        self.sessions = sessions
+        self.procs = procs
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _send_to_rank(self, rank: int, msg: tuple) -> None:
+        sess = self.sessions[rank]
+        latency = sess.overheads.control_latency
+        sess.control.put(msg, delay=latency)
+        proc = self.procs.get(rank)
+        if proc is not None and proc.alive:
+            # Interrupt interruptible compute so the rank notices promptly
+            # (the DMTCP signal analog); a no-op for ranks blocked in MPI.
+            self.sim.call_after(latency, lambda: proc.alive and proc.interrupt())
+
+    def _broadcast(self, msg: tuple) -> None:
+        for rank in self.sessions:
+            self._send_to_rank(rank, msg)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint request entry point
+    # ------------------------------------------------------------------ #
+
+    def request_checkpoint(self) -> None:
+        """Begin a checkpoint now.  Schedule with ``sim.call_at``.
+
+        A request arriving while a checkpoint is in progress is deferred
+        until the current one commits (the DMTCP coordinator serializes
+        checkpoints the same way).
+        """
+        if not self.sessions:
+            raise ProtocolError("coordinator has no attached sessions")
+        if self._state != "idle":
+            self._deferred_requests += 1
+            return
+        ckpt_id = self._next_ckpt_id
+        self._next_ckpt_id += 1
+        self._record = CheckpointRecord(
+            ckpt_id=ckpt_id,
+            protocol=self.protocol_name,
+            t_request=self.sim.now(),
+        )
+        self.records.append(self._record)
+        if self.finished_ranks:
+            self._record.aborted = True
+            self._record.abort_reason = (
+                f"ranks {sorted(self.finished_ranks)} already finished"
+            )
+            self._record = None
+            return
+        self._tracker = QuiescenceTracker(nprocs=self.nprocs)
+        self._seq_reports.clear()
+        self._nbc_reports.clear()
+        self._p2p_done.clear()
+        self._written.clear()
+        self._state = "collecting" if self.logic.collects_seq_reports else "draining"
+        self._broadcast(("intent", ckpt_id))
+        if self.logic.collects_seq_reports:
+            # Algorithm 1, out-of-band: the per-rank checkpoint thread
+            # reads the wrapper's SEQ table at intent-delivery time and
+            # reports it without the main thread's cooperation.  Reading
+            # at delivery time guarantees any increment made before the
+            # rank could learn of the checkpoint is included in the
+            # global max — otherwise that operation could be buried
+            # inside a blocking collective with no way to raise targets.
+            for rank in self.sessions:
+                sess = self.sessions[rank]
+                latency = sess.overheads.control_latency
+
+                def report(rank: int = rank, sess=sess) -> None:
+                    self.deliver(("seq_report", rank, dict(sess.seq.seq)))
+
+                self.sim.call_after(latency * 1.0000001, report)
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "finished":
+            self.finished_ranks.add(msg[1])
+            return
+        if self._state == "idle":
+            raise ProtocolError(f"coordinator idle but received {msg!r}")
+        handler = getattr(self, f"_on_{kind}", None)
+        if handler is None:
+            raise ProtocolError(f"coordinator cannot handle {msg!r}")
+        handler(msg)
+
+    # -- phase 1 (CC): Algorithm 1 ---------------------------------------- #
+
+    def _on_seq_report(self, msg: tuple) -> None:
+        _kind, rank, table = msg
+        if self._state != "collecting":
+            raise ProtocolError(f"seq report in state {self._state!r}")
+        self._seq_reports[rank] = table
+        if len(self._seq_reports) == self.nprocs:
+            targets = self.logic.compute_targets(self._seq_reports)
+            assert self._record is not None
+            self._record.seq_reports = {
+                r: dict(t) for r, t in self._seq_reports.items()
+            }
+            self._record.initial_targets = dict(targets)
+            self._record.t_targets = self.sim.now()
+            self._state = "draining"
+            self._broadcast(("targets", targets))
+            # Some ranks may already be parked (they were idle when the
+            # intent arrived); re-check quiescence right away.
+            self._maybe_confirm()
+
+    # -- phase 2: drain to the cut ------------------------------------------ #
+
+    def _on_parked(self, msg: tuple) -> None:
+        _kind, rank, gen, sent, recvd = msg
+        assert self._tracker is not None
+        self._tracker.on_parked(rank, gen, sent, recvd)
+        if self._state in ("draining", "confirming"):
+            self._state = "draining"
+            self._maybe_confirm()
+
+    def _on_unparked(self, msg: tuple) -> None:
+        assert self._tracker is not None
+        self._tracker.on_unparked(msg[1])
+        if self._state == "confirming":
+            self._state = "draining"
+
+    def _maybe_confirm(self) -> None:
+        assert self._tracker is not None
+        if self._state == "draining" and self._tracker.candidate():
+            self._tracker.begin_confirm()
+            self._state = "confirming"
+            self._broadcast(("confirm?",))
+
+    def _on_confirm(self, msg: tuple) -> None:
+        _kind, rank, still_parked, sent, recvd = msg
+        assert self._tracker is not None
+        if self._state != "confirming":
+            return  # stale vote from an aborted round
+        self._tracker.on_confirm_vote(rank, still_parked, sent, recvd)
+        if not self._tracker.confirming:
+            self._state = "draining"
+            self._maybe_confirm()
+            return
+        if self._tracker.confirmed():
+            assert self._record is not None
+            self._record.t_quiesced = self.sim.now()
+            self._state = "commit_nbc"
+            self._broadcast(("commit",))
+
+    # -- phase 3: commit ------------------------------------------------------ #
+
+    def _on_nbc_done(self, msg: tuple) -> None:
+        _kind, rank, sent_map = msg
+        if self._state != "commit_nbc":
+            raise ProtocolError(f"nbc_done in state {self._state!r}")
+        self._nbc_reports[rank] = sent_map
+        if len(self._nbc_reports) == self.nprocs:
+            expected: dict[int, dict[Any, int]] = {r: {} for r in self.sessions}
+            for sender, sent_map in self._nbc_reports.items():
+                for (ckey, dst), n in sent_map.items():
+                    bucket = expected[dst]
+                    key = (ckey, sender)
+                    bucket[key] = bucket.get(key, 0) + n
+            self._state = "commit_p2p"
+            for rank in self.sessions:
+                self._send_to_rank(rank, ("drain_p2p", expected[rank]))
+
+    def _on_p2p_done(self, msg: tuple) -> None:
+        _kind, rank, nbytes = msg
+        if self._state != "commit_p2p":
+            raise ProtocolError(f"p2p_done in state {self._state!r}")
+        self._p2p_done[rank] = nbytes
+        if len(self._p2p_done) == self.nprocs:
+            assert self._record is not None
+            self._record.t_drained = self.sim.now()
+            total = sum(self._p2p_done.values())
+            self._record.total_image_bytes = total
+            duration = self.storage.write_time(total, self.nnodes)
+            self._state = "commit_write"
+            self._broadcast(("snapshot", duration))
+
+    def _on_written(self, msg: tuple) -> None:
+        _kind, rank, image = msg
+        if self._state != "commit_write":
+            raise ProtocolError(f"written in state {self._state!r}")
+        self._written[rank] = image
+        if len(self._written) == self.nprocs:
+            assert self._record is not None
+            self._record.t_written = self.sim.now()
+            self._record.images = dict(self._written)
+            self._state = "resuming"
+            self._broadcast(("resume",))
+            self._record.t_resumed = self.sim.now()
+            self._record = None
+            self._tracker = None
+            self._state = "idle"
+            if self._deferred_requests > 0:
+                self._deferred_requests -= 1
+                # Give ranks one control latency to process the resume.
+                latency = next(iter(self.sessions.values())).overheads.control_latency
+                self.sim.call_after(latency * 2, self.request_checkpoint)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def committed_checkpoints(self) -> list[CheckpointRecord]:
+        return [r for r in self.records if r.committed]

@@ -1,0 +1,102 @@
+"""Checkpoint image format.
+
+One image per rank, mirroring MANA: the image contains only upper-half
+state (application state + wrapper bookkeeping).  Nothing from the lower
+half (simulated MPI world, matching engines, requests) is serialized —
+pickling would fail loudly on those objects, which doubles as an
+automatic guard against lower-half leakage (tested).
+
+On-disk layout::
+
+    MAGIC (8 bytes) | version (u32) | rank (u32) | payload_len (u64)
+    | crc32 (u32) | pickle payload
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CheckpointImage", "ImageError", "write_image_file", "read_image_file"]
+
+MAGIC = b"MANAPY01"
+VERSION = 1
+_HEADER = struct.Struct("<8sIIQI")
+
+
+class ImageError(Exception):
+    """Corrupt, truncated, or incompatible checkpoint image."""
+
+
+@dataclass
+class CheckpointImage:
+    """Upper-half state of one rank at a committed checkpoint."""
+
+    rank: int
+    nprocs: int
+    protocol: str
+    ckpt_id: int
+    #: Application-owned state (the app's ``state`` dict).
+    app_state: dict = field(default_factory=dict)
+    #: SEQ/TARGET table snapshot (:meth:`SeqNumTable.snapshot`).
+    seq_table: dict = field(default_factory=dict)
+    #: ggid -> member world ranks.
+    ggid_peers: dict = field(default_factory=dict)
+    #: Communicator-creation replay log (op descriptors, in order).
+    creation_log: list = field(default_factory=list)
+    #: Interposition call counter at snapshot and at the last boundary.
+    call_index: int = 0
+    boundary_index: int = 0
+    #: Recorded wrapper-call results covering [boundary_index, call_index).
+    call_log: list = field(default_factory=list)
+    #: Drained point-to-point messages: (vcid, src_group_rank, tag, payload, nbytes).
+    drained: list = field(default_factory=list)
+    #: Virtual request table: vrid -> (kind, desc, done, value).
+    vreq_table: dict = field(default_factory=dict)
+    #: vrids of receives still pending at the cut (re-posted on restart).
+    pending_recvs: list = field(default_factory=list)
+    #: Seconds of an interrupted compute region left to run after restart.
+    remaining_compute: float = 0.0
+    #: Modelled upper-half memory (drives Fig. 9 write/read durations).
+    declared_bytes: int = 0
+    #: Number of MPI calls issued before the snapshot (diagnostics).
+    stats: dict = field(default_factory=dict)
+
+
+def write_image_file(image: CheckpointImage, directory: "Path | str") -> Path:
+    """Serialize one rank's image to ``<dir>/ckpt_<id>_rank<k>.manapy``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    path = directory / f"ckpt_{image.ckpt_id}_rank{image.rank}.manapy"
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, VERSION, image.rank, len(payload), crc))
+        fh.write(payload)
+    return path
+
+
+def read_image_file(path: "Path | str") -> CheckpointImage:
+    """Load and verify one image file."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if len(raw) < _HEADER.size:
+        raise ImageError(f"{path}: truncated header")
+    magic, version, rank, length, crc = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise ImageError(f"{path}: bad magic {magic!r}")
+    if version != VERSION:
+        raise ImageError(f"{path}: unsupported version {version}")
+    payload = raw[_HEADER.size : _HEADER.size + length]
+    if len(payload) != length:
+        raise ImageError(f"{path}: truncated payload")
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise ImageError(f"{path}: CRC mismatch (corrupt image)")
+    image = pickle.loads(payload)
+    if image.rank != rank:
+        raise ImageError(f"{path}: header rank {rank} != payload rank {image.rank}")
+    return image

@@ -1,0 +1,51 @@
+"""Checkpoint-set persistence: saving and loading a full job's images.
+
+A committed checkpoint produces one :class:`CheckpointImage` per rank.
+These helpers store them as individual files (as MANA does on Lustre)
+and load them back for a restart, verifying completeness and
+consistency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .image import CheckpointImage, ImageError, read_image_file, write_image_file
+
+__all__ = ["save_checkpoint_set", "load_checkpoint_set"]
+
+
+def save_checkpoint_set(
+    images: dict[int, CheckpointImage], directory: "Path | str"
+) -> list[Path]:
+    """Write every rank's image under ``directory``; returns the paths."""
+    if not images:
+        raise ImageError("empty checkpoint set")
+    nprocs = next(iter(images.values())).nprocs
+    if sorted(images) != list(range(nprocs)):
+        raise ImageError(
+            f"checkpoint set must cover ranks 0..{nprocs - 1}, got {sorted(images)}"
+        )
+    return [write_image_file(images[rank], directory) for rank in sorted(images)]
+
+
+def load_checkpoint_set(directory: "Path | str", ckpt_id: int = 0) -> dict[int, CheckpointImage]:
+    """Load a complete, consistent image set for one checkpoint id."""
+    directory = Path(directory)
+    paths = sorted(directory.glob(f"ckpt_{ckpt_id}_rank*.manapy"))
+    if not paths:
+        raise ImageError(f"no checkpoint {ckpt_id} images under {directory}")
+    images = {}
+    for path in paths:
+        image = read_image_file(path)
+        if image.ckpt_id != ckpt_id:
+            raise ImageError(f"{path}: ckpt id {image.ckpt_id} != {ckpt_id}")
+        images[image.rank] = image
+    nprocs = next(iter(images.values())).nprocs
+    missing = set(range(nprocs)) - set(images)
+    if missing:
+        raise ImageError(f"incomplete checkpoint set: missing ranks {sorted(missing)}")
+    protocols = {im.protocol for im in images.values()}
+    if len(protocols) > 1:
+        raise ImageError(f"inconsistent protocols across images: {protocols}")
+    return images

@@ -1,0 +1,288 @@
+"""Virtualized MPI handles — MANA's upper-half object model.
+
+MANA decouples the application from the MPI library by giving the
+application *virtual* handles that the wrapper layer maps to real
+lower-half handles.  At restart the lower half is rebuilt and the map is
+re-populated, while the virtual handles the application holds (possibly
+inside its checkpointed state) stay valid.
+
+* :class:`VirtualComm` — pickles as just its id; every method resolves
+  the current rank's :class:`~repro.mana.session.Session` through a
+  thread-local and forwards through the interposition layer.
+* :class:`VirtualRequest` — the upper-half face of a non-blocking
+  operation; pending receive descriptors survive checkpoints and are
+  re-posted on restart.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence, TYPE_CHECKING
+
+from ..simmpi import ANY_SOURCE, ANY_TAG, SUM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simmpi import ReduceOp
+    from .session import Session
+
+__all__ = ["VirtualComm", "VirtualRequest", "current_session", "session_scope"]
+
+_tls = threading.local()
+
+
+def current_session() -> "Session":
+    """The session of the simulated rank running on this thread."""
+    sess = getattr(_tls, "session", None)
+    if sess is None:
+        raise RuntimeError(
+            "no MANA session bound to this process; virtual handles can "
+            "only be used inside a rank launched by the runner"
+        )
+    return sess
+
+
+class session_scope:
+    """Binds a session to the current (simulated-process) thread."""
+
+    def __init__(self, session: "Session"):
+        self.session = session
+
+    def __enter__(self) -> "Session":
+        self._prev = getattr(_tls, "session", None)
+        _tls.session = self.session
+        return self.session
+
+    def __exit__(self, *exc: Any) -> None:
+        _tls.session = self._prev
+
+
+class VirtualComm:
+    """Upper-half communicator handle.
+
+    Pickling keeps only the id, so application state containing these
+    handles can be checkpointed; after restart the id resolves against
+    the rebuilt lower half.
+    """
+
+    __slots__ = ("vcid",)
+
+    def __init__(self, vcid: int):
+        self.vcid = vcid
+
+    def __getstate__(self) -> int:
+        return self.vcid
+
+    def __setstate__(self, state: int) -> None:
+        self.vcid = state
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VirtualComm) and other.vcid == self.vcid
+
+    def __hash__(self) -> int:
+        return hash(("vcomm", self.vcid))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VirtualComm #{self.vcid}>"
+
+    # -- identity -------------------------------------------------------- #
+
+    def rank(self) -> int:
+        return current_session().comm_rank(self.vcid)
+
+    @property
+    def size(self) -> int:
+        return current_session().comm_size(self.vcid)
+
+    @property
+    def ggid(self) -> int:
+        return current_session().comm_ggid(self.vcid)
+
+    def world_ranks(self) -> tuple[int, ...]:
+        return current_session().comm_world_ranks(self.vcid)
+
+    # -- point-to-point ---------------------------------------------------- #
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        current_session().p2p_send(self.vcid, obj, dest, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "VirtualRequest":
+        return current_session().p2p_isend(self.vcid, obj, dest, tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        return current_session().p2p_recv(self.vcid, source, tag)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "VirtualRequest":
+        return current_session().p2p_irecv(self.vcid, source, tag)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        req = self.irecv(source=source, tag=recvtag)
+        self.send(obj, dest=dest, tag=sendtag)
+        return req.wait()
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        return current_session().p2p_iprobe(self.vcid, source, tag)
+
+    # -- blocking collectives ---------------------------------------------- #
+
+    def barrier(self) -> None:
+        current_session().collective(self.vcid, "barrier", None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return current_session().collective(self.vcid, "bcast", obj, root=root)
+
+    def reduce(self, obj: Any, op: "ReduceOp | str" = SUM, root: int = 0) -> Any:
+        return current_session().collective(self.vcid, "reduce", obj, root=root, op=op)
+
+    def allreduce(self, obj: Any, op: "ReduceOp | str" = SUM) -> Any:
+        return current_session().collective(self.vcid, "allreduce", obj, op=op)
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        return current_session().collective(self.vcid, "alltoall", objs)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return current_session().collective(self.vcid, "allgather", obj)
+
+    def gather(self, obj: Any, root: int = 0) -> Any:
+        return current_session().collective(self.vcid, "gather", obj, root=root)
+
+    def scatter(self, objs: Any, root: int = 0) -> Any:
+        return current_session().collective(self.vcid, "scatter", objs, root=root)
+
+    def scan(self, obj: Any, op: "ReduceOp | str" = SUM) -> Any:
+        return current_session().collective(self.vcid, "scan", obj, op=op)
+
+    def reduce_scatter(self, objs: Sequence[Any], op: "ReduceOp | str" = SUM) -> Any:
+        return current_session().collective(self.vcid, "reduce_scatter", objs, op=op)
+
+    # -- non-blocking collectives ------------------------------------------ #
+
+    def ibarrier(self) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "barrier", None)
+
+    def ibcast(self, obj: Any, root: int = 0) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "bcast", obj, root=root)
+
+    def ireduce(self, obj: Any, op: "ReduceOp | str" = SUM, root: int = 0) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "reduce", obj, root=root, op=op)
+
+    def iallreduce(self, obj: Any, op: "ReduceOp | str" = SUM) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "allreduce", obj, op=op)
+
+    def ialltoall(self, objs: Sequence[Any]) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "alltoall", objs)
+
+    def iallgather(self, obj: Any) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "allgather", obj)
+
+    def igather(self, obj: Any, root: int = 0) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "gather", obj, root=root)
+
+    def iscan(self, obj: Any, op: "ReduceOp | str" = SUM) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "scan", obj, op=op)
+
+    def ireduce_scatter(self, objs: Sequence[Any], op: "ReduceOp | str" = SUM) -> "VirtualRequest":
+        return current_session().icollective(self.vcid, "reduce_scatter", objs, op=op)
+
+    # -- communicator management -------------------------------------------- #
+
+    def split(self, color: "int | None", key: int | None = None) -> "VirtualComm | None":
+        return current_session().comm_split(self.vcid, color, key)
+
+    def dup(self) -> "VirtualComm":
+        return current_session().comm_dup(self.vcid)
+
+    def create_group(self, world_ranks: Sequence[int]) -> "VirtualComm":
+        return current_session().comm_create_group(self.vcid, tuple(world_ranks))
+
+
+class VirtualRequest:
+    """Upper-half request handle.
+
+    ``kind`` is ``"send"``, ``"recv"``, or ``"coll"``; ``desc`` holds the
+    re-post descriptor for pending receives ``(vcid, source, tag)``.
+    The lower-half request reference is transient (never pickled).
+    """
+
+    __slots__ = ("vrid", "kind", "desc", "done", "value", "_lower", "internal")
+
+    def __init__(self, vrid: int, kind: str, desc: tuple = (), *, internal: bool = False):
+        self.vrid = vrid
+        self.kind = kind
+        self.desc = desc
+        self.done = False
+        self.value: Any = None
+        self._lower = None
+        #: True for requests created inside blocking wrappers (recv/send);
+        #: these are not application-visible and are never re-posted at
+        #: restart (the blocking call re-executes instead).
+        self.internal = internal
+
+    @property
+    def is_collective(self) -> bool:
+        return self.kind == "coll"
+
+    def wait(self) -> Any:
+        """MPI_Wait through the interposition layer."""
+        return current_session().vreq_wait(self)
+
+    def test(self) -> tuple[bool, Any]:
+        """MPI_Test through the interposition layer."""
+        return current_session().vreq_test(self)
+
+    # -- pickling (checkpoint image content) -------------------------------- #
+
+    def __getstate__(self) -> tuple:
+        return (self.vrid, self.kind, self.desc, self.done, self.value)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.vrid, self.kind, self.desc, self.done, self.value = state
+        self._lower = None
+        self.internal = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        flag = "done" if self.done else "pending"
+        return f"<VirtualRequest #{self.vrid} {self.kind} {flag}>"
+
+
+def wait_all(requests: "list[VirtualRequest]") -> list[Any]:
+    """MPI_Waitall over virtual requests; returns the values in order.
+
+    Waiting in index order is semantically equivalent to waiting on all:
+    each wait blocks only until that request's completion time.
+    """
+    return [r.wait() for r in requests]
+
+
+def wait_any(requests: "list[VirtualRequest]") -> tuple[int, Any]:
+    """MPI_Waitany over virtual requests: (index, value) of the first
+    completion (lowest index among already-complete ones)."""
+    if not requests:
+        raise ValueError("wait_any on empty request list")
+    session = current_session()
+    while True:
+        for i, r in enumerate(requests):
+            if r.done:
+                return i, r.wait()
+        # Poll at the MPI_Test granularity until something completes.
+        flag, value = requests[0].test()
+        if flag:
+            return 0, value
+        session.sim.sleep(session.overheads.ibarrier_poll_gap)
+
+
+def test_all(requests: "list[VirtualRequest]") -> tuple[bool, "list[Any] | None"]:
+    """MPI_Testall over virtual requests."""
+    values = []
+    for r in requests:
+        flag, value = r.test()
+        if not flag:
+            return False, None
+        values.append(value)
+    return True, values

@@ -1,0 +1,47 @@
+"""Network and storage cost models for the simulated cluster.
+
+* :class:`ModelParams` / :class:`LinkParams` / :class:`OverheadCosts` —
+  tunable constants (Hockney α–β links, per-call software costs).
+* :class:`ClusterTopology` — rank→node placement, intra/inter-node links.
+* :func:`make_solver` — per-collective causal cost engines.
+* :class:`StorageModel` — Lustre-like bandwidth saturation for Fig. 9.
+"""
+
+from .base import (
+    CollectiveTuning,
+    ComputeModel,
+    LinkParams,
+    ModelParams,
+    OverheadCosts,
+)
+from .collectives import (
+    COLLECTIVE_KINDS,
+    BcastSolver,
+    ExitSolver,
+    ReduceSolver,
+    SynchronizingSolver,
+    binomial_children,
+    binomial_parent,
+    make_solver,
+)
+from .storage import StorageModel
+from .topology import ClusterTopology, make_topology
+
+__all__ = [
+    "LinkParams",
+    "OverheadCosts",
+    "CollectiveTuning",
+    "ComputeModel",
+    "ModelParams",
+    "ClusterTopology",
+    "make_topology",
+    "ExitSolver",
+    "SynchronizingSolver",
+    "BcastSolver",
+    "ReduceSolver",
+    "make_solver",
+    "binomial_parent",
+    "binomial_children",
+    "COLLECTIVE_KINDS",
+    "StorageModel",
+]

@@ -1,0 +1,118 @@
+"""Base parameter types for the network cost model.
+
+The model follows Hockney's ``t(m) = alpha + m * beta`` form per link,
+extended with per-call software overheads.  All times are seconds, all
+sizes are bytes.
+
+Calibration note: the default constants are tuned so that a 512-rank
+4-byte broadcast costs a few microseconds — the regime where Slingshot-11
+sustains ~255k collective calls/sec (paper Table 1).  Absolute values are
+not the point; the *relative* behaviour of 2PC vs CC is what the model
+must reproduce, and that depends only on the synchronization structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """One link class: latency (s) + inverse bandwidth (s/byte)."""
+
+    latency: float
+    bandwidth: float  # bytes / second
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"negative latency {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class OverheadCosts:
+    """Per-call software costs used by the checkpointing protocols.
+
+    These model the costs the paper discusses qualitatively:
+
+    * ``wrapper_call`` — entering/leaving a MANA wrapper function.  Paid
+      by *every* interposed MPI call under 2PC and CC alike.
+    * ``seq_increment`` — the CC algorithm's only steady-state extra work:
+      bump ``SEQ[ggid]`` (Section 4.2.1, "inherently low overhead").
+    * ``test_call`` — one ``MPI_Test`` poll during drains.
+    * ``control_latency`` — latency of one out-of-band control message
+      (target updates ride ``MPI_Isend`` on a dedicated comm in the paper;
+      here they ride the control plane with this latency).
+    * ``ibarrier_poll_gap`` — 2PC's trivial-barrier test-loop poll spacing.
+    """
+
+    wrapper_call: float = 5.0e-8
+    seq_increment: float = 1.0e-8
+    test_call: float = 3.0e-8
+    control_latency: float = 2.0e-6
+    ibarrier_poll_gap: float = 1.0e-6
+
+
+@dataclass(frozen=True)
+class CollectiveTuning:
+    """Knobs of the per-collective cost engines.
+
+    * ``send_overhead`` — sender-side CPU gap between consecutive child
+      sends in a tree (serialization at the root of a Bcast).
+    * ``gamma_per_byte`` — reduction arithmetic cost per byte.
+    * ``min_stage`` — floor for one tree/round stage (models NIC/queue
+      fixed costs even on-node).
+    """
+
+    send_overhead: float = 2.0e-7
+    gamma_per_byte: float = 1.0e-10
+    min_stage: float = 1.0e-7
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Per-rank compute-time jitter between communication calls.
+
+    Real ranks never arrive at a collective simultaneously; OS noise and
+    data-dependent work skew them.  The skew is what an inserted barrier
+    (2PC) turns into waiting time, so it is the single most important
+    parameter for reproducing Figure 5a.
+
+    ``jitter_cv`` is the coefficient of variation of a lognormal-ish
+    jitter applied to nominal compute durations.
+    """
+
+    jitter_cv: float = 0.08
+    noise_floor: float = 2.0e-7
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Bundle of all model parameters used by a simulation."""
+
+    intra: LinkParams = field(default_factory=lambda: LinkParams(2.0e-7, 80e9))
+    inter: LinkParams = field(default_factory=lambda: LinkParams(6.0e-7, 25e9))
+    overheads: OverheadCosts = field(default_factory=OverheadCosts)
+    tuning: CollectiveTuning = field(default_factory=CollectiveTuning)
+    compute: ComputeModel = field(default_factory=ComputeModel)
+
+    @staticmethod
+    def perlmutter_like() -> "ModelParams":
+        """Defaults approximating a Slingshot-11 CPU partition."""
+        return ModelParams()
+
+    @staticmethod
+    def slow_network() -> "ModelParams":
+        """An OFED-InfiniBand-era network (for ablations: the regime where
+        2PC overhead mattered less because collectives were slow anyway)."""
+        return ModelParams(
+            intra=LinkParams(5.0e-7, 20e9),
+            inter=LinkParams(1.5e-6, 6e9),
+        )

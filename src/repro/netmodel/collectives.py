@@ -1,0 +1,375 @@
+"""Per-collective cost engines with *causal* incremental resolution.
+
+Each collective operation instance gets an :class:`ExitSolver`.  Group
+members report their arrival times one by one (in virtual time order);
+the solver returns exit times for every member whose exit has become
+determined.  The crucial property is **causality**: a member's exit may
+depend only on the arrivals of the members it actually waits for.
+
+* A binomial-tree ``MPI_Bcast`` is *not* synchronizing: the root and the
+  early ranks exit as soon as their part of the tree is done, even if a
+  leaf has not arrived yet.  (This is why MANA's 2PC inserted barrier is
+  so expensive in front of a Bcast — it converts this loose structure
+  into a full synchronization.)
+* ``MPI_Alltoall`` / ``MPI_Allreduce`` / ``MPI_Barrier`` / ``MPI_Allgather``
+  are synchronizing: nobody exits before everyone arrives, so an extra
+  barrier costs almost nothing on top (paper Section 5.1.1).
+
+Indices below are group-local (0..p-1); the ``world_ranks`` tuple maps
+them to world ranks for link-parameter lookup.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from .base import CollectiveTuning
+from .topology import ClusterTopology
+
+__all__ = [
+    "ExitSolver",
+    "SynchronizingSolver",
+    "BcastSolver",
+    "ReduceSolver",
+    "make_solver",
+    "COLLECTIVE_KINDS",
+    "binomial_parent",
+    "binomial_children",
+]
+
+#: Collective kinds understood by :func:`make_solver`.
+COLLECTIVE_KINDS = frozenset(
+    {
+        "barrier",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "alltoall",
+        "allgather",
+        "alltoallv",
+        "gather",
+        "scatter",
+        "scan",
+        "reduce_scatter",
+    }
+)
+
+#: Kinds with rooted (non-synchronizing) tree structure.
+ROOTED_KINDS = frozenset({"bcast", "scatter", "reduce", "gather"})
+
+
+def binomial_parent(vrank: int) -> int:
+    """Parent of ``vrank`` (> 0) in a binomial tree rooted at virtual rank 0."""
+    if vrank <= 0:
+        raise ValueError("root has no parent")
+    return vrank - (1 << (vrank.bit_length() - 1))
+
+
+def binomial_children(vrank: int, p: int) -> list[int]:
+    """Children of ``vrank`` in a binomial tree over ``p`` virtual ranks.
+
+    Children are returned largest-subtree-first, the send order used by
+    common MPI implementations (it minimizes the critical path).
+    """
+    if vrank == 0:
+        low = 0
+    else:
+        low = vrank.bit_length()
+    kids = []
+    k = low
+    while vrank + (1 << k) < p:
+        kids.append(vrank + (1 << k))
+        k += 1
+    kids.reverse()  # largest subtree first
+    return kids
+
+
+def subtree_size(vrank: int, p: int) -> int:
+    """Number of virtual ranks in the binomial subtree rooted at ``vrank``."""
+    size = 1
+    for c in binomial_children(vrank, p):
+        size += subtree_size(c, p)
+    return size
+
+
+class ExitSolver(ABC):
+    """Incrementally maps member arrival times to member exit times."""
+
+    #: True when no member may exit before every member has arrived.
+    synchronizing: bool = True
+
+    def __init__(
+        self,
+        world_ranks: tuple[int, ...],
+        topo: ClusterTopology,
+        tuning: CollectiveTuning,
+        nbytes: int,
+        root_index: int = 0,
+    ):
+        if not world_ranks:
+            raise ValueError("empty group")
+        if not 0 <= root_index < len(world_ranks):
+            raise ValueError(f"root index {root_index} out of range")
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        self.world_ranks = world_ranks
+        self.p = len(world_ranks)
+        self.topo = topo
+        self.tuning = tuning
+        self.nbytes = nbytes
+        self.root_index = root_index
+        self.arrivals: dict[int, float] = {}
+        self.exits: dict[int, float] = {}
+
+    @abstractmethod
+    def _resolve(self) -> dict[int, float]:
+        """Compute exits newly determined by the current arrival set."""
+
+    def on_arrival(self, index: int, t: float) -> dict[int, float]:
+        """Record that member ``index`` arrived (initiated) at time ``t``.
+
+        Returns a dict of member index -> exit time for each member whose
+        exit became determined by this arrival (possibly empty, possibly
+        several members at once).
+        """
+        if index in self.arrivals:
+            raise ValueError(f"member {index} arrived twice")
+        if not 0 <= index < self.p:
+            raise ValueError(f"member index {index} out of range [0,{self.p})")
+        self.arrivals[index] = t
+        newly = self._resolve()
+        self.exits.update(newly)
+        return newly
+
+    @property
+    def complete(self) -> bool:
+        """True once every member's exit time is known."""
+        return len(self.exits) == self.p
+
+    # Helpers -----------------------------------------------------------
+
+    def _link_time(self, i: int, j: int, nbytes: float) -> float:
+        return self.topo.p2p_time(self.world_ranks[i], self.world_ranks[j], nbytes)
+
+    def _stage_cost(self, nbytes: float, *, gamma: bool = False) -> float:
+        alpha = self.topo.mean_alpha(self.world_ranks)
+        inv_bw = self.topo.mean_inv_bandwidth(self.world_ranks)
+        cost = alpha + nbytes * inv_bw + self.tuning.send_overhead
+        if gamma:
+            cost += nbytes * self.tuning.gamma_per_byte
+        return max(cost, self.tuning.min_stage)
+
+
+class SynchronizingSolver(ExitSolver):
+    """Exit model for collectives where nobody leaves before all arrive.
+
+    ``exit_i = max(arrivals) + cost(kind)`` with the cost chosen from the
+    standard algorithm for the kind (dissemination barrier, recursive
+    doubling allreduce, pairwise alltoall, ring allgather, ...).
+    """
+
+    synchronizing = True
+
+    def __init__(self, kind: str, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kind = kind
+
+    def algorithm_cost(self) -> float:
+        p, m = self.p, self.nbytes
+        if p == 1:
+            return self.tuning.min_stage
+        rounds = math.ceil(math.log2(p))
+        if self.kind == "barrier":
+            return rounds * self._stage_cost(0.0)
+        if self.kind == "allreduce":
+            return rounds * self._stage_cost(m, gamma=True)
+        if self.kind == "scan":
+            return rounds * self._stage_cost(m, gamma=True)
+        if self.kind in ("alltoall", "alltoallv"):
+            return (p - 1) * self._stage_cost(m)
+        if self.kind == "allgather":
+            return (p - 1) * self._stage_cost(m)
+        if self.kind == "reduce_scatter":
+            return (p - 1) * self._stage_cost(m, gamma=True)
+        raise ValueError(f"unknown synchronizing collective kind {self.kind!r}")
+
+    def _resolve(self) -> dict[int, float]:
+        if len(self.arrivals) < self.p:
+            return {}
+        start = max(self.arrivals.values())
+        exit_time = start + self.algorithm_cost()
+        return {i: exit_time for i in range(self.p)}
+
+
+class BcastSolver(ExitSolver):
+    """Binomial-tree broadcast / scatter: data flows root -> leaves.
+
+    A member's exit depends only on its ancestors' progress (and its own
+    arrival).  The root exits after handing its sends to the NIC — it
+    never waits for the leaves.
+    """
+
+    synchronizing = False
+
+    def __init__(self, *args, scale_by_subtree: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Virtual rank: rotate so the root is vrank 0.
+        self._vrank = [(i - self.root_index) % self.p for i in range(self.p)]
+        self._index_of_vrank = {v: i for i, v in enumerate(self._vrank)}
+        self._scale_by_subtree = scale_by_subtree
+        # forward[v]: time at which vrank v can start forwarding down.
+        self._forward: dict[int, float] = {}
+
+    def _child_bytes(self, child_vrank: int) -> float:
+        if not self._scale_by_subtree:
+            return float(self.nbytes)
+        return float(self.nbytes) * subtree_size(child_vrank, self.p)
+
+    def _injection_time(self, parent_idx: int, child_idx: int, nbytes: float) -> float:
+        """Sender-side cost of handing one child's copy to the NIC.
+
+        Charging real injection bandwidth keeps large-message broadcasts
+        from pipelining unrealistically (the root cannot start iteration
+        k+1 before it has pushed iteration k's payload out).
+        """
+        link = self.topo.link(
+            self.world_ranks[parent_idx], self.world_ranks[child_idx]
+        ) if self.world_ranks[parent_idx] != self.world_ranks[child_idx] else None
+        bandwidth = (
+            link.bandwidth if link is not None else self.topo.params.intra.bandwidth
+        )
+        return self.tuning.send_overhead + nbytes / bandwidth
+
+    def _resolve(self) -> dict[int, float]:
+        newly: dict[int, float] = {}
+        progress = True
+        while progress:
+            progress = False
+            for v in range(self.p):
+                if v in self._forward:
+                    continue
+                idx = self._index_of_vrank[v]
+                if idx not in self.arrivals:
+                    continue
+                if v == 0:
+                    ready = self.arrivals[idx]
+                else:
+                    parent = binomial_parent(v)
+                    if parent not in self._forward:
+                        continue
+                    siblings = binomial_children(parent, self.p)
+                    slot = siblings.index(v)
+                    parent_idx = self._index_of_vrank[parent]
+                    # Earlier siblings' payloads serialize on the parent's
+                    # injection path before ours starts moving.
+                    send_start = self._forward[parent]
+                    for sib in siblings[:slot]:
+                        send_start += self._injection_time(
+                            parent_idx,
+                            self._index_of_vrank[sib],
+                            self._child_bytes(sib),
+                        )
+                    arrive = send_start + self._link_time(
+                        parent_idx, idx, self._child_bytes(v)
+                    )
+                    ready = max(arrive, self.arrivals[idx])
+                self._forward[v] = ready
+                exit_time = ready
+                for child in binomial_children(v, self.p):
+                    exit_time += self._injection_time(
+                        idx, self._index_of_vrank[child], self._child_bytes(child)
+                    )
+                newly[idx] = max(exit_time, self.arrivals[idx] + self.tuning.min_stage)
+                progress = True
+        return newly
+
+
+class ReduceSolver(ExitSolver):
+    """Binomial-tree reduce / gather: data flows leaves -> root.
+
+    Leaves exit as soon as they have handed their contribution to the
+    NIC; the root exits last, after combining every subtree.
+    """
+
+    synchronizing = False
+
+    def __init__(self, *args, aggregate_sizes: bool = False, reduce_gamma: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._vrank = [(i - self.root_index) % self.p for i in range(self.p)]
+        self._index_of_vrank = {v: i for i, v in enumerate(self._vrank)}
+        self._aggregate = aggregate_sizes
+        self._gamma = reduce_gamma
+        # done[v]: time vrank v finished combining its subtree's data.
+        self._done: dict[int, float] = {}
+
+    def _send_bytes(self, vrank: int) -> float:
+        if not self._aggregate:
+            return float(self.nbytes)
+        return float(self.nbytes) * subtree_size(vrank, self.p)
+
+    def _resolve(self) -> dict[int, float]:
+        newly: dict[int, float] = {}
+        progress = True
+        while progress:
+            progress = False
+            # Walk from the deepest vranks upward: leaves resolve first.
+            for v in range(self.p - 1, -1, -1):
+                if v in self._done:
+                    continue
+                idx = self._index_of_vrank[v]
+                if idx not in self.arrivals:
+                    continue
+                kids = binomial_children(v, self.p)
+                if any(c not in self._done for c in kids):
+                    continue
+                t = self.arrivals[idx]
+                for c in kids:
+                    c_idx = self._index_of_vrank[c]
+                    arrive = self._done[c] + self._link_time(
+                        c_idx, idx, self._send_bytes(c)
+                    )
+                    t = max(t, arrive)
+                    if self._gamma:
+                        t += self._send_bytes(c) * self.tuning.gamma_per_byte
+                self._done[v] = t
+                if v == 0:
+                    exit_time = t
+                else:
+                    exit_time = t + self.tuning.send_overhead  # eager send, leave
+                newly[idx] = max(exit_time, self.arrivals[idx] + self.tuning.min_stage)
+                progress = True
+        return newly
+
+
+def make_solver(
+    kind: str,
+    world_ranks: tuple[int, ...],
+    topo: ClusterTopology,
+    tuning: CollectiveTuning,
+    nbytes: int,
+    root_index: int = 0,
+) -> ExitSolver:
+    """Instantiate the cost engine for one collective operation."""
+    if kind not in COLLECTIVE_KINDS:
+        raise ValueError(f"unknown collective kind {kind!r}")
+    if kind in ("bcast", "scatter"):
+        return BcastSolver(
+            world_ranks,
+            topo,
+            tuning,
+            nbytes,
+            root_index,
+            scale_by_subtree=(kind == "scatter"),
+        )
+    if kind in ("reduce", "gather"):
+        return ReduceSolver(
+            world_ranks,
+            topo,
+            tuning,
+            nbytes,
+            root_index,
+            aggregate_sizes=(kind == "gather"),
+            reduce_gamma=(kind == "reduce"),
+        )
+    return SynchronizingSolver(kind, world_ranks, topo, tuning, nbytes, root_index)

@@ -1,0 +1,55 @@
+"""Storage model for checkpoint image writes and restart reads (Figure 9).
+
+Models a Lustre-like parallel file system: each node can push at most
+``per_node_bandwidth``; the file system as a whole saturates at
+``aggregate_bandwidth``.  Once the aggregate saturates, adding nodes
+(hence ranks, hence bytes) makes checkpointing *slower* — the growth the
+paper observes ("checkpoint and restart are slower when running on more
+nodes because there is more data in the memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Bandwidth-saturating parallel file system model.
+
+    Attributes:
+        per_node_bandwidth: sustained write bandwidth per compute node, B/s.
+        aggregate_bandwidth: file-system-wide cap, B/s.
+        base_latency: fixed per-operation cost (metadata, barriers), s.
+        read_factor: restart reads run at ``read_factor`` x write speed.
+    """
+
+    per_node_bandwidth: float = 2.0e9
+    aggregate_bandwidth: float = 12.0e9
+    base_latency: float = 1.0
+    read_factor: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.per_node_bandwidth <= 0 or self.aggregate_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.read_factor <= 0:
+            raise ValueError("read_factor must be positive")
+
+    def effective_bandwidth(self, nnodes: int) -> float:
+        """Concurrent write bandwidth available to ``nnodes`` writers."""
+        if nnodes < 1:
+            raise ValueError(f"nnodes must be >= 1, got {nnodes}")
+        return min(nnodes * self.per_node_bandwidth, self.aggregate_bandwidth)
+
+    def write_time(self, total_bytes: float, nnodes: int) -> float:
+        """Time to write ``total_bytes`` of checkpoint images from ``nnodes``."""
+        if total_bytes < 0:
+            raise ValueError("negative byte count")
+        return self.base_latency + total_bytes / self.effective_bandwidth(nnodes)
+
+    def read_time(self, total_bytes: float, nnodes: int) -> float:
+        """Time to read the images back at restart."""
+        if total_bytes < 0:
+            raise ValueError("negative byte count")
+        bw = self.effective_bandwidth(nnodes) * self.read_factor
+        return self.base_latency + total_bytes / bw

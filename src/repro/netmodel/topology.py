@@ -1,0 +1,124 @@
+"""Cluster topology: mapping ranks to nodes and picking link parameters.
+
+The paper's Figure 8 hinges on a topology effect: going from one node
+(128 procs) to two nodes (256 procs) raises the *base* cost of
+communication (inter-node links appear), which shrinks the *relative*
+overhead of checkpointing protocols.  This module provides that effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import LinkParams, ModelParams
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Block distribution of ``nprocs`` ranks over nodes, ``ppn`` per node.
+
+    Rank r lives on node ``r // ppn``.  Links within a node use
+    ``params.intra``; links between nodes use ``params.inter``.
+    """
+
+    nprocs: int
+    ppn: int
+    params: ModelParams
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.ppn < 1:
+            raise ValueError(f"ppn must be >= 1, got {self.ppn}")
+
+    @property
+    def nnodes(self) -> int:
+        return -(-self.nprocs // self.ppn)  # ceil division
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range [0, {self.nprocs})")
+        return rank // self.ppn
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def link(self, a: int, b: int) -> LinkParams:
+        """Link parameters between ranks ``a`` and ``b``."""
+        if self.same_node(a, b):
+            return self.params.intra
+        return self.params.inter
+
+    def p2p_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Transfer time of one point-to-point message."""
+        if src == dst:
+            # Self-sends only pay a copy, modelled as intra bandwidth.
+            return nbytes / self.params.intra.bandwidth
+        return self.link(src, dst).transfer_time(nbytes)
+
+    def mean_alpha(self, ranks: tuple[int, ...] | None = None) -> float:
+        """Average latency over the (group's) rank pair mix.
+
+        Used by stage-cost formulas (e.g. a dissemination barrier round)
+        where partners change every round: we charge the expected link
+        latency given the fraction of inter-node pairs in the group.
+        """
+        if ranks is None:
+            nprocs = self.nprocs
+        else:
+            nprocs = len(ranks)
+        if nprocs <= 1:
+            return self.params.intra.latency
+        nodes = {}
+        if ranks is None:
+            full, rem = divmod(self.nprocs, self.ppn)
+            counts = [self.ppn] * full + ([rem] if rem else [])
+        else:
+            for r in ranks:
+                n = self.node_of(r)
+                nodes[n] = nodes.get(n, 0) + 1
+            counts = list(nodes.values())
+        total_pairs = nprocs * (nprocs - 1)
+        intra_pairs = sum(c * (c - 1) for c in counts)
+        frac_intra = intra_pairs / total_pairs if total_pairs else 1.0
+        return (
+            frac_intra * self.params.intra.latency
+            + (1.0 - frac_intra) * self.params.inter.latency
+        )
+
+    def mean_inv_bandwidth(self, ranks: tuple[int, ...] | None = None) -> float:
+        """Average 1/bandwidth over the group's rank-pair mix."""
+        if ranks is None:
+            nprocs = self.nprocs
+        else:
+            nprocs = len(ranks)
+        if nprocs <= 1:
+            return 1.0 / self.params.intra.bandwidth
+        if ranks is None:
+            full, rem = divmod(self.nprocs, self.ppn)
+            counts = [self.ppn] * full + ([rem] if rem else [])
+        else:
+            nodes: dict[int, int] = {}
+            for r in ranks:
+                n = self.node_of(r)
+                nodes[n] = nodes.get(n, 0) + 1
+            counts = list(nodes.values())
+        total_pairs = nprocs * (nprocs - 1)
+        intra_pairs = sum(c * (c - 1) for c in counts)
+        frac_intra = intra_pairs / total_pairs if total_pairs else 1.0
+        return frac_intra / self.params.intra.bandwidth + (1.0 - frac_intra) / self.params.inter.bandwidth
+
+
+def make_topology(
+    nprocs: int, *, ppn: int | None = None, params: ModelParams | None = None
+) -> ClusterTopology:
+    """Convenience constructor with Perlmutter-like defaults.
+
+    When ``ppn`` is omitted the whole job is placed on one node if it
+    fits in 128 ranks, else packed 128-per-node (Perlmutter CPU nodes).
+    """
+    if params is None:
+        params = ModelParams.perlmutter_like()
+    if ppn is None:
+        ppn = min(nprocs, 128)
+    return ClusterTopology(nprocs=nprocs, ppn=ppn, params=params)

@@ -1,0 +1,234 @@
+"""Collective operation sites: matching, validation, data assembly.
+
+MPI matches collective calls on a communicator **by call order**: every
+member's n-th collective call on a communicator joins the same operation.
+A :class:`CollectiveSite` represents one such operation instance.  It
+
+* validates that all participants agree on kind / root / op /
+  blocking-ness (raising :class:`CollectiveMismatchError` on the
+  application bugs that real MPI turns into silent corruption or hangs),
+* forwards arrival times to the netmodel's causal
+  :class:`~repro.netmodel.collectives.ExitSolver`, and
+* assembles each member's result value at the moment its exit resolves
+  (by construction, every contribution the member's result needs has
+  arrived by then).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..des import Simulator
+from ..netmodel import ClusterTopology, CollectiveTuning, make_solver
+from .datatypes import ReduceOp, lookup_op, payload_nbytes, reduce_payloads
+from .errors import CollectiveMismatchError
+from .request import Request
+
+__all__ = ["CollectiveSite", "ROOTLESS_KINDS", "ROOTED_KINDS"]
+
+ROOTED_KINDS = frozenset({"bcast", "reduce", "gather", "scatter"})
+ROOTLESS_KINDS = frozenset(
+    {"barrier", "allreduce", "alltoall", "allgather", "scan", "reduce_scatter"}
+)
+VECTOR_KINDS = frozenset({"alltoall", "reduce_scatter"})  # contribution is a p-list
+
+
+class CollectiveSite:
+    """One collective operation instance on one communicator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: ClusterTopology,
+        tuning: CollectiveTuning,
+        world_ranks: tuple[int, ...],
+        *,
+        index: int,
+        label: str = "comm",
+    ):
+        self.sim = sim
+        self.topo = topo
+        self.tuning = tuning
+        self.world_ranks = world_ranks
+        self.p = len(world_ranks)
+        self.index = index
+        self.label = label
+        self.kind: str | None = None
+        self.root: int | None = None
+        self.op: ReduceOp | None = None
+        self.blocking: bool | None = None
+        self._solver = None
+        self._contributions: dict[int, Any] = {}
+        self._requests: dict[int, Request] = {}
+        self._pending_arrivals: list[tuple[int, float]] = []
+        self._exited = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def complete(self) -> bool:
+        """All members have exited (every request completed)."""
+        return self._exited == self.p
+
+    def arrive(
+        self,
+        member: int,
+        kind: str,
+        contribution: Any,
+        *,
+        root: int = 0,
+        op: "ReduceOp | str | None" = None,
+        blocking: bool = True,
+    ) -> Request:
+        """Member ``member`` joins the operation now.
+
+        Returns a request that completes, at the member's modelled exit
+        time, with the member's result value.
+        """
+        self._validate(member, kind, root, op, blocking)
+        contribution = self._validate_contribution(member, kind, contribution, root)
+        self._contributions[member] = contribution
+        req = Request(
+            self.sim,
+            f"coll:{kind}",
+            meta={"comm": self.label, "index": self.index, "member": member},
+        )
+        self._requests[member] = req
+        if self._solver is None:
+            # For data-from-root operations only the root's contribution
+            # determines the wire size; arrivals before the root are
+            # buffered (they could not resolve before the root anyway).
+            if kind in ("bcast", "scatter") and self.root not in self._contributions:
+                self._pending_arrivals.append((member, self.sim.now()))
+                return req
+            sizing_member = self.root if kind in ("bcast", "scatter") else member
+            nbytes = self._wire_bytes(kind, self._contributions[sizing_member])
+            self._solver = make_solver(
+                kind,
+                self.world_ranks,
+                self.topo,
+                self.tuning,
+                nbytes,
+                root_index=self.root or 0,
+            )
+            backlog, self._pending_arrivals = self._pending_arrivals, []
+            for m, t in backlog:
+                self._fire(self._solver.on_arrival(m, t))
+        self._fire(self._solver.on_arrival(member, self.sim.now()))
+        return req
+
+    def _fire(self, newly: dict[int, float]) -> None:
+        for idx, exit_time in newly.items():
+            value = self._assemble(idx)
+            self._exited += 1
+            self._requests[idx].complete_at(exit_time, value)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def _validate(
+        self, member: int, kind: str, root: int, op: "ReduceOp | str | None", blocking: bool
+    ) -> None:
+        if not 0 <= member < self.p:
+            raise CollectiveMismatchError(
+                f"{self.label}[{self.index}]: member {member} out of range"
+            )
+        if member in self._contributions:
+            raise CollectiveMismatchError(
+                f"{self.label}[{self.index}]: member {member} arrived twice — "
+                "mismatched collective call counts across ranks"
+            )
+        op_obj = lookup_op(op) if op is not None else None
+        if self.kind is None:
+            if kind in ROOTED_KINDS and not 0 <= root < self.p:
+                raise CollectiveMismatchError(
+                    f"{self.label}[{self.index}]: root {root} out of range"
+                )
+            self.kind = kind
+            self.root = root if kind in ROOTED_KINDS else 0
+            self.op = op_obj
+            self.blocking = blocking
+            return
+        if kind != self.kind:
+            raise CollectiveMismatchError(
+                f"{self.label}[{self.index}]: rank called {kind!r} but the "
+                f"operation in progress is {self.kind!r}"
+            )
+        if kind in ROOTED_KINDS and root != self.root:
+            raise CollectiveMismatchError(
+                f"{self.label}[{self.index}]: inconsistent roots "
+                f"({root} vs {self.root}) for {kind!r}"
+            )
+        if (op_obj is None) != (self.op is None) or (
+            op_obj is not None and self.op is not None and op_obj.name != self.op.name
+        ):
+            raise CollectiveMismatchError(
+                f"{self.label}[{self.index}]: inconsistent reduce ops for {kind!r}"
+            )
+        if blocking != self.blocking:
+            raise CollectiveMismatchError(
+                f"{self.label}[{self.index}]: mixed blocking and non-blocking "
+                f"calls matched to one {kind!r} operation"
+            )
+
+    def _validate_contribution(
+        self, member: int, kind: str, contribution: Any, root: int
+    ) -> Any:
+        if kind in VECTOR_KINDS or (kind == "scatter" and member == root):
+            if not isinstance(contribution, Sequence) or isinstance(
+                contribution, (str, bytes)
+            ):
+                raise CollectiveMismatchError(
+                    f"{self.label}[{self.index}]: {kind!r} needs a sequence of "
+                    f"{self.p} items, got {type(contribution).__name__}"
+                )
+            if len(contribution) != self.p:
+                raise CollectiveMismatchError(
+                    f"{self.label}[{self.index}]: {kind!r} needs exactly "
+                    f"{self.p} items, got {len(contribution)}"
+                )
+        return contribution
+
+    def _wire_bytes(self, kind: str, contribution: Any) -> int:
+        """Representative per-stage message size for the cost model."""
+        if kind == "barrier":
+            return 0
+        if kind in VECTOR_KINDS or kind == "scatter":
+            if isinstance(contribution, Sequence) and len(contribution) > 0:
+                return payload_nbytes(contribution[0])
+            return 0
+        return payload_nbytes(contribution)
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+
+    def _assemble(self, member: int) -> Any:
+        kind = self.kind
+        c = self._contributions
+        if kind == "barrier":
+            return None
+        if kind == "bcast":
+            return c[self.root]
+        if kind == "reduce":
+            if member != self.root:
+                return None
+            return reduce_payloads([c[i] for i in range(self.p)], self.op)
+        if kind == "allreduce":
+            return reduce_payloads([c[i] for i in range(self.p)], self.op)
+        if kind == "alltoall":
+            return [c[j][member] for j in range(self.p)]
+        if kind == "allgather":
+            return [c[j] for j in range(self.p)]
+        if kind == "gather":
+            if member != self.root:
+                return None
+            return [c[j] for j in range(self.p)]
+        if kind == "scatter":
+            return c[self.root][member]
+        if kind == "scan":
+            return reduce_payloads([c[i] for i in range(member + 1)], self.op)
+        if kind == "reduce_scatter":
+            return reduce_payloads([c[j][member] for j in range(self.p)], self.op)
+        raise CollectiveMismatchError(f"unknown collective kind {kind!r}")

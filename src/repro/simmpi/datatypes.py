@@ -1,0 +1,136 @@
+"""Payload handling and reduction operations.
+
+Messages in the simulated MPI are arbitrary Python objects; numpy arrays
+are the fast path (as in mpi4py's upper-case methods).  Reduction
+operations follow the MPI predefined ops and are applied in ascending
+rank order, so floating-point results are deterministic.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .errors import ReduceOpError
+
+__all__ = [
+    "payload_nbytes",
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "reduce_payloads",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]
+
+#: Wildcards matching any source rank / any tag in receives and probes.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes.
+
+    Used only by the cost model; exactness is unnecessary, but the value
+    must be stable and cheap to compute (it is on the per-message path).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(x) for x in obj) + 8 * len(obj)
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        ) + 16 * len(obj)
+    return max(sys.getsizeof(obj), 8)
+
+
+class ReduceOp:
+    """A named, associative, commutative reduction."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any]):
+        self.name = name
+        self._fn = fn
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self._fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ReduceOp {self.name}>"
+
+
+def _land(a, b):
+    return np.logical_and(a, b)
+
+
+def _lor(a, b):
+    return np.logical_or(a, b)
+
+
+def _band(a, b):
+    return np.bitwise_and(a, b)
+
+
+def _bor(a, b):
+    return np.bitwise_or(a, b)
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MAX = ReduceOp("max", np.maximum)
+MIN = ReduceOp("min", np.minimum)
+LAND = ReduceOp("land", _land)
+LOR = ReduceOp("lor", _lor)
+BAND = ReduceOp("band", _band)
+BOR = ReduceOp("bor", _bor)
+
+_OPS = {op.name: op for op in (SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR)}
+
+
+def lookup_op(op: "ReduceOp | str") -> ReduceOp:
+    """Resolve an op instance or name to a :class:`ReduceOp`."""
+    if isinstance(op, ReduceOp):
+        return op
+    try:
+        return _OPS[op]
+    except KeyError:
+        raise ReduceOpError(
+            f"unknown reduction op {op!r}; expected one of {sorted(_OPS)}"
+        ) from None
+
+
+def reduce_payloads(contributions: Sequence[Any], op: "ReduceOp | str") -> Any:
+    """Fold ``contributions`` (ascending rank order) with ``op``.
+
+    Scalars stay scalars; numpy arrays reduce elementwise.  A fresh
+    result object is always returned so callers can mutate it safely.
+    """
+    rop = lookup_op(op)
+    if not contributions:
+        raise ReduceOpError("reduce of zero contributions")
+    acc = contributions[0]
+    if isinstance(acc, np.ndarray):
+        acc = acc.copy()
+    for item in contributions[1:]:
+        acc = rop(acc, item)
+    if isinstance(contributions[0], (int, float)) and isinstance(acc, np.generic):
+        acc = acc.item()
+    return acc

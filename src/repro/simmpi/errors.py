@@ -1,0 +1,33 @@
+"""Exception types for the simulated MPI library."""
+
+from __future__ import annotations
+
+
+class SimMpiError(Exception):
+    """Base class for simulated-MPI errors."""
+
+
+class CommunicatorError(SimMpiError):
+    """Invalid communicator usage (rank out of range, non-member call, ...)."""
+
+
+class CollectiveMismatchError(SimMpiError):
+    """Ranks disagreed about a matched collective call.
+
+    Raised when two ranks' n-th collective calls on the same communicator
+    differ in kind, root, or (for non-blocking ops) blocking-ness in a way
+    the MPI standard forbids.  Surfacing this loudly catches application
+    bugs that real MPI turns into hangs.
+    """
+
+
+class ReduceOpError(SimMpiError):
+    """Unknown or inapplicable reduction operation."""
+
+
+class RequestError(SimMpiError):
+    """Invalid request usage (double wait, waiting on a foreign request)."""
+
+
+class MatchingError(SimMpiError):
+    """Internal inconsistency in the p2p matching engine."""

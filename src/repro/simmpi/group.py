@@ -1,0 +1,148 @@
+"""MPI groups: ordered sets of world ranks.
+
+A group is immutable.  Its *global group id* (ggid) is the stable hash of
+its member set — the identity the Collective Clock algorithm keys its
+sequence numbers on.  Two groups containing the same processes compare
+``SIMILAR`` and share a ggid even if their rank orderings differ
+(Section 4.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..util.hashing import stable_hash_ranks
+from .errors import CommunicatorError
+
+__all__ = ["Group", "IDENT", "SIMILAR", "UNEQUAL"]
+
+#: Group comparison results (mirroring MPI_IDENT / MPI_SIMILAR / MPI_UNEQUAL).
+IDENT = "ident"
+SIMILAR = "similar"
+UNEQUAL = "unequal"
+
+
+class Group:
+    """An immutable, ordered collection of world ranks."""
+
+    __slots__ = ("_ranks", "_index", "_ggid")
+
+    def __init__(self, world_ranks: Sequence[int]):
+        ranks = tuple(int(r) for r in world_ranks)
+        if not ranks:
+            raise CommunicatorError("a group must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise CommunicatorError(f"duplicate world ranks in group: {ranks}")
+        if any(r < 0 for r in ranks):
+            raise CommunicatorError(f"negative world rank in group: {ranks}")
+        self._ranks = ranks
+        self._index = {r: i for i, r in enumerate(ranks)}
+        self._ggid = stable_hash_ranks(ranks)
+
+    # -- identity ------------------------------------------------------ #
+
+    @property
+    def world_ranks(self) -> tuple[int, ...]:
+        """Members as world ranks, in group-rank order."""
+        return self._ranks
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def ggid(self) -> int:
+        """The global group id: stable hash of the member *set*."""
+        return self._ggid
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if len(self._ranks) <= 8:
+            return f"<Group {list(self._ranks)}>"
+        return f"<Group size={len(self._ranks)} ggid={self._ggid:#x}>"
+
+    # -- rank translation ---------------------------------------------- #
+
+    def rank_of(self, world_rank: int) -> int:
+        """Group rank of the process with the given world rank."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise CommunicatorError(
+                f"world rank {world_rank} is not a member of {self!r}"
+            ) from None
+
+    def world_rank(self, group_rank: int) -> int:
+        """World rank of the process at the given group rank."""
+        if not 0 <= group_rank < len(self._ranks):
+            raise CommunicatorError(
+                f"group rank {group_rank} out of range [0,{len(self._ranks)})"
+            )
+        return self._ranks[group_rank]
+
+    def translate_ranks(self, ranks: Iterable[int], other: "Group") -> list[int | None]:
+        """MPI_Group_translate_ranks: map this group's ranks into ``other``.
+
+        Non-members map to ``None`` (the analog of MPI_UNDEFINED).  The CC
+        algorithm uses this to find the peer processes of a group locally,
+        without communication (Section 4.2.4).
+        """
+        out: list[int | None] = []
+        for r in ranks:
+            w = self.world_rank(r)
+            out.append(other._index.get(w))
+        return out
+
+    def compare(self, other: "Group") -> str:
+        """MPI_Group_compare: IDENT, SIMILAR (same set), or UNEQUAL."""
+        if self._ranks == other._ranks:
+            return IDENT
+        if set(self._ranks) == set(other._ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    # -- set operations -------------------------------------------------#
+
+    def include(self, group_ranks: Sequence[int]) -> "Group":
+        """Subgroup containing the listed group ranks, in that order."""
+        return Group([self.world_rank(r) for r in group_ranks])
+
+    def exclude(self, group_ranks: Sequence[int]) -> "Group":
+        """Subgroup without the listed group ranks."""
+        drop = set(group_ranks)
+        for r in drop:
+            self.world_rank(r)  # validates
+        kept = [w for i, w in enumerate(self._ranks) if i not in drop]
+        if not kept:
+            raise CommunicatorError("exclude would produce an empty group")
+        return Group(kept)
+
+    def union(self, other: "Group") -> "Group":
+        seen = list(self._ranks)
+        for w in other._ranks:
+            if w not in self._index:
+                seen.append(w)
+        return Group(seen)
+
+    def intersection(self, other: "Group") -> "Group":
+        kept = [w for w in self._ranks if w in other]
+        if not kept:
+            raise CommunicatorError("empty group intersection")
+        return Group(kept)
+
+    def difference(self, other: "Group") -> "Group":
+        kept = [w for w in self._ranks if w not in other]
+        if not kept:
+            raise CommunicatorError("empty group difference")
+        return Group(kept)

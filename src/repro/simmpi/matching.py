@@ -1,0 +1,275 @@
+"""Point-to-point message matching engine.
+
+One engine exists per communicator context; it implements MPI matching
+semantics:
+
+* A receive matches the **earliest-sent** message with a compatible
+  (source, tag) — the non-overtaking rule.  Matching order is send order
+  even when a later, smaller message physically arrives first.
+* ``ANY_SOURCE`` / ``ANY_TAG`` wildcards.
+* Eager sends complete locally; rendezvous sends (above the eager
+  threshold) complete only when the receiver has posted.
+* ``iprobe`` sees a message only once it has physically arrived
+  (``available_at <= now``), while a posted receive may match a message
+  still in flight (completing when it lands) — both mirror real MPI.
+
+The engine is purely logical: virtual time enters through envelope
+timestamps and through completion times computed with the topology's
+link parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..des import Simulator
+from ..netmodel import ClusterTopology
+from .datatypes import ANY_SOURCE, ANY_TAG, payload_nbytes
+from .errors import MatchingError
+from .request import Request
+
+__all__ = ["MatchingEngine", "Status", "Envelope"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Receive/probe status (MPI_Status analog)."""
+
+    source: int  # group rank of the sender
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class Envelope:
+    """One in-flight or unexpected message."""
+
+    seq: int
+    src: int  # group rank
+    dst: int  # group rank
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    available_at: float  # physical arrival time at dst
+    rendezvous: bool = False
+    send_request: Request | None = None
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY_SOURCE or source == self.src) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+@dataclass
+class _PostedRecv:
+    seq: int
+    dst: int
+    source: int
+    tag: int
+    request: Request
+    posted_at: float
+
+
+@dataclass
+class _ProbeWait:
+    dst: int
+    source: int
+    tag: int
+    request: Request
+
+
+class MatchingEngine:
+    """Matching state for one communicator context."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: ClusterTopology,
+        world_ranks: tuple[int, ...],
+        *,
+        eager_threshold: int = 65536,
+        label: str = "comm",
+    ):
+        self.sim = sim
+        self.topo = topo
+        self.world_ranks = world_ranks
+        self.eager_threshold = eager_threshold
+        self.label = label
+        self._seq = itertools.count()
+        #: Unmatched envelopes per destination group rank, in send order.
+        self._unexpected: dict[int, list[Envelope]] = {}
+        #: Posted-but-unmatched receives per destination, in post order.
+        self._posted: dict[int, list[_PostedRecv]] = {}
+        #: Blocking probes waiting for a matching arrival.
+        self._probes: dict[int, list[_ProbeWait]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by the checkpoint drain and by tests)
+    # ------------------------------------------------------------------ #
+
+    def in_flight_to(self, dst: int) -> list[Envelope]:
+        """Unmatched envelopes destined to group rank ``dst``."""
+        return list(self._unexpected.get(dst, ()))
+
+    def total_unmatched(self) -> int:
+        return sum(len(v) for v in self._unexpected.values())
+
+    def pending_recvs(self, dst: int) -> int:
+        return len(self._posted.get(dst, ()))
+
+    # ------------------------------------------------------------------ #
+    # Send path
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: int, dst: int, tag: int, payload: Any) -> Request:
+        """Inject a message; returns the send-completion request.
+
+        For eager messages the request completes immediately (the library
+        buffered the data); for rendezvous messages it completes when the
+        matching receive drains the data.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if tag < 0:
+            raise MatchingError(f"send tag must be >= 0, got {tag}")
+        now = self.sim.now()
+        nbytes = payload_nbytes(payload)
+        transit = self.topo.p2p_time(
+            self.world_ranks[src], self.world_ranks[dst], nbytes
+        )
+        rendezvous = nbytes > self.eager_threshold
+        send_req = Request(
+            self.sim,
+            "send",
+            meta={"src": src, "dst": dst, "tag": tag, "nbytes": nbytes},
+        )
+        env = Envelope(
+            seq=next(self._seq),
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            sent_at=now,
+            available_at=now + transit,
+            rendezvous=rendezvous,
+            send_request=send_req if rendezvous else None,
+        )
+        if not rendezvous:
+            send_req.complete(None)
+        matched = self._try_match_posted(env)
+        if not matched:
+            self._unexpected.setdefault(dst, []).append(env)
+            self._notify_probes(env)
+        return send_req
+
+    # ------------------------------------------------------------------ #
+    # Receive path
+    # ------------------------------------------------------------------ #
+
+    def post_recv(self, dst: int, source: int, tag: int) -> Request:
+        """Post a receive; the request's value is ``(payload, Status)``."""
+        self._check_rank(dst)
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        now = self.sim.now()
+        queue = self._unexpected.get(dst, [])
+        for i, env in enumerate(queue):
+            if env.matches(source, tag):
+                queue.pop(i)
+                req = Request(
+                    self.sim,
+                    "recv",
+                    meta={"src": env.src, "dst": dst, "tag": env.tag},
+                )
+                self._complete_transfer(env, req, posted_at=now)
+                return req
+        req = Request(self.sim, "recv", meta={"dst": dst, "source": source, "tag": tag})
+        self._posted.setdefault(dst, []).append(
+            _PostedRecv(
+                seq=next(self._seq),
+                dst=dst,
+                source=source,
+                tag=tag,
+                request=req,
+                posted_at=now,
+            )
+        )
+        return req
+
+    def iprobe(self, dst: int, source: int, tag: int) -> Status | None:
+        """Non-blocking probe: status of the first *arrived* match, or None."""
+        self._check_rank(dst)
+        now = self.sim.now()
+        for env in self._unexpected.get(dst, ()):
+            if env.matches(source, tag) and env.available_at <= now + 1e-18:
+                return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+        return None
+
+    def probe(self, dst: int, source: int, tag: int) -> Request:
+        """Blocking probe: request completes with a Status once a matching
+        message has arrived; the message is *not* consumed."""
+        self._check_rank(dst)
+        now = self.sim.now()
+        req = Request(self.sim, "probe", meta={"dst": dst, "source": source, "tag": tag})
+        for env in self._unexpected.get(dst, ()):
+            if env.matches(source, tag):
+                status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+                req.complete_at(max(env.available_at, now), status)
+                return req
+        self._probes.setdefault(dst, []).append(_ProbeWait(dst, source, tag, req))
+        return req
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _try_match_posted(self, env: Envelope) -> bool:
+        posted = self._posted.get(env.dst)
+        if not posted:
+            return False
+        for i, pr in enumerate(posted):
+            if env.matches(pr.source, pr.tag):
+                posted.pop(i)
+                self._complete_transfer(env, pr.request, posted_at=pr.posted_at)
+                return True
+        return False
+
+    def _complete_transfer(self, env: Envelope, recv_req: Request, posted_at: float) -> None:
+        now = self.sim.now()
+        if env.rendezvous:
+            # Handshake: data moves only once both sides are ready.
+            start = max(env.sent_at, posted_at, now)
+            transit = self.topo.p2p_time(
+                self.world_ranks[env.src], self.world_ranks[env.dst], env.nbytes
+            )
+            done = start + transit
+            assert env.send_request is not None
+            env.send_request.complete_at(done, None)
+        else:
+            done = max(env.available_at, now)
+        status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+        recv_req.complete_at(done, (env.payload, status))
+
+    def _notify_probes(self, env: Envelope) -> None:
+        probes = self._probes.get(env.dst)
+        if not probes:
+            return
+        remaining = []
+        for pw in probes:
+            if env.matches(pw.source, pw.tag):
+                status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+                pw.request.complete_at(env.available_at, status)
+            else:
+                remaining.append(pw)
+        self._probes[env.dst] = remaining
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < len(self.world_ranks):
+            raise MatchingError(
+                f"group rank {rank} out of range [0,{len(self.world_ranks)}) "
+                f"on {self.label}"
+            )

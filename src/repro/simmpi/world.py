@@ -1,0 +1,306 @@
+"""The simulated MPI job: process registry, contexts, bootstrap.
+
+A :class:`World` glues together the DES kernel, the topology/cost model,
+the matching engines (one per communicator context), and the collective
+sites.  It is the "lower half" of the MANA split process: everything in
+here is discarded at checkpoint time and rebuilt at restart.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..des import Gate, SimProcess, Simulator, Waiter
+from ..netmodel import ClusterTopology, make_topology
+from .collectives import CollectiveSite
+from .comm import Communicator
+from .errors import CommunicatorError, SimMpiError
+from .group import Group
+from .matching import MatchingEngine
+from .request import Request
+
+__all__ = ["World", "WorldStats"]
+
+
+@dataclass
+class WorldStats:
+    """Per-rank call counters (the Table 1 measurement source)."""
+
+    nprocs: int
+    coll_calls: np.ndarray = field(init=False)
+    p2p_calls: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.coll_calls = np.zeros(self.nprocs, dtype=np.int64)
+        self.p2p_calls = np.zeros(self.nprocs, dtype=np.int64)
+
+    def total_coll(self) -> int:
+        return int(self.coll_calls.sum())
+
+    def total_p2p(self) -> int:
+        return int(self.p2p_calls.sum())
+
+
+class World:
+    """One simulated MPI job (the lower half)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: "ClusterTopology | None" = None,
+        *,
+        nprocs: int | None = None,
+        eager_threshold: int = 65536,
+        label: str = "world",
+    ):
+        if topo is None:
+            if nprocs is None:
+                raise SimMpiError("provide a topology or nprocs")
+            topo = make_topology(nprocs)
+        self.sim = sim
+        self.topo = topo
+        self.params = topo.params
+        self.tuning = topo.params.tuning
+        self.overheads = topo.params.overheads
+        self.nprocs = topo.nprocs
+        self.eager_threshold = eager_threshold
+        self.label = label
+
+        self.stats = WorldStats(self.nprocs)
+        #: True while the rank is inside a collective call (blocking body
+        #: or non-blocking initiation) in the lower half — the state the
+        #: Collective Invariant forbids checkpointing in.
+        self.in_collective = [False] * self.nprocs
+        #: Outstanding non-blocking collective requests per rank
+        #: (verification/drain bookkeeping).
+        self.outstanding_nbc: list[set[Request]] = [set() for _ in range(self.nprocs)]
+
+        self._rank_of_proc: dict[SimProcess, int] = {}
+        self._next_context = 0
+        self._engines: dict[int, MatchingEngine] = {}
+        self._sites: dict[tuple[int, int], CollectiveSite] = {}
+        self._call_counters: dict[int, list[int]] = {}
+        self._comm_registry: dict[Any, Communicator] = {}
+        self._cg_counters: dict[Any, list[int]] = {}
+        self._barriers: dict[Any, dict[str, Any]] = {}
+
+        world_group = Group(range(self.nprocs))
+        self.comm_world = self._new_communicator(world_group, "COMM_WORLD")
+
+    # ------------------------------------------------------------------ #
+    # Process registry
+    # ------------------------------------------------------------------ #
+
+    def register_process(self, proc: SimProcess, rank: int) -> None:
+        """Bind a simulated process to a world rank."""
+        if not 0 <= rank < self.nprocs:
+            raise SimMpiError(f"rank {rank} out of range [0,{self.nprocs})")
+        self._rank_of_proc[proc] = rank
+
+    def current_world_rank(self) -> int:
+        proc = self.sim.current_process()
+        try:
+            return self._rank_of_proc[proc]
+        except KeyError:
+            raise SimMpiError(
+                f"process {proc.name!r} is not registered as an MPI rank"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Job bootstrap
+    # ------------------------------------------------------------------ #
+
+    def launch(
+        self,
+        main: Callable[..., Any],
+        *args: Any,
+        name_prefix: str = "rank",
+    ) -> list[SimProcess]:
+        """Spawn one simulated process per rank running ``main(comm, *args)``.
+
+        All ranks pass a startup gate before ``main`` begins, mirroring
+        ``MPI_Init`` returning everywhere before timing starts.
+        """
+        gate = Gate(self.sim, self.nprocs, label="mpi_init")
+        procs = []
+        for rank in range(self.nprocs):
+
+            def body(rank: int = rank) -> Any:
+                gate.arrive_and_wait()
+                return main(self.comm_world, *args)
+
+            proc = self.sim.spawn(body, name=f"{name_prefix}{rank}")
+            self.register_process(proc, rank)
+            procs.append(proc)
+        return procs
+
+    def run(self, main: Callable[..., Any], *args: Any) -> list[Any]:
+        """Launch, run the simulation to completion, return per-rank results."""
+        procs = self.launch(main, *args)
+        self.sim.run()
+        return [p.result for p in procs]
+
+    # ------------------------------------------------------------------ #
+    # Counters / invariants
+    # ------------------------------------------------------------------ #
+
+    def count_coll(self, world_rank: int) -> None:
+        self.stats.coll_calls[world_rank] += 1
+
+    def count_p2p(self, world_rank: int) -> None:
+        self.stats.p2p_calls[world_rank] += 1
+
+    def set_in_collective(self, world_rank: int, flag: bool) -> None:
+        self.in_collective[world_rank] = flag
+
+    def any_in_collective(self) -> bool:
+        return any(self.in_collective)
+
+    def track_nonblocking(self, world_rank: int, req: Request) -> None:
+        pending = self.outstanding_nbc[world_rank]
+        pending.add(req)
+        req.on_complete(lambda r: pending.discard(r))
+
+    # ------------------------------------------------------------------ #
+    # Contexts, engines, sites
+    # ------------------------------------------------------------------ #
+
+    def _new_context_id(self) -> int:
+        ctx = self._next_context
+        self._next_context += 1
+        return ctx
+
+    def _new_communicator(self, group: Group, label: str) -> Communicator:
+        comm = Communicator(self, group, self._new_context_id(), label)
+        self._engines[comm.context_id] = MatchingEngine(
+            self.sim,
+            self.topo,
+            group.world_ranks,
+            eager_threshold=self.eager_threshold,
+            label=label,
+        )
+        self._call_counters[comm.context_id] = [0] * group.size
+        return comm
+
+    def engine_for(self, comm: Communicator) -> MatchingEngine:
+        return self._engines[comm.context_id]
+
+    def site_for_next_call(
+        self, comm: Communicator, member: int
+    ) -> tuple[CollectiveSite, tuple[int, int]]:
+        """The site this member's next collective call on ``comm`` joins.
+
+        MPI matches collectives per communicator in call order, so the
+        member's per-communicator call counter is the site index.
+        """
+        counters = self._call_counters[comm.context_id]
+        index = counters[member]
+        counters[member] += 1
+        key = (comm.context_id, index)
+        site = self._sites.get(key)
+        if site is None:
+            site = CollectiveSite(
+                self.sim,
+                self.topo,
+                self.tuning,
+                comm.group.world_ranks,
+                index=index,
+                label=comm.label,
+            )
+            self._sites[key] = site
+        return site, key
+
+    def gc_site_if_done(self, key: tuple[int, int], site: CollectiveSite) -> None:
+        if site.complete:
+            self._sites.pop(key, None)
+
+    def open_sites(self) -> int:
+        """Number of collective operations with members still unresolved."""
+        return len(self._sites)
+
+    # ------------------------------------------------------------------ #
+    # Communicator creation (collective operations)
+    # ------------------------------------------------------------------ #
+
+    def comm_dup(self, comm: Communicator, label: str | None = None) -> Communicator:
+        me = comm.rank()
+        # The pre-call collective counter identifies this dup instance:
+        # by MPI rules, all members have issued the same number of prior
+        # collectives on this communicator.
+        call_no = self._call_counters[comm.context_id][me]
+        comm.allgather(("dup", call_no))
+        key = (comm.context_id, "dup", call_no)
+        return self._registry_get_or_create(key, comm.group, label or f"{comm.label}.dup")
+
+    def comm_split(
+        self, comm: Communicator, color: "int | None", key: int | None
+    ) -> "Communicator | None":
+        me = comm.rank()
+        wr = comm.group.world_rank(me)
+        call_no = self._call_counters[comm.context_id][me]
+        sort_key = key if key is not None else me
+        entries = comm.allgather((color, sort_key, wr))
+        if color is None:
+            return None
+        members = sorted((k, w) for (c, k, w) in entries if c == color)
+        group = Group([w for (_k, w) in members])
+        reg_key = (comm.context_id, "split", call_no, color)
+        label = f"{comm.label}.split({color})"
+        return self._registry_get_or_create(reg_key, group, label)
+
+    def comm_create_group(
+        self, comm: Communicator, group: Group, label: str | None = None
+    ) -> Communicator:
+        me_wr = self.current_world_rank()
+        if me_wr not in group:
+            raise CommunicatorError(
+                f"world rank {me_wr} called create_group but is not in the group"
+            )
+        for w in group.world_ranks:
+            if w not in comm.group:
+                raise CommunicatorError(
+                    f"group member {w} is not part of {comm.label!r}"
+                )
+        # Per-(parent, group) per-member call counter distinguishes
+        # repeated create_group calls over the same subgroup.
+        cg_key = (comm.context_id, group.world_ranks)
+        counters = self._cg_counters.setdefault(cg_key, [0] * group.size)
+        me_idx = group.rank_of(me_wr)
+        call_no = counters[me_idx]
+        counters[me_idx] += 1
+        key = ("create", comm.context_id, group.world_ranks, call_no)
+        self._subgroup_barrier(key, group)
+        new_label = label or f"{comm.label}.group{list(group.world_ranks)}"
+        return self._registry_get_or_create(key, group, new_label)
+
+    def _registry_get_or_create(self, key: Any, group: Group, label: str) -> Communicator:
+        comm = self._comm_registry.get(key)
+        if comm is None:
+            comm = self._new_communicator(group, label)
+            self._comm_registry[key] = comm
+        return comm
+
+    def _subgroup_barrier(self, key: Any, group: Group) -> None:
+        """Dissemination-cost barrier over a subgroup, outside any context.
+
+        Used by ``create_group``, which synchronizes only the new group's
+        members (MPI-3 semantics).
+        """
+        state = self._barriers.setdefault(key, {"waiters": [], "arrived": 0})
+        state["arrived"] += 1
+        if state["arrived"] == group.size:
+            stage = self.topo.mean_alpha(group.world_ranks) + self.tuning.send_overhead
+            rounds = max(1, math.ceil(math.log2(max(group.size, 2))))
+            exit_time = self.sim.now() + rounds * stage
+            for w in state["waiters"]:
+                self.sim.call_at(exit_time, w.fire)
+            del self._barriers[key]
+            self.sim.sleep(max(exit_time - self.sim.now(), 0.0))
+        else:
+            w = Waiter(self.sim, label=f"create_group:{key!r}")
+            state["waiters"].append(w)
+            w.wait()

@@ -1,0 +1,15 @@
+"""Shared utilities: stable hashing, statistics, run records, table rendering."""
+
+from .hashing import stable_hash_ranks
+from .records import RunRecord, Series
+from .stats import OnlineStats, mean, overhead_pct, stddev
+
+__all__ = [
+    "stable_hash_ranks",
+    "OnlineStats",
+    "mean",
+    "stddev",
+    "overhead_pct",
+    "RunRecord",
+    "Series",
+]

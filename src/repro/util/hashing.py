@@ -1,0 +1,42 @@
+"""Stable, process-independent hashing.
+
+The global group id (ggid) of the paper is "a hash of the world rank of
+each participating MPI process" (Section 4.1).  The hash must be identical
+on every rank and across runs, so Python's randomized ``hash()`` is
+unusable; we use a small FNV-1a over the sorted rank sequence, which is
+fast, dependency-free, and collision-resistant enough for the handful of
+groups a real application creates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data``."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+def stable_hash_ranks(world_ranks: Iterable[int]) -> int:
+    """Deterministic 64-bit hash of a set of world ranks.
+
+    The ranks are sorted first, so any two groups containing the same
+    processes (``MPI_SIMILAR``) hash identically regardless of rank order
+    within the group — exactly the ggid property the CC algorithm needs.
+    """
+    ranks = sorted(world_ranks)
+    buf = bytearray()
+    for r in ranks:
+        if r < 0:
+            raise ValueError(f"world rank must be non-negative, got {r}")
+        buf += r.to_bytes(8, "little")
+    return fnv1a_64(bytes(buf))

@@ -1,0 +1,139 @@
+"""Property-based tests: the CC protocol on randomly generated programs.
+
+The crown-jewel invariant: for arbitrary legal collective programs and
+arbitrary checkpoint request times, the CC drain terminates, the cut
+satisfies the paper's safe-state invariants, and restarting from the
+images reproduces the uninterrupted run's results exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import MpiApp
+from repro.harness.runner import launch_run, restart_run
+from repro.netmodel import StorageModel
+
+FAST_STORAGE = StorageModel(
+    base_latency=1e-4, per_node_bandwidth=50e9, aggregate_bandwidth=200e9
+)
+
+_settings = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class RandomProgram(MpiApp):
+    """Executes a randomized but rank-consistent mix of collectives.
+
+    The per-step op schedule is derived deterministically from the seed,
+    so every rank runs the same global program (a legal MPI execution)
+    while different seeds explore different interleavings of world ops,
+    subgroup ops, p2p, and non-blocking collectives.
+    """
+
+    name = "randprog"
+
+    def __init__(self, niters, *, program_seed, use_subgroups=True, use_nbc=True):
+        super().__init__(niters)
+        self.program_seed = program_seed
+        self.use_subgroups = use_subgroups
+        self.use_nbc = use_nbc
+
+    def setup(self, ctx):
+        if self.use_subgroups:
+            ctx.state["even_odd"] = ctx.world.split(color=ctx.rank % 2, key=ctx.rank)
+            ctx.state["halves"] = ctx.world.split(
+                color=0 if ctx.rank < ctx.nprocs // 2 else 1, key=ctx.rank
+            )
+        ctx.state["acc"] = 0.0
+
+    def step(self, ctx, i):
+        rng = np.random.default_rng((self.program_seed, i))
+        ops = rng.choice(["world_ar", "sub_ar", "bcast", "p2p", "nbc"], size=3)
+        me, n = ctx.rank, ctx.nprocs
+        acc = 0.0
+        ctx.compute_jittered(2e-6 * (1 + me % 3), i)
+        for k, op in enumerate(ops):
+            if op == "world_ar":
+                acc += ctx.world.allreduce(float(me + i))
+            elif op == "sub_ar" and self.use_subgroups:
+                comm = ctx.state["even_odd"] if k % 2 == 0 else ctx.state["halves"]
+                acc += comm.allreduce(float(i))
+            elif op == "bcast":
+                root = int(rng.integers(0, n))
+                acc += ctx.world.bcast(float(i * 7) if me == root else None, root=root)
+            elif op == "p2p":
+                got = ctx.world.sendrecv(
+                    float(me), dest=(me + 1) % n, source=(me - 1) % n,
+                    sendtag=k, recvtag=k,
+                )
+                acc += got
+            elif op == "nbc" and self.use_nbc:
+                req = ctx.world.iallgather(float(me + k))
+                ctx.compute(5e-7)
+                acc += sum(req.wait())
+            else:
+                acc += ctx.world.allreduce(1.0)
+        # ---- commit block ----
+        ctx.state["acc"] = ctx.state["acc"] + acc
+
+    def finalize(self, ctx):
+        return round(ctx.state["acc"], 6)
+
+
+@_settings
+@given(
+    program_seed=st.integers(0, 10_000),
+    nprocs=st.sampled_from([4, 6]),
+    frac=st.floats(0.1, 0.9),
+)
+def test_cc_checkpoint_restart_equivalence(program_seed, nprocs, frac):
+    factory = lambda: RandomProgram(niters=12, program_seed=program_seed)
+    native = launch_run(factory, nprocs, protocol="native", seed=1)
+    ck = launch_run(
+        factory, nprocs, protocol="cc", seed=1,
+        checkpoint_at=[native.runtime * frac], storage=FAST_STORAGE,
+    )
+    assert ck.per_rank == native.per_rank
+    committed = [c for c in ck.checkpoints if c.committed]
+    assert committed, "checkpoint failed to commit"
+    images = committed[0].images
+    # Invariant: per-group SEQ equality across members.
+    for rank, im in images.items():
+        for g, members in im.ggid_peers.items():
+            for peer in members:
+                assert images[peer].seq_table["seq"].get(g, 0) == im.seq_table[
+                    "seq"
+                ].get(g, 0)
+    rs = restart_run(factory, images, seed=1, storage=FAST_STORAGE)
+    assert rs.per_rank == native.per_rank
+
+
+@_settings
+@given(program_seed=st.integers(0, 10_000), frac=st.floats(0.15, 0.85))
+def test_2pc_checkpoint_restart_equivalence(program_seed, frac):
+    factory = lambda: RandomProgram(
+        niters=10, program_seed=program_seed, use_nbc=False
+    )
+    native = launch_run(factory, 4, protocol="native", seed=1)
+    ck = launch_run(
+        factory, 4, protocol="2pc", seed=1,
+        checkpoint_at=[native.runtime * frac], storage=FAST_STORAGE,
+    )
+    assert ck.per_rank == native.per_rank
+    rs = restart_run(factory, ck.committed_images(), seed=1, storage=FAST_STORAGE)
+    assert rs.per_rank == native.per_rank
+
+
+@_settings
+@given(program_seed=st.integers(0, 10_000))
+def test_cc_no_checkpoint_matches_native(program_seed):
+    factory = lambda: RandomProgram(niters=8, program_seed=program_seed)
+    native = launch_run(factory, 4, protocol="native", seed=4)
+    cc = launch_run(factory, 4, protocol="cc", seed=4)
+    assert cc.per_rank == native.per_rank
+    assert cc.runtime >= native.runtime

@@ -1,0 +1,148 @@
+"""Tests for the offline topological-sort safe-cut oracle (Figures 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CollectiveProgram, build_dependency_graph, compute_safe_cut
+
+
+def make_program(ops, members):
+    return CollectiveProgram(
+        ops=tuple(tuple(seq) for seq in ops), members=dict(members)
+    )
+
+
+class TestFigureExamples:
+    def test_figure_3a_simple_targets(self):
+        """Paper Figure 3a: groups {1,2},{2,3},{3,4,5},{5,6} with local
+        targets 5, 7, 2, 3 — ranks continue to exactly those counts."""
+        # 0-indexed ranks 0..5 for the paper's 1..6.
+        g12, g23, g345, g56 = "a", "b", "c", "d"
+        members = {g12: (0, 1), g23: (1, 2), g345: (2, 3, 4), g56: (4, 5)}
+        ops = [
+            [g12] * 5,
+            [g12] * 5 + [g23] * 7,
+            [g23] * 7 + [g345] * 2,
+            [g345] * 2,
+            [g345] * 2 + [g56] * 3,
+            [g56] * 3,
+        ]
+        program = make_program(ops, members)
+        # Request-time positions: rank1 finished g12 ops (5); rank2 did 5
+        # of its g23 ops; rank3/4 behind on g345; rank6 has done all three
+        # g56 ops, setting that group's target to 3 as in the figure.
+        start = (5, 10, 7, 1, 2, 3)
+        cut = compute_safe_cut(program, start)
+        assert cut.targets[g12] == 5
+        assert cut.targets[g23] == 7
+        assert cut.targets[g345] == 2
+        assert cut.targets[g56] == 3
+        # All members agree on per-group counts at the cut.
+        for g, t in cut.targets.items():
+            for r in program.members[g]:
+                assert program.counts_at(r, cut.positions[r]).get(g, 0) == t
+
+    def test_figure_2b_target_propagation(self):
+        """Paper Figure 2b: advancing P2 to N3 forces it through a new
+        node N5, which pulls P4 forward too (Condition A applied twice)."""
+        gA, gB, gC = "nA", "nB", "nC"
+        members = {gA: (0, 1), gB: (1, 2), gC: (1, 3)}
+        # P1(0): [gA]; P2(1): [gA? ...]; Use: rank0: gA,  rank1: gB, gC, gA
+        ops = [
+            [gA],
+            [gB, gC, gA],
+            [gB],
+            [gC],
+        ]
+        program = make_program(ops, members)
+        # rank0 already visited gA's op (count 1); rank1 has done nothing.
+        start = (1, 0, 0, 0)
+        cut = compute_safe_cut(program, start)
+        # rank1 must advance through gB and gC to reach gA -> their
+        # targets rise to 1, pulling ranks 2 and 3 forward as well.
+        assert cut.targets == {gA: 1, gB: 1, gC: 1}
+        assert cut.positions == (1, 3, 1, 1)
+
+
+class TestBasicProperties:
+    def test_aligned_positions_need_no_advance(self):
+        g = "g"
+        program = make_program([[g, g], [g, g]], {g: (0, 1)})
+        cut = compute_safe_cut(program, (1, 1))
+        assert cut.positions == (1, 1)
+        assert cut.advanced_from((1, 1)) == [0, 0]
+
+    def test_lagging_rank_advances(self):
+        g = "g"
+        program = make_program([[g, g], [g, g]], {g: (0, 1)})
+        cut = compute_safe_cut(program, (2, 1))
+        assert cut.positions == (2, 2)
+
+    def test_invalid_positions_rejected(self):
+        g = "g"
+        program = make_program([[g]], {g: (0,)})
+        with pytest.raises(ValueError):
+            compute_safe_cut(program, (2,))
+        with pytest.raises(ValueError):
+            compute_safe_cut(program, (0, 0))
+
+    def test_nonmember_op_rejected(self):
+        program = make_program([["g"]], {"g": (1,)})
+        with pytest.raises(ValueError):
+            compute_safe_cut(program, (0,))
+
+    def test_illegal_program_detected(self):
+        """A rank whose program ends before reaching a target is illegal."""
+        g = "g"
+        program = make_program([[g, g], [g]], {g: (0, 1)})
+        with pytest.raises(RuntimeError):
+            compute_safe_cut(program, (2, 0))
+
+
+def random_legal_program(draw, max_ranks=6, max_groups=4, max_ops=12):
+    """Generate per-group global schedules and interleave them per rank."""
+    nranks = draw(st.integers(2, max_ranks))
+    ngroups = draw(st.integers(1, max_groups))
+    members = {}
+    for gi in range(ngroups):
+        size = draw(st.integers(1, nranks))
+        ranks = tuple(sorted(draw(st.permutations(list(range(nranks))))[:size]))
+        members[f"g{gi}"] = ranks
+    counts = {g: draw(st.integers(0, max_ops)) for g in members}
+    # Build per-rank op lists: for each group, its members call it
+    # `counts[g]` times; interleave groups round-robin (a legal order).
+    ops = [[] for _ in range(nranks)]
+    for g, c in counts.items():
+        for _ in range(c):
+            for r in members[g]:
+                ops[r].append(g)
+    return make_program(ops, members)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_safe_cut_fixpoint_properties(data):
+    """On random legal programs: the cut exists, is >= the start, and all
+    members of every group agree on the executed-op count."""
+    program = random_legal_program(data.draw)
+    start = tuple(
+        data.draw(st.integers(0, len(program.ops[r]))) for r in range(program.nranks)
+    )
+    # Align start positions to something reachable: clamp via cut itself.
+    cut = compute_safe_cut(program, start)
+    for r in range(program.nranks):
+        assert cut.positions[r] >= start[r]
+    for g, t in cut.targets.items():
+        for r in program.members[g]:
+            assert program.counts_at(r, cut.positions[r]).get(g, 0) == t
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_dependency_graph_is_dag(data):
+    program = random_legal_program(data.draw)
+    import networkx as nx
+
+    g = build_dependency_graph(program)
+    assert nx.is_directed_acyclic_graph(g)

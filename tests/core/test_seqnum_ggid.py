@@ -1,0 +1,109 @@
+"""Tests for SEQ/TARGET tables and ggid registry (the seq_num.cpp state)."""
+
+import pytest
+
+from repro.core import GgidRegistry, SeqNumTable, compute_ggid
+from repro.util.hashing import stable_hash_ranks
+
+
+class TestGgid:
+    def test_compute_matches_stable_hash(self):
+        assert compute_ggid((3, 1, 2)) == stable_hash_ranks([1, 2, 3])
+
+    def test_registry_register_and_members(self):
+        reg = GgidRegistry()
+        g = reg.register((4, 2, 6))
+        assert g in reg
+        assert reg.members(g) == (2, 4, 6)
+
+    def test_registry_idempotent(self):
+        reg = GgidRegistry()
+        a = reg.register((0, 1))
+        b = reg.register((1, 0))
+        assert a == b
+        assert len(reg.known_ggids()) == 1
+
+    def test_unknown_ggid_raises(self):
+        with pytest.raises(KeyError):
+            GgidRegistry().members(123)
+
+    def test_snapshot_restore_roundtrip(self):
+        reg = GgidRegistry()
+        reg.register((0, 1, 2))
+        reg.register((3, 4))
+        restored = GgidRegistry.restore(reg.snapshot())
+        assert restored.peers == reg.peers
+
+
+class TestSeqNumTable:
+    def test_increment_from_zero(self):
+        t = SeqNumTable()
+        assert t.seq_of(7) == 0
+        assert t.increment(7) == 1
+        assert t.increment(7) == 2
+        assert t.seq_of(7) == 2
+
+    def test_ensure_group_initializes_zero(self):
+        t = SeqNumTable()
+        t.ensure_group(5)
+        assert t.seq_of(5) == 0
+        t.increment(5)
+        t.ensure_group(5)  # must not reset
+        assert t.seq_of(5) == 1
+
+    def test_set_targets_and_reached(self):
+        t = SeqNumTable()
+        t.increment(1)
+        t.set_targets({1: 3})
+        assert t.unreached() == [1]
+        assert not t.all_targets_reached()
+        t.increment(1)
+        t.increment(1)
+        assert t.all_targets_reached()
+
+    def test_set_targets_never_lowers(self):
+        t = SeqNumTable()
+        t.set_targets({1: 5})
+        t.set_targets({1: 3})
+        assert t.target_of(1) == 5
+
+    def test_raise_target_reports_change(self):
+        t = SeqNumTable()
+        t.set_targets({1: 2})
+        assert t.raise_target(1, 4) is True
+        assert t.raise_target(1, 4) is False
+        assert t.raise_target(1, 3) is False
+        assert t.target_of(1) == 4
+
+    def test_overshoot(self):
+        t = SeqNumTable()
+        t.set_targets({1: 1})
+        t.increment(1)
+        assert not t.overshoot(1)
+        t.increment(1)
+        assert t.overshoot(1)
+
+    def test_clear_targets(self):
+        t = SeqNumTable()
+        t.increment(1)
+        t.set_targets({1: 5})
+        t.clear_targets()
+        assert t.all_targets_reached()
+        assert t.seq_of(1) == 1  # SEQ survives a checkpoint
+
+    def test_snapshot_restore(self):
+        t = SeqNumTable()
+        t.increment(1)
+        t.increment(2)
+        t.set_targets({1: 3})
+        r = SeqNumTable.restore(t.snapshot())
+        assert r.seq == t.seq
+        assert r.target == t.target
+
+    def test_multiple_groups_independent(self):
+        t = SeqNumTable()
+        t.increment(1)
+        t.increment(2)
+        t.increment(2)
+        t.set_targets({1: 1, 2: 3})
+        assert t.unreached() == [2]

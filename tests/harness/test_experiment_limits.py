@@ -1,0 +1,32 @@
+"""Tests for experiment memory-limit handling (mirroring the paper's own
+omissions) and render formatting."""
+
+from repro.harness.experiments import _fmt_size, _memory_limited
+
+
+def test_memory_limited_cells_match_paper():
+    """The paper: alltoall/allgather 'do not support a message size of
+    1 MB over 1024 and 2048 processes'; our scaled analog caps at 16."""
+    assert _memory_limited("alltoall", 1 << 20, 32)
+    assert _memory_limited("allgather", 1 << 20, 32)
+    assert not _memory_limited("alltoall", 1 << 20, 16)
+    assert not _memory_limited("alltoall", 1024, 2048)
+    assert not _memory_limited("bcast", 1 << 20, 2048)
+    assert not _memory_limited("allreduce", 1 << 20, 2048)
+
+
+def test_fig5a_skips_limited_cells():
+    from repro.harness import fig5a
+
+    res = fig5a(procs=(8, 32), kinds=("alltoall",), sizes=(1 << 20,), iters=4)
+    procs_covered = {row[2] for row in res.rows}
+    assert 8 in procs_covered
+    assert 32 not in procs_covered
+    assert "memory" in res.notes
+
+
+def test_fmt_size():
+    assert _fmt_size(4) == "4B"
+    assert _fmt_size(1024) == "1KB"
+    assert _fmt_size(1 << 20) == "1MB"
+    assert _fmt_size(4 << 20) == "4MB"

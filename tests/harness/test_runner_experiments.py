@@ -1,0 +1,109 @@
+"""Tests for the runner, experiment drivers, and CLI."""
+
+import pytest
+
+from repro.apps import make_app_factory
+from repro.harness import EXPERIMENTS, fig5b, fig7, fig9, table1
+from repro.harness.runner import RunResult, launch_run
+
+
+class TestRunner:
+    def test_run_result_fields(self):
+        r = launch_run(make_app_factory("comd", niters=4), 4, seed=0)
+        assert isinstance(r, RunResult)
+        assert r.nprocs == 4
+        assert r.runtime > 0
+        assert r.coll_calls > 0 and r.p2p_calls > 0
+        assert r.sim_events > 0
+        assert len(r.per_rank) == 4
+
+    def test_rates(self):
+        r = launch_run(make_app_factory("comd", niters=8), 4, seed=0)
+        assert r.coll_rate == pytest.approx(r.coll_calls / 4 / r.runtime)
+        assert r.p2p_rate == pytest.approx(r.p2p_calls / 4 / r.runtime)
+
+    def test_topology_mismatch_rejected(self):
+        from repro.netmodel import make_topology
+
+        with pytest.raises(ValueError):
+            launch_run(
+                make_app_factory("comd", niters=1), 4, topo=make_topology(8)
+            )
+
+    def test_committed_images_without_checkpoint_raises(self):
+        r = launch_run(make_app_factory("comd", niters=2), 2, seed=0)
+        with pytest.raises(ValueError):
+            r.committed_images()
+
+    def test_deterministic_runs(self):
+        a = launch_run(make_app_factory("comd", niters=6), 4, seed=5)
+        b = launch_run(make_app_factory("comd", niters=6), 4, seed=5)
+        assert a.runtime == b.runtime
+        assert a.sim_events == b.sim_events
+
+    def test_seed_changes_timing(self):
+        a = launch_run(make_app_factory("comd", niters=6), 4, seed=5)
+        b = launch_run(make_app_factory("comd", niters=6), 4, seed=6)
+        assert a.runtime != b.runtime
+
+
+class TestExperiments:
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9"
+        }
+
+    def test_table1_shape(self):
+        res = table1(nprocs=8)
+        assert len(res.rows) == 6
+        apps = [row[0] for row in res.rows]
+        assert apps[0].startswith("osu")
+        rendered = res.render()
+        assert "coll calls/s" in rendered
+        # Poisson's p2p column is NA, as in the paper.
+        poisson_row = next(r for r in res.rows if r[0] == "poisson")
+        assert poisson_row[2] == "NA"
+
+    def test_fig5b_reports_na_for_2pc(self):
+        res = fig5b(procs=(4,), kinds=("allreduce",), sizes=(4,), iters=10)
+        assert all(row[3] == "NA" for row in res.rows)
+        assert "NA" in res.render()
+
+    def test_fig7_shape(self):
+        res = fig7(nprocs=8, repeats=1)
+        apps = [row[0] for row in res.rows]
+        assert apps == ["minivasp", "sw4", "comd", "lammps", "poisson"]
+        poisson = res.rows[-1]
+        assert poisson[2] == "NA"  # 2PC column
+        vasp = res.rows[0]
+        assert float(vasp[4]) > float(vasp[5]), "2PC must cost more than CC on VASP"
+
+    def test_fig9_checkpoint_and_restart_grow_with_nodes(self):
+        res = fig9(nodes=(1, 4), ppn=2, niters=6)
+        by_name = {s.name: s for s in res.series}
+        cc_ckpt = by_name["CC ckpt (s)"]
+        assert cc_ckpt.ys[-1] > cc_ckpt.ys[0]  # more nodes -> slower ckpt
+        cc_restart = by_name["CC restart (s)"]
+        assert all(y > 0 for y in cc_restart.ys)
+
+    def test_render_series_table(self):
+        res = fig9(nodes=(1, 2), ppn=2, niters=5)
+        text = res.render()
+        assert "nodes" in text
+        assert "CC ckpt" in text
+
+
+class TestCli:
+    def test_cli_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--nprocs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "minivasp" in out
+
+    def test_cli_unknown_experiment(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

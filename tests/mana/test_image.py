@@ -1,0 +1,128 @@
+"""Tests for the checkpoint image format and set persistence."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.mana import (
+    CheckpointImage,
+    ImageError,
+    load_checkpoint_set,
+    read_image_file,
+    save_checkpoint_set,
+    write_image_file,
+)
+
+
+def make_image(rank=0, nprocs=4, ckpt_id=0, **kw):
+    return CheckpointImage(
+        rank=rank, nprocs=nprocs, protocol="cc", ckpt_id=ckpt_id,
+        app_state={"iter": 7, "x": np.arange(4.0)}, **kw,
+    )
+
+
+class TestImageFile:
+    def test_roundtrip(self, tmp_path):
+        img = make_image()
+        path = write_image_file(img, tmp_path)
+        assert path.name == "ckpt_0_rank0.manapy"
+        loaded = read_image_file(path)
+        assert loaded.rank == 0
+        assert loaded.app_state["iter"] == 7
+        assert loaded.app_state["x"].tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_corruption_detected(self, tmp_path):
+        path = write_image_file(make_image(), tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip a payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ImageError, match="CRC"):
+            read_image_file(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = write_image_file(make_image(), tmp_path)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(ImageError, match="truncated"):
+            read_image_file(path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = write_image_file(make_image(), tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[0] = 0x00
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ImageError, match="magic"):
+            read_image_file(path)
+
+    def test_missing_header(self, tmp_path):
+        p = tmp_path / "x.manapy"
+        p.write_bytes(b"abc")
+        with pytest.raises(ImageError):
+            read_image_file(p)
+
+
+class TestCheckpointSet:
+    def test_save_load_roundtrip(self, tmp_path):
+        images = {r: make_image(rank=r) for r in range(4)}
+        paths = save_checkpoint_set(images, tmp_path)
+        assert len(paths) == 4
+        loaded = load_checkpoint_set(tmp_path, ckpt_id=0)
+        assert sorted(loaded) == [0, 1, 2, 3]
+
+    def test_incomplete_set_rejected_on_save(self, tmp_path):
+        images = {r: make_image(rank=r) for r in (0, 2)}  # missing 1, 3
+        with pytest.raises(ImageError, match="cover"):
+            save_checkpoint_set(images, tmp_path)
+
+    def test_incomplete_set_rejected_on_load(self, tmp_path):
+        images = {r: make_image(rank=r) for r in range(4)}
+        paths = save_checkpoint_set(images, tmp_path)
+        paths[2].unlink()
+        with pytest.raises(ImageError, match="missing"):
+            load_checkpoint_set(tmp_path)
+
+    def test_empty_set_rejected(self, tmp_path):
+        with pytest.raises(ImageError):
+            save_checkpoint_set({}, tmp_path)
+        with pytest.raises(ImageError):
+            load_checkpoint_set(tmp_path)
+
+    def test_multiple_checkpoint_ids_coexist(self, tmp_path):
+        save_checkpoint_set({r: make_image(rank=r, nprocs=2, ckpt_id=0) for r in range(2)}, tmp_path)
+        save_checkpoint_set({r: make_image(rank=r, nprocs=2, ckpt_id=1) for r in range(2)}, tmp_path)
+        a = load_checkpoint_set(tmp_path, ckpt_id=0)
+        b = load_checkpoint_set(tmp_path, ckpt_id=1)
+        assert a[0].ckpt_id == 0 and b[0].ckpt_id == 1
+
+
+class TestEndToEndImagePersistence:
+    def test_disk_roundtrip_restart(self, tmp_path):
+        """Checkpoint to real files, load, restart — full MANA loop."""
+        from repro.apps.base import MpiApp
+        from repro.harness.runner import launch_run, restart_run
+        from repro.netmodel import StorageModel
+
+        class Counter(MpiApp):
+            name = "counter"
+
+            def setup(self, ctx):
+                ctx.state["total"] = 0
+
+            def step(self, ctx, i):
+                ctx.compute_jittered(1e-6, i)
+                v = ctx.world.allreduce(ctx.rank + i)
+                ctx.state["total"] = ctx.state["total"] + v
+
+            def finalize(self, ctx):
+                return ctx.state["total"]
+
+        storage = StorageModel(base_latency=1e-4)
+        native = launch_run(lambda: Counter(niters=20), 4, protocol="native", seed=9)
+        r = launch_run(
+            lambda: Counter(niters=20), 4, protocol="cc", seed=9,
+            checkpoint_at=[native.runtime / 2], storage=storage,
+        )
+        save_checkpoint_set(r.committed_images(), tmp_path)
+        images = load_checkpoint_set(tmp_path)
+        rs = restart_run(lambda: Counter(niters=20), images, seed=9, storage=storage)
+        assert rs.per_rank == native.per_rank

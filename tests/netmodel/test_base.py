@@ -1,0 +1,34 @@
+"""Tests for link parameters and model bundles."""
+
+import pytest
+
+from repro.netmodel import LinkParams, ModelParams
+
+
+def test_transfer_time_formula():
+    link = LinkParams(latency=1e-6, bandwidth=1e9)
+    assert link.transfer_time(0) == pytest.approx(1e-6)
+    assert link.transfer_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        LinkParams(latency=-1.0, bandwidth=1e9)
+    with pytest.raises(ValueError):
+        LinkParams(latency=0.0, bandwidth=0.0)
+    link = LinkParams(1e-6, 1e9)
+    with pytest.raises(ValueError):
+        link.transfer_time(-5)
+
+
+def test_perlmutter_like_faster_than_slow_network():
+    fast = ModelParams.perlmutter_like()
+    slow = ModelParams.slow_network()
+    assert fast.inter.latency < slow.inter.latency
+    assert fast.inter.bandwidth > slow.inter.bandwidth
+
+
+def test_intra_faster_than_inter():
+    p = ModelParams.perlmutter_like()
+    assert p.intra.latency < p.inter.latency
+    assert p.intra.bandwidth > p.inter.bandwidth

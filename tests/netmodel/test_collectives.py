@@ -1,0 +1,289 @@
+"""Tests for the causal collective cost engines.
+
+These verify the *structural* properties the paper's argument rests on:
+broadcast is loose (early ranks exit before late leaves arrive), the
+synchronizing collectives are tight (nobody exits before the last
+arrival), and trees are well formed.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netmodel import (
+    CollectiveTuning,
+    BcastSolver,
+    ReduceSolver,
+    SynchronizingSolver,
+    binomial_children,
+    binomial_parent,
+    make_solver,
+    make_topology,
+)
+from repro.netmodel.collectives import subtree_size
+
+
+@pytest.fixture
+def topo():
+    return make_topology(8, ppn=4)
+
+
+@pytest.fixture
+def tuning():
+    return CollectiveTuning()
+
+
+def all_exits(solver, arrivals):
+    """Feed arrivals in time order; return {index: exit}."""
+    exits = {}
+    order = sorted(range(len(arrivals)), key=lambda i: (arrivals[i], i))
+    for i in order:
+        exits.update(solver.on_arrival(i, arrivals[i]))
+    assert solver.complete
+    return exits
+
+
+class TestBinomialTree:
+    def test_parent_of_small_vranks(self):
+        assert binomial_parent(1) == 0
+        assert binomial_parent(2) == 0
+        assert binomial_parent(3) == 1
+        assert binomial_parent(4) == 0
+        assert binomial_parent(5) == 1
+        assert binomial_parent(6) == 2
+        assert binomial_parent(7) == 3
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            binomial_parent(0)
+
+    def test_children_of_root_p8(self):
+        # Largest subtree first: 4 (size 4), 2 (size 2), 1 (size 1).
+        assert binomial_children(0, 8) == [4, 2, 1]
+
+    def test_children_respect_bound(self):
+        assert binomial_children(0, 5) == [4, 2, 1]
+        assert binomial_children(4, 5) == []
+        # vrank 3's parent is 1 (3 - 2^1), so 2 is a leaf in a 5-tree.
+        assert binomial_children(2, 5) == []
+        assert binomial_children(1, 5) == [3]
+
+    @given(st.integers(min_value=1, max_value=200))
+    def test_tree_spans_all_vranks(self, p):
+        seen = set()
+
+        def walk(v):
+            seen.add(v)
+            for c in binomial_children(v, p):
+                walk(c)
+
+        walk(0)
+        assert seen == set(range(p))
+
+    @given(st.integers(min_value=2, max_value=128))
+    def test_parent_child_consistency(self, p):
+        for v in range(1, p):
+            assert v in binomial_children(binomial_parent(v), p)
+
+    def test_subtree_sizes_sum(self):
+        p = 13
+        assert subtree_size(0, p) == p
+
+
+class TestSynchronizingSolver:
+    @pytest.mark.parametrize(
+        "kind", ["barrier", "allreduce", "alltoall", "allgather", "scan", "reduce_scatter"]
+    )
+    def test_no_exit_before_last_arrival(self, topo, tuning, kind):
+        solver = make_solver(kind, tuple(range(8)), topo, tuning, 64)
+        arrivals = [0.0, 5.0, 1.0, 2.0, 0.5, 3.0, 0.1, 4.0]
+        exits = all_exits(solver, arrivals)
+        last = max(arrivals)
+        assert all(t > last for t in exits.values())
+
+    def test_partial_arrivals_resolve_nothing(self, topo, tuning):
+        solver = make_solver("barrier", tuple(range(4)), topo, tuning, 0)
+        assert solver.on_arrival(0, 0.0) == {}
+        assert solver.on_arrival(1, 1.0) == {}
+        assert not solver.complete
+
+    def test_alltoall_scales_linearly_with_p(self, tuning):
+        t_small = make_solver(
+            "alltoall", tuple(range(4)), make_topology(4, ppn=4), tuning, 1024
+        )
+        t_large = make_solver(
+            "alltoall", tuple(range(16)), make_topology(16, ppn=16), tuning, 1024
+        )
+        cost_small = t_small.algorithm_cost()
+        cost_large = t_large.algorithm_cost()
+        assert cost_large > cost_small * 3  # (p-1) scaling: 15/3 = 5x
+
+    def test_barrier_scales_logarithmically(self, tuning):
+        c8 = make_solver(
+            "barrier", tuple(range(8)), make_topology(8, ppn=8), tuning, 0
+        ).algorithm_cost()
+        c64 = make_solver(
+            "barrier", tuple(range(64)), make_topology(64, ppn=64), tuning, 0
+        ).algorithm_cost()
+        assert c64 == pytest.approx(c8 * 2)  # log2: 3 rounds -> 6 rounds
+
+    def test_allreduce_message_size_increases_cost(self, topo, tuning):
+        small = make_solver("allreduce", tuple(range(8)), topo, tuning, 4)
+        large = make_solver("allreduce", tuple(range(8)), topo, tuning, 1 << 20)
+        assert large.algorithm_cost() > small.algorithm_cost() * 10
+
+    def test_singleton_group_cheap(self, topo, tuning):
+        solver = make_solver("allreduce", (3,), topo, tuning, 1024)
+        exits = all_exits(solver, [2.0])
+        assert exits[0] == pytest.approx(2.0 + tuning.min_stage)
+
+    def test_unknown_kind_rejected(self, topo, tuning):
+        with pytest.raises(ValueError):
+            make_solver("gossip", (0, 1), topo, tuning, 0)
+
+
+class TestBcastSolver:
+    def test_root_exits_before_late_leaf_arrives(self, topo, tuning):
+        """The defining non-synchronizing behaviour."""
+        solver = make_solver("bcast", tuple(range(8)), topo, tuning, 4)
+        # Root arrives at 0; exits should resolve immediately.
+        newly = solver.on_arrival(0, 0.0)
+        assert 0 in newly
+        assert newly[0] < 1.0  # long before the leaf arrives at t=100
+
+    def test_all_members_exit_after_own_arrival(self, topo, tuning):
+        solver = make_solver("bcast", tuple(range(8)), topo, tuning, 1024)
+        arrivals = [0.0, 10.0, 0.2, 0.1, 7.0, 0.3, 0.4, 0.5]
+        exits = all_exits(solver, arrivals)
+        for i, a in enumerate(arrivals):
+            assert exits[i] > a
+
+    def test_children_wait_for_root(self, topo, tuning):
+        solver = make_solver("bcast", tuple(range(4)), topo, tuning, 64)
+        # Non-roots arrive first; nothing resolves until the root shows up.
+        assert solver.on_arrival(1, 0.0) == {}
+        assert solver.on_arrival(2, 0.0) == {}
+        assert solver.on_arrival(3, 0.0) == {}
+        newly = solver.on_arrival(0, 5.0)
+        assert set(newly) == {0, 1, 2, 3}
+        assert all(t > 5.0 for t in newly.values())
+
+    def test_nonzero_root_rotation(self, topo, tuning):
+        solver = make_solver("bcast", tuple(range(4)), topo, tuning, 64, root_index=2)
+        newly = solver.on_arrival(2, 0.0)
+        assert 2 in newly  # the root resolves on its own arrival
+
+    def test_deeper_ranks_exit_later(self, tuning):
+        topo = make_topology(8, ppn=8)
+        solver = make_solver("bcast", tuple(range(8)), topo, tuning, 4)
+        exits = all_exits(solver, [0.0] * 8)
+        # vrank 7 is depth 3; vrank 4 is depth 1.
+        assert exits[7] > exits[4]
+
+    def test_message_size_increases_depth_cost(self, topo, tuning):
+        small = all_exits(
+            make_solver("bcast", tuple(range(8)), topo, tuning, 4), [0.0] * 8
+        )
+        large = all_exits(
+            make_solver("bcast", tuple(range(8)), topo, tuning, 1 << 20), [0.0] * 8
+        )
+        assert max(large.values()) > max(small.values()) * 5
+
+    def test_duplicate_arrival_rejected(self, topo, tuning):
+        solver = make_solver("bcast", tuple(range(4)), topo, tuning, 4)
+        solver.on_arrival(0, 0.0)
+        with pytest.raises(ValueError):
+            solver.on_arrival(0, 1.0)
+
+    def test_index_out_of_range(self, topo, tuning):
+        solver = make_solver("bcast", tuple(range(4)), topo, tuning, 4)
+        with pytest.raises(ValueError):
+            solver.on_arrival(4, 0.0)
+
+
+class TestReduceSolver:
+    def test_leaves_exit_early_root_exits_last(self, topo, tuning):
+        solver = make_solver("reduce", tuple(range(8)), topo, tuning, 1024)
+        exits = all_exits(solver, [0.0] * 8)
+        assert exits[0] == max(exits.values())  # root waits for the whole tree
+        # vrank 7 is a leaf: exits long before the root.
+        assert exits[7] < exits[0]
+
+    def test_root_waits_for_late_leaf(self, topo, tuning):
+        # Tree over p=4: 0 <- {2, 1}, 1 <- {3}.  So member 3's lateness
+        # delays its ancestor 1 and the root, but not leaf 2.
+        solver = make_solver("reduce", tuple(range(4)), topo, tuning, 64)
+        arrivals = [0.0, 0.0, 0.0, 50.0]
+        exits = all_exits(solver, arrivals)
+        assert exits[0] > 50.0
+        assert exits[1] > 50.0  # ancestor of the late leaf
+        assert exits[2] < 1.0  # independent leaf leaves early
+
+    def test_gather_aggregates_sizes(self, topo, tuning):
+        """With size aggregation on (gather), messages near the root carry
+        whole subtrees and the root exit is strictly later."""
+        from repro.netmodel import ReduceSolver
+
+        kwargs = dict(reduce_gamma=False)
+        flat = ReduceSolver(
+            tuple(range(8)), topo, tuning, 1 << 16, 0, aggregate_sizes=False, **kwargs
+        )
+        agg = ReduceSolver(
+            tuple(range(8)), topo, tuning, 1 << 16, 0, aggregate_sizes=True, **kwargs
+        )
+        flat_exits = all_exits(flat, [0.0] * 8)
+        agg_exits = all_exits(agg, [0.0] * 8)
+        assert agg_exits[0] > flat_exits[0]
+
+    def test_partial_resolution_is_causal(self, topo, tuning):
+        solver = make_solver("reduce", tuple(range(4)), topo, tuning, 64)
+        # Leaf 3 (child of 2) arrives: resolves only itself.
+        newly = solver.on_arrival(3, 0.0)
+        assert set(newly) == {3}
+        # Member 1 (leaf child of root) arrives: resolves itself.
+        newly = solver.on_arrival(1, 0.0)
+        assert set(newly) == {1}
+        # Member 2 arrives: has its child 3 done -> resolves.
+        newly = solver.on_arrival(2, 0.0)
+        assert set(newly) == {2}
+        # Root arrives last.
+        newly = solver.on_arrival(0, 1.0)
+        assert set(newly) == {0}
+
+
+class TestCausalityProperty:
+    """Exit times never precede the arrivals they depend on."""
+
+    @given(
+        kind=st.sampled_from(["bcast", "reduce", "barrier", "allreduce", "alltoall"]),
+        arrivals=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=16
+        ),
+        nbytes=st.sampled_from([0, 4, 1024, 1 << 20]),
+    )
+    def test_exits_after_own_arrival(self, kind, arrivals, nbytes):
+        p = len(arrivals)
+        topo = make_topology(p, ppn=max(1, p // 2))
+        solver = make_solver(kind, tuple(range(p)), topo, CollectiveTuning(), nbytes)
+        exits = all_exits(solver, arrivals)
+        assert set(exits) == set(range(p))
+        for i in range(p):
+            assert exits[i] > arrivals[i]
+
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=12
+        )
+    )
+    def test_resolution_only_uses_seen_arrivals(self, arrivals):
+        """Incremental exits must match the batch answer (no lookahead)."""
+        p = len(arrivals)
+        topo = make_topology(p, ppn=p)
+        tuning = CollectiveTuning()
+        s1 = make_solver("bcast", tuple(range(p)), topo, tuning, 64)
+        incremental = all_exits(s1, arrivals)
+        s2 = make_solver("bcast", tuple(range(p)), topo, tuning, 64)
+        batch = {}
+        for i in range(p):  # arbitrary different feed order by index
+            batch.update(s2.on_arrival(i, arrivals[i]))
+        assert incremental == batch

@@ -1,0 +1,47 @@
+"""Tests for the Lustre-like storage model."""
+
+import pytest
+
+from repro.netmodel import StorageModel
+
+
+def test_effective_bandwidth_scales_then_saturates():
+    sm = StorageModel(per_node_bandwidth=2e9, aggregate_bandwidth=8e9)
+    assert sm.effective_bandwidth(1) == 2e9
+    assert sm.effective_bandwidth(3) == 6e9
+    assert sm.effective_bandwidth(4) == 8e9
+    assert sm.effective_bandwidth(16) == 8e9
+
+
+def test_write_time_grows_past_saturation():
+    """Figure 9's shape: per-node data is constant, so below saturation the
+    time is flat; above it, more nodes = more total data over a capped
+    pipe = longer checkpoints."""
+    sm = StorageModel(per_node_bandwidth=2e9, aggregate_bandwidth=8e9, base_latency=0.0)
+    bytes_per_node = 50e9
+    t = [sm.write_time(bytes_per_node * n, n) for n in (1, 2, 4, 8, 16)]
+    assert t[0] == pytest.approx(t[1])  # below saturation: flat
+    assert t[2] < t[3] < t[4]  # above saturation: grows
+
+
+def test_read_faster_than_write():
+    sm = StorageModel(read_factor=1.5)
+    b, n = 100e9, 4
+    assert sm.read_time(b, n) < sm.write_time(b, n)
+
+
+def test_base_latency_floor():
+    sm = StorageModel(base_latency=2.0)
+    assert sm.write_time(0, 1) == pytest.approx(2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StorageModel(per_node_bandwidth=0)
+    with pytest.raises(ValueError):
+        StorageModel(read_factor=0)
+    sm = StorageModel()
+    with pytest.raises(ValueError):
+        sm.write_time(-1, 1)
+    with pytest.raises(ValueError):
+        sm.effective_bandwidth(0)

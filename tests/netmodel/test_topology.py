@@ -1,0 +1,95 @@
+"""Tests for cluster topology and link selection."""
+
+import pytest
+
+from repro.netmodel import ClusterTopology, ModelParams, make_topology
+
+
+@pytest.fixture
+def topo16():
+    return make_topology(16, ppn=4)
+
+
+def test_node_assignment(topo16):
+    assert topo16.nnodes == 4
+    assert topo16.node_of(0) == 0
+    assert topo16.node_of(3) == 0
+    assert topo16.node_of(4) == 1
+    assert topo16.node_of(15) == 3
+
+
+def test_node_of_out_of_range(topo16):
+    with pytest.raises(ValueError):
+        topo16.node_of(16)
+    with pytest.raises(ValueError):
+        topo16.node_of(-1)
+
+
+def test_same_node(topo16):
+    assert topo16.same_node(0, 3)
+    assert not topo16.same_node(3, 4)
+
+
+def test_link_selection(topo16):
+    p = topo16.params
+    assert topo16.link(0, 1) is p.intra
+    assert topo16.link(0, 4) is p.inter
+
+
+def test_p2p_time_intra_vs_inter(topo16):
+    m = 1024
+    assert topo16.p2p_time(0, 1, m) < topo16.p2p_time(0, 4, m)
+
+
+def test_p2p_self_send_is_cheap(topo16):
+    assert topo16.p2p_time(2, 2, 1024) < topo16.p2p_time(0, 1, 1024)
+
+
+def test_ceil_nnodes():
+    topo = make_topology(10, ppn=4)
+    assert topo.nnodes == 3
+
+
+def test_single_node_mean_alpha_is_intra():
+    topo = make_topology(8, ppn=8)
+    assert topo.mean_alpha() == pytest.approx(topo.params.intra.latency)
+
+
+def test_multi_node_mean_alpha_between_bounds(topo16):
+    a = topo16.mean_alpha()
+    assert topo16.params.intra.latency < a < topo16.params.inter.latency
+
+
+def test_mean_alpha_subgroup_single_node(topo16):
+    # Group entirely on node 0.
+    a = topo16.mean_alpha((0, 1, 2, 3))
+    assert a == pytest.approx(topo16.params.intra.latency)
+
+
+def test_mean_alpha_subgroup_spread(topo16):
+    # One rank per node: every pair is inter-node.
+    a = topo16.mean_alpha((0, 4, 8, 12))
+    assert a == pytest.approx(topo16.params.inter.latency)
+
+
+def test_mean_alpha_more_nodes_is_slower():
+    params = ModelParams.perlmutter_like()
+    one = ClusterTopology(128, 128, params)
+    two = ClusterTopology(256, 128, params)
+    four = ClusterTopology(512, 128, params)
+    assert one.mean_alpha() < two.mean_alpha() < four.mean_alpha()
+
+
+def test_invalid_construction():
+    params = ModelParams.perlmutter_like()
+    with pytest.raises(ValueError):
+        ClusterTopology(0, 4, params)
+    with pytest.raises(ValueError):
+        ClusterTopology(4, 0, params)
+
+
+def test_default_ppn_single_node_when_small():
+    topo = make_topology(32)
+    assert topo.nnodes == 1
+    topo = make_topology(256)
+    assert topo.nnodes == 2

@@ -1,0 +1,100 @@
+"""Tests for payload sizing and reduction operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simmpi import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM, payload_nbytes, reduce_payloads
+from repro.simmpi.datatypes import lookup_op
+from repro.simmpi.errors import ReduceOpError
+
+
+class TestPayloadNbytes:
+    def test_numpy_array(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+        assert payload_nbytes(np.zeros((4, 4), dtype=np.int32)) == 64
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(16)) == 16
+
+    def test_scalars(self):
+        assert payload_nbytes(7) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(None) == 0
+
+    def test_str(self):
+        assert payload_nbytes("hello") == 5
+
+    def test_containers(self):
+        assert payload_nbytes([1, 2]) == 8 * 2 + 16
+        assert payload_nbytes({"a": 1}) == 1 + 8 + 16
+
+    def test_arbitrary_object_positive(self):
+        class Blob:
+            pass
+
+        assert payload_nbytes(Blob()) > 0
+
+
+class TestReduceOps:
+    def test_sum_scalars(self):
+        assert reduce_payloads([1, 2, 3], SUM) == 6
+
+    def test_sum_arrays_elementwise(self):
+        out = reduce_payloads([np.array([1.0, 2.0]), np.array([3.0, 4.0])], SUM)
+        assert out.tolist() == [4.0, 6.0]
+
+    def test_sum_does_not_mutate_inputs(self):
+        a = np.array([1.0, 1.0])
+        b = np.array([2.0, 2.0])
+        reduce_payloads([a, b], SUM)
+        assert a.tolist() == [1.0, 1.0]
+
+    def test_prod(self):
+        assert reduce_payloads([2, 3, 4], PROD) == 24
+
+    def test_max_min(self):
+        assert reduce_payloads([5, -2, 3], MAX) == 5
+        assert reduce_payloads([5, -2, 3], MIN) == -2
+
+    def test_logical(self):
+        assert bool(reduce_payloads([True, True, False], LAND)) is False
+        assert bool(reduce_payloads([False, True, False], LOR)) is True
+
+    def test_bitwise(self):
+        assert reduce_payloads([0b1100, 0b1010], BAND) == 0b1000
+        assert reduce_payloads([0b1100, 0b1010], BOR) == 0b1110
+
+    def test_lookup_by_name(self):
+        assert lookup_op("sum") is SUM
+        assert lookup_op(MAX) is MAX
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ReduceOpError):
+            lookup_op("xor-ish")
+
+    def test_empty_reduce_raises(self):
+        with pytest.raises(ReduceOpError):
+            reduce_payloads([], SUM)
+
+    def test_scalar_result_is_python_number(self):
+        out = reduce_payloads([1, 2], SUM)
+        assert isinstance(out, int)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=20))
+    def test_sum_matches_builtin(self, xs):
+        assert reduce_payloads(xs, SUM) == sum(xs)
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=3),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_array_sum_matches_numpy(self, rows):
+        arrays = [np.array(r) for r in rows]
+        out = reduce_payloads(arrays, SUM)
+        np.testing.assert_allclose(out, np.sum(rows, axis=0))

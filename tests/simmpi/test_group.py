@@ -1,0 +1,116 @@
+"""Tests for MPI groups: identity, translation, set operations, ggid."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simmpi import Group, IDENT, SIMILAR, UNEQUAL
+from repro.simmpi.errors import CommunicatorError
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = Group([4, 2, 7])
+        assert g.size == 3
+        assert g.world_ranks == (4, 2, 7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group([1, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(CommunicatorError):
+            Group([0, -1])
+
+
+class TestRankTranslation:
+    def test_rank_of_and_world_rank_roundtrip(self):
+        g = Group([10, 20, 30])
+        for i, w in enumerate([10, 20, 30]):
+            assert g.rank_of(w) == i
+            assert g.world_rank(i) == w
+
+    def test_rank_of_nonmember_raises(self):
+        with pytest.raises(CommunicatorError):
+            Group([1, 2]).rank_of(3)
+
+    def test_world_rank_out_of_range(self):
+        with pytest.raises(CommunicatorError):
+            Group([1, 2]).world_rank(2)
+
+    def test_translate_ranks(self):
+        """The MPI_Group_translate_ranks the CC algorithm uses to find
+        group peers locally (paper Section 4.2.4)."""
+        a = Group([0, 1, 2, 3])
+        b = Group([2, 3, 4])
+        assert a.translate_ranks([0, 1, 2, 3], b) == [None, None, 0, 1]
+        assert b.translate_ranks([0, 2], a) == [2, None]
+
+
+class TestCompare:
+    def test_ident(self):
+        assert Group([1, 2, 3]).compare(Group([1, 2, 3])) == IDENT
+
+    def test_similar_same_set_different_order(self):
+        assert Group([1, 2, 3]).compare(Group([3, 1, 2])) == SIMILAR
+
+    def test_unequal(self):
+        assert Group([1, 2]).compare(Group([1, 3])) == UNEQUAL
+
+
+class TestGgid:
+    def test_similar_groups_share_ggid(self):
+        """The paper's requirement: MPI_SIMILAR groups get the same ggid."""
+        assert Group([5, 1, 9]).ggid == Group([9, 5, 1]).ggid
+
+    def test_different_sets_different_ggid(self):
+        assert Group([0, 1]).ggid != Group([0, 2]).ggid
+
+    @given(st.permutations(list(range(8))))
+    def test_ggid_permutation_invariant(self, perm):
+        assert Group(perm).ggid == Group(range(8)).ggid
+
+
+class TestSetOperations:
+    def test_include(self):
+        g = Group([10, 20, 30, 40])
+        sub = g.include([2, 0])
+        assert sub.world_ranks == (30, 10)
+
+    def test_exclude(self):
+        g = Group([10, 20, 30])
+        assert g.exclude([1]).world_ranks == (10, 30)
+
+    def test_exclude_all_raises(self):
+        with pytest.raises(CommunicatorError):
+            Group([5]).exclude([0])
+
+    def test_union(self):
+        u = Group([1, 2]).union(Group([2, 3]))
+        assert u.world_ranks == (1, 2, 3)
+
+    def test_intersection(self):
+        i = Group([1, 2, 3]).intersection(Group([2, 3, 4]))
+        assert i.world_ranks == (2, 3)
+
+    def test_empty_intersection_raises(self):
+        with pytest.raises(CommunicatorError):
+            Group([1]).intersection(Group([2]))
+
+    def test_difference(self):
+        d = Group([1, 2, 3]).difference(Group([2]))
+        assert d.world_ranks == (1, 3)
+
+    def test_contains(self):
+        g = Group([3, 5])
+        assert 3 in g
+        assert 4 not in g
+
+    def test_equality_and_hash(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert Group([1, 2]) != Group([2, 1])
+        assert hash(Group([1, 2])) == hash(Group([1, 2]))
