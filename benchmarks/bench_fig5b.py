@@ -11,9 +11,9 @@ from conftest import MSG_SIZES, OSU_ITERS, PROC_SWEEP
 from repro.harness import fig5b
 
 
-def test_fig5b(bench_once):
+def test_fig5b(bench_once, engine):
     result = bench_once(
-        fig5b, procs=PROC_SWEEP[:2], sizes=MSG_SIZES, iters=OSU_ITERS
+        fig5b, procs=PROC_SWEEP[:2], sizes=MSG_SIZES, iters=OSU_ITERS, engine=engine
     )
     print()
     print(result.render())

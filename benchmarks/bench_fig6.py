@@ -10,9 +10,9 @@ from conftest import PROC_SWEEP
 from repro.harness import fig6
 
 
-def test_fig6(bench_once):
+def test_fig6(bench_once, engine):
     result = bench_once(
-        fig6, procs=PROC_SWEEP[:1], sizes=(1024, 1 << 20), iters=30
+        fig6, procs=PROC_SWEEP[:1], sizes=(1024, 1 << 20), iters=30, engine=engine
     )
     print()
     print(result.render())

@@ -8,8 +8,8 @@ Poisson runs under CC but is NA under 2PC.
 from repro.harness import fig7
 
 
-def test_fig7(bench_once):
-    result = bench_once(fig7, nprocs=16, ppn=8, repeats=1)
+def test_fig7(bench_once, engine):
+    result = bench_once(fig7, nprocs=16, ppn=8, repeats=1, engine=engine)
     print()
     print(result.render())
 

@@ -10,8 +10,8 @@ from conftest import PROC_SWEEP
 from repro.harness import fig8
 
 
-def test_fig8(bench_once):
-    result = bench_once(fig8, procs=PROC_SWEEP, repeats=1, niters=10)
+def test_fig8(bench_once, engine):
+    result = bench_once(fig8, procs=PROC_SWEEP, repeats=1, niters=10, engine=engine)
     print()
     print(result.render())
 

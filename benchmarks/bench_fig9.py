@@ -10,9 +10,9 @@ from conftest import LARGE
 from repro.harness import fig9
 
 
-def test_fig9(bench_once):
+def test_fig9(bench_once, engine):
     nodes = (1, 2, 4, 8) if not LARGE else (1, 2, 4, 8, 16)
-    result = bench_once(fig9, nodes=nodes, ppn=4, niters=8)
+    result = bench_once(fig9, nodes=nodes, ppn=4, niters=8, engine=engine)
     print()
     print(result.render())
 

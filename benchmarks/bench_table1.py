@@ -8,8 +8,8 @@ LAMMPS is p2p-dominant.
 from repro.harness import table1
 
 
-def test_table1(bench_once):
-    result = bench_once(table1, nprocs=16, ppn=8)
+def test_table1(bench_once, engine):
+    result = bench_once(table1, nprocs=16, ppn=8, engine=engine)
     print()
     print(result.render())
 

@@ -5,6 +5,16 @@ scaled-down size (process counts 8-32 instead of 128-2048) and asserts
 the paper's qualitative *shape* (who wins, where NA appears, growth
 directions).  Set ``REPRO_BENCH_SCALE=large`` for bigger runs.
 
+The figure benchmarks share one :class:`ExperimentEngine` per session,
+configured by two environment knobs:
+
+* ``REPRO_BENCH_JOBS=N`` — fan each figure's simulations out over N
+  worker processes;
+* ``REPRO_BENCH_CACHE=DIR`` — persist results on disk.  This is what
+  makes cells repeated *across* benchmark files (each file submits its
+  own batch) simulate once, and makes re-benchmarking a shape change
+  in one figure free for the others.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -21,6 +31,17 @@ PROC_SWEEP = (8, 16, 32) if not LARGE else (16, 32, 64, 128)
 #: Paper's message sizes: 4 B, 1 KB, 1 MB.
 MSG_SIZES = (4, 1024, 1 << 20)
 OSU_ITERS = 40 if not LARGE else 100
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """Session-shared experiment engine for the figure benchmarks."""
+    from repro.harness import ExperimentEngine, ResultCache
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return ExperimentEngine(jobs=jobs, cache=cache)
 
 
 @pytest.fixture

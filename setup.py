@@ -1,12 +1,29 @@
-"""Legacy setup shim.
+"""Packaging for the repro-mpi reproduction.
 
-The environment for this reproduction has no `wheel` package and no network
-access, so PEP 660 editable installs are unavailable; this shim enables
-``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
-``pip install -e .`` on modern toolchains falls back to it too).
-All metadata lives in pyproject.toml.
+The environment for this reproduction has no `wheel` package and no
+network access, so PEP 660 editable installs are unavailable; this
+classic setup.py enables ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install .`` on modern
+toolchains falls back to it too).  Metadata lives here rather than in
+pyproject.toml so installs never require build isolation.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mpi",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Enabling Practical Transparent Checkpointing "
+        "for MPI: A Topological Sort Approach' (CLUSTER 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-mpi = repro.cli:main",
+        ],
+    },
+)

@@ -3,9 +3,15 @@
 Usage::
 
     python -m repro.cli table1
-    python -m repro.cli fig5a --procs 8,16,32
-    python -m repro.cli all
-    repro-mpi fig7 --nprocs 32
+    python -m repro.cli fig5a --procs 8,16,32 --jobs 4
+    python -m repro.cli all --jobs 8
+    repro-mpi fig7 --nprocs 32 --repeats 3
+
+``all`` submits every figure's job list as ONE engine batch, so cells
+shared between figures (e.g. the native miniVASP baselines of Table 1,
+Figure 7, and Figure 8) simulate once.  Results are cached on disk
+(``--cache-dir``, default ``~/.cache/repro-mpi``); a warm rerun
+executes zero simulations.  Disable with ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -14,7 +20,54 @@ import argparse
 import sys
 import time
 
-from .harness import EXPERIMENTS
+from .harness import PLANNERS, ExperimentEngine, ResultCache, run_plans
+
+#: Which per-figure keyword each CLI flag maps to, per experiment.
+_PROCS_EXPERIMENTS = ("fig5a", "fig5b", "fig6", "fig8")
+_NPROCS_EXPERIMENTS = ("table1", "fig7")
+_REPEATS_EXPERIMENTS = ("fig5a", "fig7", "fig8")
+_PPN_EXPERIMENTS = ("table1", "fig7", "fig8", "fig9")
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    """argparse type for comma-separated positive ints ("8,16,32")."""
+    try:
+        values = tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"counts must be positive integers, got {text!r}"
+        )
+    return values
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for integer flags that must be >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    if args.procs is not None and name in _PROCS_EXPERIMENTS:
+        kwargs["procs"] = args.procs
+    if args.nprocs is not None and name in _NPROCS_EXPERIMENTS:
+        kwargs["nprocs"] = args.nprocs
+    if args.nodes is not None and name == "fig9":
+        kwargs["nodes"] = args.nodes
+    if args.repeats is not None and name in _REPEATS_EXPERIMENTS:
+        kwargs["repeats"] = args.repeats
+    if args.ppn is not None and name in _PPN_EXPERIMENTS:
+        kwargs["ppn"] = args.ppn
+    return kwargs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,32 +80,55 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=sorted(PLANNERS) + ["all"],
         help="which table/figure to regenerate",
     )
-    parser.add_argument("--procs", type=str, default=None,
+    parser.add_argument("--procs", type=_int_list, default=None,
                         help="comma-separated process counts (fig5a/fig5b/fig6/fig8)")
-    parser.add_argument("--nprocs", type=int, default=None,
+    parser.add_argument("--nprocs", type=_positive_int, default=None,
                         help="process count (table1/fig7)")
-    parser.add_argument("--nodes", type=str, default=None,
+    parser.add_argument("--nodes", type=_int_list, default=None,
                         help="comma-separated node counts (fig9)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=_positive_int, default=None,
+                        help="repetitions per cell, seeds seed..seed+n-1 "
+                             "(fig5a/fig7/fig8)")
+    parser.add_argument("--ppn", type=_positive_int, default=None,
+                        help="ranks per node (table1/fig7/fig8/fig9)")
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                        help="parallel simulation worker processes (default 1)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result cache directory "
+                             "(default $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
     args = parser.parse_args(argv)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        fn = EXPERIMENTS[name]
-        kwargs: dict = {"seed": args.seed}
-        if args.procs and name in ("fig5a", "fig5b", "fig6", "fig8"):
-            kwargs["procs"] = tuple(int(x) for x in args.procs.split(","))
-        if args.nprocs and name in ("table1", "fig7"):
-            kwargs["nprocs"] = args.nprocs
-        if args.nodes and name == "fig9":
-            kwargs["nodes"] = tuple(int(x) for x in args.nodes.split(","))
-        t0 = time.time()
-        result = fn(**kwargs)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None:
+        try:
+            cache.version_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"cannot use cache directory {cache.root}: {exc}")
+    engine = ExperimentEngine(
+        jobs=args.jobs, cache=cache, progress=not args.quiet
+    )
+
+    names = sorted(PLANNERS) if args.experiment == "all" else [args.experiment]
+    plans = [PLANNERS[name](**_planner_kwargs(name, args)) for name in names]
+    t0 = time.time()
+    # One batch for everything requested: cross-figure dedupe is the
+    # whole point of batching `all`.
+    results = run_plans(plans, engine)
+    for result in results:
         print(result.render())
-        print(f"[{name} regenerated in {time.time() - t0:.1f}s wall]\n")
+        print()
+    stats = engine.last_stats
+    if stats is not None:
+        print(f"[{'+'.join(names)}: {stats.summary()}; "
+              f"{time.time() - t0:.1f}s total]")
     return 0
 
 

@@ -1,24 +1,58 @@
-"""Experiment harness: runners and per-figure experiment drivers."""
+"""Experiment harness: runners, declarative specs, the batch engine,
+the on-disk result cache, and per-figure experiment drivers."""
 
+from .cache import ResultCache, default_cache_dir
+from .engine import DEFAULT_MAX_EVENTS, EngineStats, ExperimentEngine
 from .experiments import (
     EXPERIMENTS,
+    PLANNERS,
     ExperimentResult,
+    FigurePlan,
     fig5a,
     fig5b,
     fig6,
     fig7,
     fig8,
     fig9,
+    run_plans,
     table1,
 )
 from .runner import RunResult, launch_run, restart_run
+from .spec import (
+    SCHEMA_VERSION,
+    RunSpec,
+    SpecError,
+    execute,
+    run_result_from_dict,
+    run_result_to_dict,
+    spec_from_dict,
+    spec_hash,
+    spec_to_dict,
+)
 
 __all__ = [
     "RunResult",
     "launch_run",
     "restart_run",
+    "RunSpec",
+    "SpecError",
+    "execute",
+    "spec_hash",
+    "spec_to_dict",
+    "spec_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "SCHEMA_VERSION",
+    "ExperimentEngine",
+    "EngineStats",
+    "DEFAULT_MAX_EVENTS",
+    "ResultCache",
+    "default_cache_dir",
     "ExperimentResult",
+    "FigurePlan",
+    "run_plans",
     "EXPERIMENTS",
+    "PLANNERS",
     "table1",
     "fig5a",
     "fig5b",

@@ -1,0 +1,127 @@
+"""Persistent on-disk result cache keyed by spec content hash.
+
+Layout: ``<cache_dir>/v<SCHEMA_VERSION>/<spec_hash>.json`` — one JSON
+document per unique :class:`~repro.harness.spec.RunSpec`.  Bumping
+``SCHEMA_VERSION`` (a change to spec semantics or result layout)
+silently orphans older entries rather than misreading them; corrupt or
+truncated files count as misses and are overwritten on the next store.
+
+The cache stores the JSON form of :class:`RunResult`, which drops
+checkpoint-image payloads (see ``spec.py``); a cached checkpointing run
+therefore replays every *measurement* but cannot seed a restart — the
+execution layer re-simulates the parent in that case, and the restart
+run's own result is cached in full, so warm reruns still execute zero
+simulations.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mpi``.
+Writes are atomic (tempfile + rename) so concurrent engine workers and
+concurrent CLI invocations can share a cache directory safely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from .runner import RunResult
+from .spec import (
+    SCHEMA_VERSION,
+    RunSpec,
+    run_result_from_dict,
+    run_result_to_dict,
+    spec_hash,
+    spec_to_dict,
+)
+
+__all__ = ["ResultCache", "default_cache_dir"]
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro-mpi``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-mpi"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Spec-hash-keyed JSON store for :class:`RunResult` values."""
+
+    def __init__(self, directory: "Path | str | None" = None):
+        self.root = Path(directory) if directory is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}"
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.version_dir / f"{spec_hash(spec)}.json"
+
+    def get(self, spec: RunSpec) -> RunResult | None:
+        """The cached result for ``spec``, or None on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            raw = path.read_text()
+            document = json.loads(raw)
+            result = run_result_from_dict(document["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Atomically store ``result`` under ``spec``'s hash."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            # The spec rides along for debuggability (`cat` a cache entry
+            # to see which job it belongs to); only the hash keys lookup.
+            "spec": spec_to_dict(spec),
+            "result": run_result_to_dict(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(document, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete all entries for the current schema; returns the count."""
+        removed = 0
+        if self.version_dir.is_dir():
+            for entry in self.version_dir.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*.json"))

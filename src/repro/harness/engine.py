@@ -1,0 +1,214 @@
+"""Batch experiment engine: dedupe, cache, and fan out simulated jobs.
+
+``ExperimentEngine.run_batch`` accepts any number of :class:`RunSpec`
+values — typically every cell of one or several figures at once — and:
+
+1. **dedupes** identical specs (value equality), so e.g. the native
+   miniVASP baseline shared by Figure 7, Figure 8, and Table 1 runs
+   once per batch instead of once per figure;
+2. **expands** dependent phases (probe runs for fraction-scheduled
+   checkpoints, checkpoint runs for restarts) into explicit jobs and
+   schedules them in dependency waves, so a Figure 9 cell's probe,
+   checkpoint run, and restart each simulate exactly once;
+3. **consults the disk cache** before simulating, so a warm rerun of
+   ``repro-mpi all`` executes zero simulations;
+4. **fans out** the remaining unique jobs over a spawn-safe
+   ``ProcessPoolExecutor`` (``jobs=N``), with a per-job ``max_events``
+   guard and optional progress lines on stderr.
+
+Results are keyed by spec and identical whether the batch ran serially
+or in parallel — workers only ever execute independent simulations, and
+folding happens in the parent process.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Iterable, Mapping, Sequence
+
+from .cache import ResultCache
+from .runner import RunResult
+from .spec import RunSpec, execute
+
+__all__ = ["EngineStats", "ExperimentEngine", "DEFAULT_MAX_EVENTS"]
+
+#: Runaway-simulation guard applied to jobs that don't set their own
+#: ``max_events``.  Two orders of magnitude above the largest legitimate
+#: scaled-down run; a job that trips it is wedged, not slow.
+DEFAULT_MAX_EVENTS = 100_000_000
+
+
+@dataclass
+class EngineStats:
+    """What one ``run_batch`` call actually did."""
+
+    submitted: int = 0
+    unique: int = 0
+    #: Dependency-phase jobs (probes, restart parents) added beyond the
+    #: submitted specs.
+    chained: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def deduped(self) -> int:
+        return self.submitted - self.unique
+
+    def summary(self) -> str:
+        """One-line human-readable account (printed by the CLI)."""
+        return (
+            f"engine: {self.submitted} jobs submitted, {self.deduped} deduped, "
+            f"{self.chained} chained, {self.cache_hits} cache hits, "
+            f"{self.executed} simulated, {self.wall_time:.1f}s wall"
+        )
+
+
+def _execute_job(
+    spec: RunSpec,
+    deps: dict[RunSpec, RunResult],
+    guard: int | None,
+) -> RunResult:
+    """Top-level worker entry point (must be picklable by name for spawn)."""
+    return execute(spec, deps, max_events_guard=guard)
+
+
+class ExperimentEngine:
+    """Executes batches of run specs with dedupe, caching, and parallelism.
+
+    Args:
+        jobs: worker processes; ``1`` (the default) runs in-process.
+        cache: optional :class:`ResultCache`; hits skip simulation.
+        max_events: per-job event guard for specs without their own.
+        progress: emit one line per executed job on stderr.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: ResultCache | None = None,
+        max_events: int | None = DEFAULT_MAX_EVENTS,
+        progress: bool = False,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.max_events = max_events
+        self.progress = progress
+        self.last_stats: EngineStats | None = None
+
+    # ----------------------------------------------------------------- #
+
+    def run(self, spec: RunSpec) -> RunResult:
+        """Run a single spec (one-element batch)."""
+        return self.run_batch([spec])[spec]
+
+    def run_batch(
+        self, specs: Sequence[RunSpec]
+    ) -> dict[RunSpec, RunResult]:
+        """Run many specs; returns results keyed by the submitted specs."""
+        t0 = time.perf_counter()
+        stats = EngineStats(submitted=len(specs))
+
+        unique: dict[RunSpec, None] = {}
+        for spec in specs:
+            unique.setdefault(spec, None)
+        stats.unique = len(unique)
+
+        # Dependency closure, then waves by chain depth: a spec only
+        # runs once every ancestor's result is available to pass along.
+        closure: dict[RunSpec, None] = {}
+        for spec in unique:
+            for ancestor in spec.ancestors():
+                closure.setdefault(ancestor, None)
+            closure.setdefault(spec, None)
+        stats.chained = len(closure) - stats.unique
+
+        waves: dict[int, list[RunSpec]] = {}
+        for spec in closure:
+            waves.setdefault(spec.chain_depth(), []).append(spec)
+
+        resolved: dict[RunSpec, RunResult] = {}
+        total = len(closure)
+        done = 0
+        for depth in sorted(waves):
+            pending: list[RunSpec] = []
+            for spec in waves[depth]:
+                if self.cache is not None:
+                    hit = self.cache.get(spec)
+                    if hit is not None:
+                        resolved[spec] = hit
+                        stats.cache_hits += 1
+                        done += 1
+                        self._report(done, total, spec, "cached")
+                        continue
+                pending.append(spec)
+            for spec, result in self._execute_wave(pending, resolved):
+                resolved[spec] = result
+                stats.executed += 1
+                done += 1
+                self._report(done, total, spec, "ran")
+                if self.cache is not None:
+                    self.cache.put(spec, result)
+
+        stats.wall_time = time.perf_counter() - t0
+        self.last_stats = stats
+        return {spec: resolved[spec] for spec in unique}
+
+    # ----------------------------------------------------------------- #
+
+    def _deps_for(
+        self, spec: RunSpec, resolved: Mapping[RunSpec, RunResult]
+    ) -> dict[RunSpec, RunResult]:
+        return {
+            ancestor: resolved[ancestor]
+            for ancestor in spec.ancestors()
+            if ancestor in resolved
+        }
+
+    def _execute_wave(
+        self,
+        pending: Sequence[RunSpec],
+        resolved: Mapping[RunSpec, RunResult],
+    ) -> Iterable[tuple[RunSpec, RunResult]]:
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            for spec in pending:
+                yield spec, _execute_job(
+                    spec, self._deps_for(spec, resolved), self.max_events
+                )
+            return
+
+        # Spawn (not fork): simulations build deep object graphs and
+        # numpy state; forking a warm parent is where the subtle bugs
+        # live, and spawn matches the default on macOS/Windows anyway.
+        ctx = get_context("spawn")
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = {
+                pool.submit(
+                    _execute_job,
+                    spec,
+                    self._deps_for(spec, resolved),
+                    self.max_events,
+                ): spec
+                for spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    yield futures[future], future.result()
+
+    def _report(self, done: int, total: int, spec: RunSpec, how: str) -> None:
+        if self.progress:
+            print(
+                f"[engine {done}/{total}] {how}: {spec.label()}",
+                file=sys.stderr,
+                flush=True,
+            )

@@ -1,10 +1,19 @@
 """Per-figure experiment drivers (paper Section 5).
 
 Every table and figure in the paper's evaluation has a function here
-that runs the corresponding (scaled-down) experiment and returns a
+that runs the corresponding (scaled-down) experiment and returns an
 :class:`ExperimentResult` with the same rows/series the paper reports.
 Scale knobs default to laptop-friendly sizes; pass larger ``procs``
 lists to approach the paper's 128-2048 range.
+
+Architecture: each figure is split into a *planner* that builds the
+declarative :class:`RunSpec` list for every cell (``plan_fig7`` etc.)
+and a *fold* that turns the engine's ``{spec: RunResult}`` map back
+into the rendered table.  The figure functions (``fig7`` etc.) submit
+one plan to an :class:`ExperimentEngine`; :func:`run_plans` submits
+*several figures as one batch*, which is how ``repro-mpi all`` dedupes
+the native baselines shared by Table 1, Figure 7, and Figure 8, and
+how Figure 9's probe/checkpoint/restart chains each simulate once.
 
 The expected *shapes* (who wins, where NA appears, where the dip is)
 are documented in DESIGN.md §4 and validated by tests/benchmarks.
@@ -13,18 +22,19 @@ are documented in DESIGN.md §4 and validated by tests/benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-from ..apps import make_app_factory
-from ..core import UnsupportedOperationError
-from ..des import ProcessFailed
 from ..netmodel import StorageModel
 from ..util.records import Series, format_series_table, format_table
 from ..util.stats import mean, overhead_pct
-from .runner import launch_run, restart_run
+from .engine import ExperimentEngine
+from .runner import RunResult
+from .spec import RunSpec
 
 __all__ = [
     "ExperimentResult",
+    "FigurePlan",
+    "run_plans",
     "table1",
     "fig5a",
     "fig5b",
@@ -32,7 +42,15 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "plan_table1",
+    "plan_fig5a",
+    "plan_fig5b",
+    "plan_fig6",
+    "plan_fig7",
+    "plan_fig8",
+    "plan_fig9",
     "EXPERIMENTS",
+    "PLANNERS",
 ]
 
 #: Default scaled message sizes matching the paper's {4 B, 1 KB, 1 MB}.
@@ -62,61 +80,217 @@ class ExperimentResult:
             parts.append(self.notes)
         return "\n".join(parts)
 
+    def add_note(self, line: str) -> None:
+        self.notes = f"{self.notes}\n{line}" if self.notes else line
 
-def _run_protocols(factory, nprocs, protocols, *, ppn=None, seed=0, repeats=1):
-    """Run one app under several protocols; returns {proto: [runtimes]}."""
-    out: dict[str, list[float] | None] = {}
-    for proto in protocols:
-        times: list[float] | None = []
-        for rep in range(repeats):
-            try:
-                r = launch_run(
-                    factory, nprocs, protocol=proto, ppn=ppn, seed=seed + rep
-                )
-                times.append(r.runtime)
-            except ProcessFailed as exc:
-                if isinstance(exc.original, UnsupportedOperationError):
-                    times = None
-                    break
-                raise
-        out[proto] = times
-    return out
+
+@dataclass
+class FigurePlan:
+    """One figure's declarative job list plus its result fold.
+
+    ``specs`` may contain duplicates (and may overlap other plans');
+    the engine dedupes.  ``fold`` receives the engine's result map and
+    must look results up by the exact spec values it planned.
+    """
+
+    name: str
+    specs: list[RunSpec]
+    fold: Callable[[Mapping[RunSpec, RunResult]], ExperimentResult]
+
+
+def run_plans(
+    plans: Sequence[FigurePlan], engine: ExperimentEngine | None = None
+) -> list[ExperimentResult]:
+    """Run several figures as ONE engine batch and fold each result.
+
+    Submitting the union lets the engine dedupe cells shared between
+    figures (the paper's sweeps re-measure many identical baselines).
+    """
+    engine = engine or ExperimentEngine()
+    results = engine.run_batch([s for p in plans for s in p.specs])
+    return [p.fold(results) for p in plans]
+
+
+def _run_single(plan: FigurePlan, engine: ExperimentEngine | None) -> ExperimentResult:
+    return run_plans([plan], engine)[0]
+
+
+# --------------------------------------------------------------------- #
+# Protocol-sweep cells (the shape `_run_protocols` used to run inline)
+# --------------------------------------------------------------------- #
+
+def _protocol_cell(
+    app: str,
+    app_kwargs: Mapping[str, Any],
+    nprocs: int,
+    protocols: Sequence[str],
+    *,
+    ppn: int | None = None,
+    seed: int = 0,
+    repeats: int = 1,
+) -> dict[str, list[RunSpec]]:
+    """Specs for one app under several protocols: {proto: [spec per rep]}."""
+    return {
+        proto: [
+            RunSpec.create(
+                app,
+                nprocs,
+                app_kwargs=app_kwargs,
+                protocol=proto,
+                ppn=ppn,
+                seed=seed + rep,
+            )
+            for rep in range(repeats)
+        ]
+        for proto in protocols
+    }
+
+
+def _cell_specs(cell: dict[str, list[RunSpec]]) -> list[RunSpec]:
+    return [spec for specs in cell.values() for spec in specs]
+
+
+def _fold_cell(
+    results: Mapping[RunSpec, RunResult], cell: dict[str, list[RunSpec]]
+) -> tuple[dict[str, list[float] | None], dict[str, str]]:
+    """Per-protocol runtimes; NA protocols map to None with the reason.
+
+    This replaces the old inline ``_run_protocols``: instead of letting
+    an :class:`UnsupportedOperationError` unwind the whole sweep, the
+    engine records the refusal per cell and the fold surfaces *why* the
+    cell is NA alongside the None.
+    """
+    times: dict[str, list[float] | None] = {}
+    reasons: dict[str, str] = {}
+    for proto, specs in cell.items():
+        values: list[float] = []
+        for spec in specs:
+            run = results[spec]
+            if run.na_reason:
+                times[proto] = None
+                reasons[proto] = run.na_reason
+                break
+            values.append(run.runtime)
+        else:
+            times[proto] = values
+    return times, reasons
+
+
+def _note_na(
+    result: ExperimentResult, label: str, reasons: Mapping[str, str]
+) -> None:
+    for proto in sorted(reasons):
+        result.add_note(f"NA[{label}/{proto}]: {reasons[proto]}")
 
 
 # --------------------------------------------------------------------- #
 # Table 1: collective and p2p call rates per application
 # --------------------------------------------------------------------- #
 
-def table1(nprocs: int = 16, *, ppn: int | None = 8, seed: int = 0) -> ExperimentResult:
+def plan_table1(
+    nprocs: int = 16, *, ppn: int | None = 8, seed: int = 0
+) -> FigurePlan:
+    configs = [
+        ("osu (bcast 4B)", "osu", {"niters": 400, "kind": "bcast", "nbytes": 4}),
+        ("minivasp", "minivasp", {"niters": 12}),
+        ("poisson", "poisson", {"niters": 20}),
+        ("comd", "comd", {"niters": 40}),
+        ("lammps", "lammps", {"niters": 60}),
+        ("sw4", "sw4", {"niters": 12}),
+    ]
+    cells = [
+        (
+            label,
+            RunSpec.create(
+                app, nprocs, app_kwargs=kwargs, protocol="native", ppn=ppn, seed=seed
+            ),
+        )
+        for label, app, kwargs in configs
+    ]
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        result = ExperimentResult(
+            name="table1",
+            title=f"Table 1: communication call rates ({nprocs} procs)",
+            headers=["application", "coll calls/s", "p2p calls/s"],
+        )
+        for label, spec in cells:
+            r = results[spec]
+            p2p = f"{r.p2p_rate:.1f}" if r.p2p_calls else "NA"
+            result.rows.append([label, f"{r.coll_rate:.1f}", p2p])
+        return result
+
+    return FigurePlan("table1", [spec for _, spec in cells], fold)
+
+
+def table1(
+    nprocs: int = 16,
+    *,
+    ppn: int | None = 8,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> ExperimentResult:
     """Rates of communication calls per second (paper Table 1).
 
     The paper's ordering — OSU >> VASP >> Poisson >> CoMD > LAMMPS > SW4
     for collectives, and LAMMPS-heavy p2p — is scale-robust because the
     rates are per-rank properties of each app's step structure.
     """
-    configs = [
-        ("osu (bcast 4B)", make_app_factory("osu", niters=400, kind="bcast", nbytes=4)),
-        ("minivasp", make_app_factory("minivasp", niters=12)),
-        ("poisson", make_app_factory("poisson", niters=20)),
-        ("comd", make_app_factory("comd", niters=40)),
-        ("lammps", make_app_factory("lammps", niters=60)),
-        ("sw4", make_app_factory("sw4", niters=12)),
-    ]
-    result = ExperimentResult(
-        name="table1",
-        title=f"Table 1: communication call rates ({nprocs} procs)",
-        headers=["application", "coll calls/s", "p2p calls/s"],
-    )
-    for label, factory in configs:
-        r = launch_run(factory, nprocs, protocol="native", ppn=ppn, seed=seed)
-        p2p = f"{r.p2p_rate:.1f}" if r.p2p_calls else "NA"
-        result.rows.append([label, f"{r.coll_rate:.1f}", p2p])
-    return result
+    return _run_single(plan_table1(nprocs, ppn=ppn, seed=seed), engine)
 
 
 # --------------------------------------------------------------------- #
 # Figure 5a: blocking OSU overhead, 2PC vs CC
 # --------------------------------------------------------------------- #
+
+def plan_fig5a(
+    procs: Sequence[int] = (8, 16, 32),
+    *,
+    kinds: Sequence[str] = OSU_KINDS,
+    sizes: Sequence[int] = MSG_SIZES,
+    iters: int = 60,
+    seed: int = 0,
+    repeats: int = 1,
+) -> FigurePlan:
+    cells = []
+    for kind in kinds:
+        for size in sizes:
+            for p in procs:
+                if _memory_limited(kind, size, p):
+                    continue
+                cell = _protocol_cell(
+                    "osu",
+                    {"niters": iters, "kind": kind, "nbytes": size, "blocking": True},
+                    p,
+                    ("native", "2pc", "cc"),
+                    ppn=max(p // 2, 1),
+                    seed=seed,
+                    repeats=repeats,
+                )
+                cells.append((kind, size, p, cell))
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        result = ExperimentResult(
+            name="fig5a",
+            title="Figure 5a: OSU blocking collectives, runtime overhead % vs native",
+            headers=["benchmark", "msg", "procs", "2PC %", "CC %"],
+            notes="(alltoall/allgather at 1MB limited to 16 procs — memory, as in the paper)",
+        )
+        for kind, size, p, cell in cells:
+            times, reasons = _fold_cell(results, cell)
+            base = mean(times["native"])
+            o2 = overhead_pct(mean(times["2pc"]), base)
+            oc = overhead_pct(mean(times["cc"]), base)
+            result.rows.append(
+                [f"{kind}", _fmt_size(size), p, f"{o2:.1f}", f"{oc:.1f}"]
+            )
+            _note_na(result, f"{kind}/{_fmt_size(size)}/{p}", reasons)
+        return result
+
+    return FigurePlan(
+        "fig5a", [s for _, _, _, cell in cells for s in _cell_specs(cell)], fold
+    )
+
 
 def fig5a(
     procs: Sequence[int] = (8, 16, 32),
@@ -126,38 +300,73 @@ def fig5a(
     iters: int = 60,
     seed: int = 0,
     repeats: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """Blocking-collective runtime overhead: 2PC vs CC (Figure 5a)."""
-    result = ExperimentResult(
-        name="fig5a",
-        title="Figure 5a: OSU blocking collectives, runtime overhead % vs native",
-        headers=["benchmark", "msg", "procs", "2PC %", "CC %"],
-        notes="(alltoall/allgather at 1MB limited to 16 procs — memory, as in the paper)",
+    plan = plan_fig5a(
+        procs, kinds=kinds, sizes=sizes, iters=iters, seed=seed, repeats=repeats
     )
-    for kind in kinds:
-        for size in sizes:
-            for p in procs:
-                if _memory_limited(kind, size, p):
-                    continue
-                factory = make_app_factory(
-                    "osu", niters=iters, kind=kind, nbytes=size, blocking=True
-                )
-                runs = _run_protocols(
-                    factory, p, ("native", "2pc", "cc"),
-                    ppn=max(p // 2, 1), seed=seed, repeats=repeats,
-                )
-                base = mean(runs["native"])
-                o2 = overhead_pct(mean(runs["2pc"]), base)
-                oc = overhead_pct(mean(runs["cc"]), base)
-                result.rows.append(
-                    [f"{kind}", _fmt_size(size), p, f"{o2:.1f}", f"{oc:.1f}"]
-                )
-    return result
+    return _run_single(plan, engine)
 
 
 # --------------------------------------------------------------------- #
 # Figure 5b: non-blocking OSU overhead (CC only; 2PC = NA)
 # --------------------------------------------------------------------- #
+
+def plan_fig5b(
+    procs: Sequence[int] = (8, 16, 32),
+    *,
+    kinds: Sequence[str] = OSU_KINDS,
+    sizes: Sequence[int] = MSG_SIZES,
+    iters: int = 60,
+    seed: int = 0,
+) -> FigurePlan:
+    cells = []
+    for kind in kinds:
+        for size in sizes:
+            for p in procs:
+                if _memory_limited(kind, size, p):
+                    continue
+                cell = _protocol_cell(
+                    "osu",
+                    {"niters": iters, "kind": kind, "nbytes": size, "blocking": False},
+                    p,
+                    ("native", "2pc", "cc"),
+                    ppn=max(p // 2, 1),
+                    seed=seed,
+                )
+                cells.append((kind, size, p, cell))
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        result = ExperimentResult(
+            name="fig5b",
+            title="Figure 5b: OSU non-blocking collectives, CC overhead % vs native "
+            "(2PC does not support non-blocking collectives)",
+            headers=["benchmark", "msg", "procs", "2PC %", "CC %"],
+        )
+        for kind, size, p, cell in cells:
+            times, reasons = _fold_cell(results, cell)
+            base = mean(times["native"])
+            # The paper's central claim for this figure: 2PC *must*
+            # reject non-blocking collectives.  An assert would vanish
+            # under `python -O`, so check explicitly.
+            if times["2pc"] is not None:
+                raise RuntimeError(
+                    f"2PC unexpectedly ran non-blocking {kind} at "
+                    f"{_fmt_size(size)}/{p} procs — it must reject "
+                    "non-blocking collectives (paper Sections 2.2, 5.2)"
+                )
+            oc = overhead_pct(mean(times["cc"]), base)
+            result.rows.append(
+                [f"i{kind}", _fmt_size(size), p, "NA", f"{oc:.1f}"]
+            )
+            _note_na(result, f"i{kind}/{_fmt_size(size)}/{p}", reasons)
+        return result
+
+    return FigurePlan(
+        "fig5b", [s for _, _, _, cell in cells for s in _cell_specs(cell)], fold
+    )
+
 
 def fig5b(
     procs: Sequence[int] = (8, 16, 32),
@@ -166,38 +375,65 @@ def fig5b(
     sizes: Sequence[int] = MSG_SIZES,
     iters: int = 60,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """Non-blocking collective overhead under CC (Figure 5b)."""
-    result = ExperimentResult(
-        name="fig5b",
-        title="Figure 5b: OSU non-blocking collectives, CC overhead % vs native "
-        "(2PC does not support non-blocking collectives)",
-        headers=["benchmark", "msg", "procs", "2PC %", "CC %"],
-    )
-    for kind in kinds:
-        for size in sizes:
-            for p in procs:
-                if _memory_limited(kind, size, p):
-                    continue
-                factory = make_app_factory(
-                    "osu", niters=iters, kind=kind, nbytes=size, blocking=False
-                )
-                runs = _run_protocols(
-                    factory, p, ("native", "2pc", "cc"),
-                    ppn=max(p // 2, 1), seed=seed,
-                )
-                base = mean(runs["native"])
-                assert runs["2pc"] is None, "2PC must reject non-blocking collectives"
-                oc = overhead_pct(mean(runs["cc"]), base)
-                result.rows.append(
-                    [f"i{kind}", _fmt_size(size), p, "NA", f"{oc:.1f}"]
-                )
-    return result
+    plan = plan_fig5b(procs, kinds=kinds, sizes=sizes, iters=iters, seed=seed)
+    return _run_single(plan, engine)
 
 
 # --------------------------------------------------------------------- #
 # Figure 6: communication/computation overlap, native vs CC
 # --------------------------------------------------------------------- #
+
+def plan_fig6(
+    procs: Sequence[int] = (8, 16),
+    *,
+    kinds: Sequence[str] = OSU_KINDS,
+    sizes: Sequence[int] = (1024, 1 << 20),
+    iters: int = 40,
+    seed: int = 0,
+) -> FigurePlan:
+    cells = []
+    for kind in kinds:
+        for size in sizes:
+            for p in procs:
+                cell = _protocol_cell(
+                    "osu_overlap",
+                    {"niters": iters, "kind": kind, "nbytes": size},
+                    p,
+                    ("native", "cc"),
+                    ppn=max(p // 2, 1),
+                    seed=seed,
+                )
+                cells.append((kind, size, p, cell))
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        result = ExperimentResult(
+            name="fig6",
+            title="Figure 6: overlap %% of non-blocking collectives (native vs CC)",
+            headers=["benchmark", "msg", "procs", "native %", "CC %"],
+        )
+        for kind, size, p, cell in cells:
+            values = {}
+            for proto, specs in cell.items():
+                run = results[specs[0]]
+                values[proto] = mean([x["overlap_pct"] for x in run.per_rank])
+            result.rows.append(
+                [
+                    f"i{kind}",
+                    _fmt_size(size),
+                    p,
+                    f"{values['native']:.1f}",
+                    f"{values['cc']:.1f}",
+                ]
+            )
+        return result
+
+    return FigurePlan(
+        "fig6", [s for _, _, _, cell in cells for s in _cell_specs(cell)], fold
+    )
+
 
 def fig6(
     procs: Sequence[int] = (8, 16),
@@ -206,81 +442,134 @@ def fig6(
     sizes: Sequence[int] = (1024, 1 << 20),
     iters: int = 40,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """Overlap of communication and computation (Figure 6)."""
-    result = ExperimentResult(
-        name="fig6",
-        title="Figure 6: overlap %% of non-blocking collectives (native vs CC)",
-        headers=["benchmark", "msg", "procs", "native %", "CC %"],
-    )
-    for kind in kinds:
-        for size in sizes:
-            for p in procs:
-                factory = make_app_factory(
-                    "osu_overlap", niters=iters, kind=kind, nbytes=size
-                )
-                values = {}
-                for proto in ("native", "cc"):
-                    r = launch_run(
-                        factory, p, protocol=proto, ppn=max(p // 2, 1), seed=seed
-                    )
-                    values[proto] = mean([x["overlap_pct"] for x in r.per_rank])
-                result.rows.append(
-                    [
-                        f"i{kind}",
-                        _fmt_size(size),
-                        p,
-                        f"{values['native']:.1f}",
-                        f"{values['cc']:.1f}",
-                    ]
-                )
-    return result
+    plan = plan_fig6(procs, kinds=kinds, sizes=sizes, iters=iters, seed=seed)
+    return _run_single(plan, engine)
 
 
 # --------------------------------------------------------------------- #
 # Figure 7: five real-world applications
 # --------------------------------------------------------------------- #
 
-def fig7(
+def plan_fig7(
     nprocs: int = 16, *, ppn: int | None = 8, seed: int = 0, repeats: int = 2
+) -> FigurePlan:
+    configs = [
+        ("minivasp", {"niters": 12}),
+        ("sw4", {"niters": 10}),
+        ("comd", {"niters": 30}),
+        ("lammps", {"niters": 40}),
+        ("poisson", {"niters": 20}),
+    ]
+    cells = [
+        (
+            label,
+            _protocol_cell(
+                label,
+                kwargs,
+                nprocs,
+                ("native", "2pc", "cc"),
+                ppn=ppn,
+                seed=seed,
+                repeats=repeats,
+            ),
+        )
+        for label, kwargs in configs
+    ]
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        result = ExperimentResult(
+            name="fig7",
+            title=f"Figure 7: application runtimes ({nprocs} procs), seconds (virtual)",
+            headers=["application", "native", "2PC", "CC", "2PC %", "CC %"],
+            notes="(Poisson uses non-blocking collectives: supported by CC, not by 2PC.)",
+        )
+        for label, cell in cells:
+            times, reasons = _fold_cell(results, cell)
+            base = mean(times["native"])
+            row = [label, f"{base:.4f}"]
+            if times["2pc"] is None:
+                row += ["NA", f"{mean(times['cc']):.4f}", "NA"]
+            else:
+                row += [
+                    f"{mean(times['2pc']):.4f}",
+                    f"{mean(times['cc']):.4f}",
+                    f"{overhead_pct(mean(times['2pc']), base):.1f}",
+                ]
+            row.append(f"{overhead_pct(mean(times['cc']), base):.1f}")
+            result.rows.append(row)
+            _note_na(result, label, reasons)
+        return result
+
+    return FigurePlan(
+        "fig7", [s for _, cell in cells for s in _cell_specs(cell)], fold
+    )
+
+
+def fig7(
+    nprocs: int = 16,
+    *,
+    ppn: int | None = 8,
+    seed: int = 0,
+    repeats: int = 2,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """Real-world application runtimes: native / 2PC / CC (Figure 7)."""
-    configs = [
-        ("minivasp", make_app_factory("minivasp", niters=12)),
-        ("sw4", make_app_factory("sw4", niters=10)),
-        ("comd", make_app_factory("comd", niters=30)),
-        ("lammps", make_app_factory("lammps", niters=40)),
-        ("poisson", make_app_factory("poisson", niters=20)),
-    ]
-    result = ExperimentResult(
-        name="fig7",
-        title=f"Figure 7: application runtimes ({nprocs} procs), seconds (virtual)",
-        headers=["application", "native", "2PC", "CC", "2PC %", "CC %"],
-        notes="(Poisson uses non-blocking collectives: supported by CC, not by 2PC.)",
-    )
-    for label, factory in configs:
-        runs = _run_protocols(
-            factory, nprocs, ("native", "2pc", "cc"),
-            ppn=ppn, seed=seed, repeats=repeats,
-        )
-        base = mean(runs["native"])
-        row = [label, f"{base:.4f}"]
-        if runs["2pc"] is None:
-            row += ["NA", f"{mean(runs['cc']):.4f}", "NA"]
-        else:
-            row += [
-                f"{mean(runs['2pc']):.4f}",
-                f"{mean(runs['cc']):.4f}",
-                f"{overhead_pct(mean(runs['2pc']), base):.1f}",
-            ]
-        row.append(f"{overhead_pct(mean(runs['cc']), base):.1f}")
-        result.rows.append(row)
-    return result
+    return _run_single(plan_fig7(nprocs, ppn=ppn, seed=seed, repeats=repeats), engine)
 
 
 # --------------------------------------------------------------------- #
 # Figure 8: VASP overhead vs process count (the 2-node dip)
 # --------------------------------------------------------------------- #
+
+def plan_fig8(
+    procs: Sequence[int] = (8, 16, 32),
+    *,
+    ppn: int | None = None,
+    seed: int = 0,
+    repeats: int = 2,
+    niters: int = 12,
+) -> FigurePlan:
+    ppn = ppn or procs[0]
+    cells = [
+        (
+            p,
+            _protocol_cell(
+                "minivasp",
+                {"niters": niters},
+                p,
+                ("native", "2pc", "cc"),
+                ppn=ppn,
+                seed=seed,
+                repeats=repeats,
+            ),
+        )
+        for p in procs
+    ]
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        s2 = Series("2PC %")
+        sc = Series("CC %")
+        result = ExperimentResult(
+            name="fig8",
+            title=f"Figure 8: miniVASP runtime overhead vs process count (ppn={ppn})",
+            series=[s2, sc],
+            x_label="procs",
+        )
+        for p, cell in cells:
+            times, reasons = _fold_cell(results, cell)
+            base = mean(times["native"])
+            s2.add(p, overhead_pct(mean(times["2pc"]), base))
+            sc.add(p, overhead_pct(mean(times["cc"]), base))
+            _note_na(result, f"{p}procs", reasons)
+        return result
+
+    return FigurePlan(
+        "fig8", [s for _, cell in cells for s in _cell_specs(cell)], fold
+    )
+
 
 def fig8(
     procs: Sequence[int] = (8, 16, 32),
@@ -289,6 +578,7 @@ def fig8(
     seed: int = 0,
     repeats: int = 2,
     niters: int = 12,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """VASP runtime overhead, 2PC vs CC, across node counts (Figure 8).
 
@@ -296,28 +586,82 @@ def fig8(
     nodes, raising the base communication cost and producing the paper's
     dip in *relative* overhead at two nodes.
     """
-    ppn = ppn or procs[0]
-    s2 = Series("2PC %")
-    sc = Series("CC %")
-    for p in procs:
-        factory = make_app_factory("minivasp", niters=niters)
-        runs = _run_protocols(
-            factory, p, ("native", "2pc", "cc"), ppn=ppn, seed=seed, repeats=repeats
-        )
-        base = mean(runs["native"])
-        s2.add(p, overhead_pct(mean(runs["2pc"]), base))
-        sc.add(p, overhead_pct(mean(runs["cc"]), base))
-    return ExperimentResult(
-        name="fig8",
-        title=f"Figure 8: miniVASP runtime overhead vs process count (ppn={ppn})",
-        series=[s2, sc],
-        x_label="procs",
-    )
+    plan = plan_fig8(procs, ppn=ppn, seed=seed, repeats=repeats, niters=niters)
+    return _run_single(plan, engine)
 
 
 # --------------------------------------------------------------------- #
 # Figure 9: VASP checkpoint and restart times vs node count
 # --------------------------------------------------------------------- #
+
+def plan_fig9(
+    nodes: Sequence[int] = (1, 2, 4, 8),
+    *,
+    ppn: int = 4,
+    seed: int = 0,
+    niters: int = 10,
+    image_bytes_per_rank: int = 398 << 20,
+) -> FigurePlan:
+    storage = StorageModel(
+        per_node_bandwidth=2.0e9, aggregate_bandwidth=6.0e9, base_latency=1.0
+    )
+    cells = []
+    for n in nodes:
+        nprocs = n * ppn
+        for proto in ("2pc", "cc"):
+            kwargs = {"niters": niters, "memory_bytes": image_bytes_per_rank}
+            # Checkpoint mid-run: the fraction schedule makes the probe
+            # an explicit dependent phase the engine can dedupe/cache
+            # (it used to be an inline throwaway run).
+            ckpt = RunSpec.create(
+                "minivasp",
+                nprocs,
+                app_kwargs=kwargs,
+                protocol=proto,
+                ppn=ppn,
+                seed=seed,
+                checkpoint_fractions=(0.5,),
+                storage=storage,
+            )
+            restart = RunSpec.create(
+                "minivasp",
+                nprocs,
+                app_kwargs=kwargs,
+                protocol=proto,
+                ppn=ppn,
+                seed=seed,
+                storage=storage,
+                restart_of=ckpt,
+            )
+            cells.append((n, proto, ckpt, restart))
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        series = {
+            ("2pc", "ckpt"): Series("2PC ckpt (s)"),
+            ("cc", "ckpt"): Series("CC ckpt (s)"),
+            ("2pc", "restart"): Series("2PC restart (s)"),
+            ("cc", "restart"): Series("CC restart (s)"),
+        }
+        for n, proto, ckpt, restart in cells:
+            committed = [c for c in results[ckpt].checkpoints if c.committed]
+            if not committed:
+                raise RuntimeError(
+                    f"no committed checkpoint at {n} nodes ({proto}); "
+                    "cannot report Figure 9 for this cell"
+                )
+            series[(proto, "ckpt")].add(n, committed[0].checkpoint_time)
+            series[(proto, "restart")].add(n, results[restart].restart_ready_time)
+        return ExperimentResult(
+            name="fig9",
+            title=f"Figure 9: miniVASP checkpoint/restart times ({ppn} ranks per node)",
+            series=list(series.values()),
+            x_label="nodes",
+        )
+
+    return FigurePlan(
+        "fig9", [s for _, _, ckpt, restart in cells for s in (ckpt, restart)], fold
+    )
+
 
 def fig9(
     nodes: Sequence[int] = (1, 2, 4, 8),
@@ -326,46 +670,17 @@ def fig9(
     seed: int = 0,
     niters: int = 10,
     image_bytes_per_rank: int = 398 << 20,
+    engine: ExperimentEngine | None = None,
 ) -> ExperimentResult:
     """Checkpoint and restart times, 2PC vs CC, vs node count (Figure 9)."""
-    storage = StorageModel(
-        per_node_bandwidth=2.0e9, aggregate_bandwidth=6.0e9, base_latency=1.0
+    plan = plan_fig9(
+        nodes,
+        ppn=ppn,
+        seed=seed,
+        niters=niters,
+        image_bytes_per_rank=image_bytes_per_rank,
     )
-    series = {
-        ("2pc", "ckpt"): Series("2PC ckpt (s)"),
-        ("cc", "ckpt"): Series("CC ckpt (s)"),
-        ("2pc", "restart"): Series("2PC restart (s)"),
-        ("cc", "restart"): Series("CC restart (s)"),
-    }
-    for n in nodes:
-        nprocs = n * ppn
-        for proto in ("2pc", "cc"):
-            factory = make_app_factory(
-                "minivasp", niters=niters, memory_bytes=image_bytes_per_rank
-            )
-            probe = launch_run(factory, nprocs, protocol=proto, ppn=ppn, seed=seed)
-            r = launch_run(
-                factory,
-                nprocs,
-                protocol=proto,
-                ppn=ppn,
-                seed=seed,
-                checkpoint_at=[probe.runtime * 0.5],
-                storage=storage,
-            )
-            committed = [c for c in r.checkpoints if c.committed]
-            assert committed, f"no committed checkpoint at {n} nodes ({proto})"
-            series[(proto, "ckpt")].add(n, committed[0].checkpoint_time)
-            rs = restart_run(
-                factory, committed[0].images, ppn=ppn, seed=seed, storage=storage
-            )
-            series[(proto, "restart")].add(n, rs.restart_ready_time)
-    return ExperimentResult(
-        name="fig9",
-        title=f"Figure 9: miniVASP checkpoint/restart times ({ppn} ranks per node)",
-        series=list(series.values()),
-        x_label="nodes",
-    )
+    return _run_single(plan, engine)
 
 
 def _memory_limited(kind: str, size: int, procs: int) -> bool:
@@ -391,4 +706,14 @@ EXPERIMENTS = {
     "fig7": fig7,
     "fig8": fig8,
     "fig9": fig9,
+}
+
+PLANNERS = {
+    "table1": plan_table1,
+    "fig5a": plan_fig5a,
+    "fig5b": plan_fig5b,
+    "fig6": plan_fig6,
+    "fig7": plan_fig7,
+    "fig8": plan_fig8,
+    "fig9": plan_fig9,
 }

@@ -44,6 +44,15 @@ class RunResult:
     #: rebuilding its lower half (the paper's "restart time").
     restart_ready_time: float = 0.0
     sim_events: int = 0
+    #: Non-empty when the protocol could not wrap the application (the
+    #: paper's NA cells): the UnsupportedOperationError message.  Such a
+    #: result carries no measurements.
+    na_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the job actually ran (NA cells are not ok)."""
+        return not self.na_reason
 
     @property
     def coll_rate(self) -> float:

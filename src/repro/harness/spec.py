@@ -1,0 +1,590 @@
+"""Declarative run specifications: one immutable value per simulated job.
+
+A :class:`RunSpec` fully describes one simulated MPI job — application,
+process layout, protocol, seed, checkpoint schedule, and model
+parameters — as a frozen, hashable dataclass.  Because the spec is a
+*value* (not a closure over factories, as ``launch_run`` calls used to
+be), the experiment engine can deduplicate identical jobs across
+figures, key a persistent on-disk cache by content hash, and ship jobs
+to worker processes.
+
+Dependent phases are part of the spec language:
+
+* ``checkpoint_fractions`` — request checkpoints at fractions of the
+  job's own uncheckpointed ("probe") runtime.  The probe is itself a
+  plain spec (:meth:`RunSpec.probe_spec`), so it participates in
+  dedup/caching like any other job (Figure 9 used to run it inline).
+* ``restart_of`` — restart from the Nth committed checkpoint of another
+  spec's run (a fresh lower half adopting the images, as in MANA).
+
+:func:`execute` resolves these chains and runs the simulation;
+:func:`spec_hash` provides the stable content hash; and the
+``*_to_dict`` / ``*_from_dict`` pairs round-trip :class:`RunSpec` and
+:class:`RunResult` (including committed :class:`CheckpointImage`
+metadata) through JSON so results can cross process and disk
+boundaries.  Image *payloads* (application state, call logs, drained
+messages) are deliberately dropped in the JSON form — they can hold
+hundreds of MB of numpy state; a result deserialized from JSON reports
+every measurement but cannot seed a restart, which :func:`execute`
+detects and handles by re-simulating the parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, MutableMapping
+
+import numpy as np
+
+from ..apps import make_app_factory
+from ..core import UnsupportedOperationError
+from ..des import ProcessFailed
+from ..mana import CheckpointImage, CheckpointRecord
+from ..netmodel import (
+    CollectiveTuning,
+    ComputeModel,
+    LinkParams,
+    ModelParams,
+    OverheadCosts,
+    StorageModel,
+)
+from ..util.hashing import stable_json_hash
+from .runner import RunResult, launch_run
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunSpec",
+    "SpecError",
+    "execute",
+    "spec_hash",
+    "spec_to_dict",
+    "spec_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "checkpoint_record_to_dict",
+    "checkpoint_record_from_dict",
+    "image_is_stripped",
+    "record_has_full_images",
+    "result_has_full_images",
+]
+
+#: Bump whenever the meaning of a spec field or the serialized result
+#: layout changes; the cache segregates entries by this version.
+SCHEMA_VERSION = 1
+
+#: Sentinel key marking a deserialized image whose payload was dropped.
+_STRIPPED_KEY = "__payload_stripped__"
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+class SpecError(ValueError):
+    """Malformed or unexecutable run specification."""
+
+
+def _normalize_kwargs(app_kwargs: Any) -> tuple[tuple[str, Any], ...]:
+    """Canonical (sorted, scalar-only) form of an app's kwargs."""
+    if app_kwargs is None:
+        return ()
+    if isinstance(app_kwargs, Mapping):
+        items = app_kwargs.items()
+    else:
+        items = tuple(app_kwargs)
+    out = []
+    for key, value in sorted(items):
+        if not isinstance(key, str):
+            raise SpecError(f"app kwarg name must be str, got {key!r}")
+        if not isinstance(value, _SCALAR_TYPES):
+            raise SpecError(
+                f"app kwarg {key}={value!r} is not a scalar; specs must be "
+                "fully declarative (configure apps by value, not object)"
+            )
+        out.append((key, value))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Immutable description of one simulated job.
+
+    Build via :meth:`RunSpec.create`, which normalizes ``app_kwargs``
+    into the canonical sorted-tuple form that makes equal specs compare
+    (and hash) equal regardless of construction order.
+    """
+
+    app: str
+    nprocs: int
+    app_kwargs: tuple[tuple[str, Any], ...] = ()
+    protocol: str = "native"
+    ppn: int | None = None
+    seed: int = 0
+    #: Absolute virtual times of coordinator checkpoint requests.
+    checkpoint_at: tuple[float, ...] = ()
+    #: Checkpoint requests at fractions of the probe run's runtime.
+    checkpoint_fractions: tuple[float, ...] = ()
+    storage: StorageModel | None = None
+    params: ModelParams | None = None
+    max_events: int | None = None
+    #: Dependent phase: restart from a committed checkpoint of this spec.
+    restart_of: "RunSpec | None" = None
+    #: Index into the parent run's *committed* checkpoint list.
+    restart_ckpt: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        app: str,
+        nprocs: int,
+        *,
+        app_kwargs: Mapping[str, Any] | None = None,
+        protocol: str = "native",
+        ppn: int | None = None,
+        seed: int = 0,
+        checkpoint_at: tuple[float, ...] | list[float] = (),
+        checkpoint_fractions: tuple[float, ...] | list[float] = (),
+        storage: StorageModel | None = None,
+        params: ModelParams | None = None,
+        max_events: int | None = None,
+        restart_of: "RunSpec | None" = None,
+        restart_ckpt: int = 0,
+    ) -> "RunSpec":
+        spec = cls(
+            app=app,
+            nprocs=int(nprocs),
+            app_kwargs=_normalize_kwargs(app_kwargs),
+            protocol=protocol,
+            ppn=None if ppn is None else int(ppn),
+            seed=int(seed),
+            checkpoint_at=tuple(float(t) for t in checkpoint_at),
+            checkpoint_fractions=tuple(float(f) for f in checkpoint_fractions),
+            storage=storage,
+            params=params,
+            max_events=max_events,
+            restart_of=restart_of,
+            restart_ckpt=int(restart_ckpt),
+        )
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        if self.nprocs < 1:
+            raise SpecError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.protocol not in ("native", "2pc", "cc"):
+            raise SpecError(f"unknown protocol {self.protocol!r}")
+        wants_ckpt = bool(self.checkpoint_at or self.checkpoint_fractions)
+        if wants_ckpt and self.protocol == "native":
+            raise SpecError("native runs cannot be checkpointed")
+        if self.restart_of is not None:
+            if self.checkpoint_fractions:
+                raise SpecError(
+                    "restart specs cannot also use checkpoint_fractions; "
+                    "schedule further checkpoints with absolute checkpoint_at"
+                )
+            if self.restart_of.protocol != self.protocol:
+                raise SpecError(
+                    f"restart protocol {self.protocol!r} != parent "
+                    f"protocol {self.restart_of.protocol!r}"
+                )
+            if self.restart_of.nprocs != self.nprocs:
+                raise SpecError("restart must use the parent's process count")
+        if any(f <= 0 for f in self.checkpoint_fractions):
+            raise SpecError("checkpoint fractions must be positive")
+
+    # -- structure ------------------------------------------------------ #
+
+    def probe_spec(self) -> "RunSpec | None":
+        """The uncheckpointed probe this spec's fractions are relative to."""
+        if not self.checkpoint_fractions:
+            return None
+        return replace(self, checkpoint_at=(), checkpoint_fractions=())
+
+    def parents(self) -> "tuple[RunSpec, ...]":
+        """Specs whose results this spec's execution depends on."""
+        out = []
+        probe = self.probe_spec()
+        if probe is not None:
+            out.append(probe)
+        if self.restart_of is not None:
+            out.append(self.restart_of)
+        return tuple(out)
+
+    def ancestors(self) -> "tuple[RunSpec, ...]":
+        """Transitive dependency closure (no duplicates, parents first)."""
+        seen: dict[RunSpec, None] = {}
+        stack = list(self.parents())
+        while stack:
+            spec = stack.pop()
+            if spec in seen:
+                continue
+            seen[spec] = None
+            stack.extend(spec.parents())
+        return tuple(seen)
+
+    def chain_depth(self) -> int:
+        """0 for independent jobs, 1 + max parent depth for chained ones."""
+        parents = self.parents()
+        if not parents:
+            return 0
+        return 1 + max(p.chain_depth() for p in parents)
+
+    def app_factory(self):
+        """Zero-argument app factory (one instance per rank)."""
+        return make_app_factory(self.app, **dict(self.app_kwargs))
+
+    def label(self) -> str:
+        """Short human-readable identity for progress reporting."""
+        tag = f"{self.app}/{self.protocol} p={self.nprocs}"
+        if self.restart_of is not None:
+            tag += " (restart)"
+        elif self.checkpoint_fractions or self.checkpoint_at:
+            tag += " (ckpt)"
+        return tag
+
+
+def spec_hash(spec: RunSpec) -> str:
+    """Stable content hash of a spec, identical across processes."""
+    payload = spec_to_dict(spec)
+    payload["!schema"] = SCHEMA_VERSION
+    return stable_json_hash(payload)
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+
+def execute(
+    spec: RunSpec,
+    deps: MutableMapping[RunSpec, RunResult] | None = None,
+    *,
+    max_events_guard: int | None = None,
+) -> RunResult:
+    """Run one spec (resolving probe/restart chains) and return its result.
+
+    Args:
+        spec: the job to run.
+        deps: optional already-computed results for this spec's
+            ancestors (the engine passes wave-N-1 results here).  A
+            parent result lacking full checkpoint images — e.g. one
+            deserialized from the JSON cache — is transparently
+            re-simulated, since images never cross the JSON boundary.
+        max_events_guard: per-job event ceiling applied to specs that do
+            not set their own ``max_events`` (runaway-simulation guard;
+            it never alters the result of a job that completes).
+
+    A job whose protocol cannot wrap the application (the paper's NA
+    cells, e.g. 2PC with non-blocking collectives) returns a
+    :class:`RunResult` with ``na_reason`` set rather than raising, so
+    batch execution records *why* the cell is NA instead of dying.
+    """
+    deps = deps if deps is not None else {}
+    return _execute(spec, deps, max_events_guard)
+
+
+def _execute(
+    spec: RunSpec,
+    deps: MutableMapping[RunSpec, RunResult],
+    guard: int | None,
+) -> RunResult:
+    checkpoint_at = spec.checkpoint_at
+    probe = spec.probe_spec()
+    if probe is not None:
+        probe_result = _resolve_parent(probe, deps, guard, need_images=False)
+        if probe_result.na_reason:
+            return _na_result(spec, probe_result.na_reason)
+        checkpoint_at = checkpoint_at + tuple(
+            f * probe_result.runtime for f in spec.checkpoint_fractions
+        )
+
+    restore_images = None
+    if spec.restart_of is not None:
+        parent = _resolve_parent(
+            spec.restart_of, deps, guard, need_images=True
+        )
+        if parent.na_reason:
+            return _na_result(spec, parent.na_reason)
+        committed = [r for r in parent.checkpoints if r.committed]
+        if not committed:
+            raise SpecError(
+                f"restart parent {spec.restart_of.label()} committed no "
+                "checkpoints — nothing to restart from"
+            )
+        try:
+            restore_images = committed[spec.restart_ckpt].images
+        except IndexError:
+            raise SpecError(
+                f"restart_ckpt={spec.restart_ckpt} out of range: parent "
+                f"committed {len(committed)} checkpoint(s)"
+            ) from None
+
+    max_events = spec.max_events if spec.max_events is not None else guard
+    try:
+        result = launch_run(
+            spec.app_factory(),
+            spec.nprocs,
+            protocol=spec.protocol,
+            ppn=spec.ppn,
+            params=spec.params,
+            seed=spec.seed,
+            checkpoint_at=checkpoint_at,
+            storage=spec.storage,
+            restore_images=restore_images,
+            max_events=max_events,
+        )
+    except ProcessFailed as exc:
+        if isinstance(exc.original, UnsupportedOperationError):
+            return _na_result(spec, str(exc.original))
+        raise
+    # Canonicalize per-rank payloads (numpy scalars -> python, tuples ->
+    # lists) so a fresh result compares equal to one that crossed the
+    # pickle/JSON boundary.
+    result.per_rank = _canonical_value(result.per_rank)
+    return result
+
+
+def _resolve_parent(
+    parent: RunSpec,
+    deps: MutableMapping[RunSpec, RunResult],
+    guard: int | None,
+    *,
+    need_images: bool,
+) -> RunResult:
+    known = deps.get(parent)
+    if known is not None and (
+        not need_images
+        or known.na_reason
+        or result_has_full_images(known)
+    ):
+        return known
+    fresh = _execute(parent, deps, guard)
+    deps[parent] = fresh
+    return fresh
+
+
+def _na_result(spec: RunSpec, reason: str) -> RunResult:
+    ppn = spec.ppn if spec.ppn is not None else min(spec.nprocs, 128)
+    return RunResult(
+        app=spec.app,
+        protocol=spec.protocol,
+        nprocs=spec.nprocs,
+        nnodes=-(-spec.nprocs // ppn),
+        runtime=0.0,
+        per_rank=[],
+        coll_calls=0,
+        p2p_calls=0,
+        na_reason=reason or "unsupported",
+    )
+
+
+# --------------------------------------------------------------------- #
+# JSON (de)serialization
+# --------------------------------------------------------------------- #
+
+def _canonical_value(value: Any) -> Any:
+    """Recursively reduce a value to JSON-canonical python types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, _SCALAR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical_value(v) for k, v in value.items()}
+    return repr(value)
+
+
+def spec_to_dict(spec: RunSpec) -> dict:
+    """JSON-representable form of a spec (recursive over restart chains)."""
+    return {
+        "app": spec.app,
+        "nprocs": spec.nprocs,
+        "app_kwargs": [[k, v] for k, v in spec.app_kwargs],
+        "protocol": spec.protocol,
+        "ppn": spec.ppn,
+        "seed": spec.seed,
+        "checkpoint_at": list(spec.checkpoint_at),
+        "checkpoint_fractions": list(spec.checkpoint_fractions),
+        "storage": None if spec.storage is None else dataclasses.asdict(spec.storage),
+        "params": None if spec.params is None else dataclasses.asdict(spec.params),
+        "max_events": spec.max_events,
+        "restart_of": None if spec.restart_of is None else spec_to_dict(spec.restart_of),
+        "restart_ckpt": spec.restart_ckpt,
+    }
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> RunSpec:
+    params = data.get("params")
+    if params is not None:
+        params = ModelParams(
+            intra=LinkParams(**params["intra"]),
+            inter=LinkParams(**params["inter"]),
+            overheads=OverheadCosts(**params["overheads"]),
+            tuning=CollectiveTuning(**params["tuning"]),
+            compute=ComputeModel(**params["compute"]),
+        )
+    storage = data.get("storage")
+    restart_of = data.get("restart_of")
+    return RunSpec.create(
+        data["app"],
+        data["nprocs"],
+        app_kwargs={k: v for k, v in data.get("app_kwargs", [])},
+        protocol=data.get("protocol", "native"),
+        ppn=data.get("ppn"),
+        seed=data.get("seed", 0),
+        checkpoint_at=tuple(data.get("checkpoint_at", ())),
+        checkpoint_fractions=tuple(data.get("checkpoint_fractions", ())),
+        storage=None if storage is None else StorageModel(**storage),
+        params=params,
+        max_events=data.get("max_events"),
+        restart_of=None if restart_of is None else spec_from_dict(restart_of),
+        restart_ckpt=data.get("restart_ckpt", 0),
+    )
+
+
+#: CheckpointImage fields preserved verbatim in the JSON form; the
+#: payload fields (app state, logs, drained messages, request tables)
+#: are replaced by their element counts.
+_IMAGE_SCALARS = (
+    "rank",
+    "nprocs",
+    "protocol",
+    "ckpt_id",
+    "call_index",
+    "boundary_index",
+    "remaining_compute",
+    "declared_bytes",
+)
+_IMAGE_DROPPED = ("app_state", "seq_table", "creation_log", "call_log", "drained")
+
+
+def _image_to_dict(image: CheckpointImage) -> dict:
+    out = {name: getattr(image, name) for name in _IMAGE_SCALARS}
+    out["ggid_peers"] = {
+        str(g): list(peers) for g, peers in image.ggid_peers.items()
+    }
+    out["pending_recvs"] = list(image.pending_recvs)
+    out["stats"] = _canonical_value(image.stats)
+    out["dropped"] = {name: len(getattr(image, name)) for name in _IMAGE_DROPPED}
+    return out
+
+
+def _image_from_dict(data: Mapping[str, Any]) -> CheckpointImage:
+    image = CheckpointImage(
+        **{name: data[name] for name in _IMAGE_SCALARS},
+        app_state={_STRIPPED_KEY: dict(data.get("dropped", {}))},
+        ggid_peers={int(g): list(p) for g, p in data.get("ggid_peers", {}).items()},
+        pending_recvs=list(data.get("pending_recvs", ())),
+        stats=dict(data.get("stats", {})),
+    )
+    return image
+
+
+def image_is_stripped(image: CheckpointImage) -> bool:
+    """True iff this image came back from JSON without its payload."""
+    return _STRIPPED_KEY in image.app_state
+
+
+def record_has_full_images(record: CheckpointRecord) -> bool:
+    """True iff the record's images can actually seed a restart."""
+    return bool(record.images) and not any(
+        image_is_stripped(im) for im in record.images.values()
+    )
+
+
+def result_has_full_images(result: RunResult) -> bool:
+    committed = [r for r in result.checkpoints if r.committed]
+    return bool(committed) and all(record_has_full_images(r) for r in committed)
+
+
+def checkpoint_record_to_dict(record: CheckpointRecord) -> dict:
+    return {
+        "ckpt_id": record.ckpt_id,
+        "protocol": record.protocol,
+        "t_request": record.t_request,
+        "t_targets": record.t_targets,
+        "t_quiesced": record.t_quiesced,
+        "t_drained": record.t_drained,
+        "t_written": record.t_written,
+        "t_resumed": record.t_resumed,
+        "aborted": record.aborted,
+        "abort_reason": record.abort_reason,
+        "total_image_bytes": record.total_image_bytes,
+        "images": {str(r): _image_to_dict(im) for r, im in record.images.items()},
+        "seq_reports": {
+            str(rank): {str(g): s for g, s in table.items()}
+            for rank, table in record.seq_reports.items()
+        },
+        "initial_targets": {str(g): t for g, t in record.initial_targets.items()},
+    }
+
+
+def checkpoint_record_from_dict(data: Mapping[str, Any]) -> CheckpointRecord:
+    return CheckpointRecord(
+        ckpt_id=data["ckpt_id"],
+        protocol=data["protocol"],
+        t_request=data["t_request"],
+        t_targets=data.get("t_targets"),
+        t_quiesced=data.get("t_quiesced"),
+        t_drained=data.get("t_drained"),
+        t_written=data.get("t_written"),
+        t_resumed=data.get("t_resumed"),
+        aborted=data.get("aborted", False),
+        abort_reason=data.get("abort_reason", ""),
+        total_image_bytes=data.get("total_image_bytes", 0),
+        images={
+            int(r): _image_from_dict(im)
+            for r, im in data.get("images", {}).items()
+        },
+        seq_reports={
+            int(rank): {int(g): s for g, s in table.items()}
+            for rank, table in data.get("seq_reports", {}).items()
+        },
+        initial_targets={
+            int(g): t for g, t in data.get("initial_targets", {}).items()
+        },
+    )
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """JSON-representable form of a result (image payloads dropped)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "app": result.app,
+        "protocol": result.protocol,
+        "nprocs": result.nprocs,
+        "nnodes": result.nnodes,
+        "runtime": result.runtime,
+        "per_rank": _canonical_value(result.per_rank),
+        "coll_calls": result.coll_calls,
+        "p2p_calls": result.p2p_calls,
+        "checkpoints": [checkpoint_record_to_dict(r) for r in result.checkpoints],
+        "restart_read_time": result.restart_read_time,
+        "restart_ready_time": result.restart_ready_time,
+        "sim_events": result.sim_events,
+        "na_reason": result.na_reason,
+    }
+
+
+def run_result_from_dict(data: Mapping[str, Any]) -> RunResult:
+    schema = data.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"serialized result has schema {schema}, expected {SCHEMA_VERSION}"
+        )
+    return RunResult(
+        app=data["app"],
+        protocol=data["protocol"],
+        nprocs=data["nprocs"],
+        nnodes=data["nnodes"],
+        runtime=data["runtime"],
+        per_rank=list(data.get("per_rank", ())),
+        coll_calls=data.get("coll_calls", 0),
+        p2p_calls=data.get("p2p_calls", 0),
+        checkpoints=[
+            checkpoint_record_from_dict(r) for r in data.get("checkpoints", ())
+        ],
+        restart_read_time=data.get("restart_read_time", 0.0),
+        restart_ready_time=data.get("restart_ready_time", 0.0),
+        sim_events=data.get("sim_events", 0),
+        na_reason=data.get("na_reason", ""),
+    )

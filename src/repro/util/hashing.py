@@ -6,11 +6,18 @@ on every rank and across runs, so Python's randomized ``hash()`` is
 unusable; we use a small FNV-1a over the sorted rank sequence, which is
 fast, dependency-free, and collision-resistant enough for the handful of
 groups a real application creates.
+
+The same property — identical across processes and interpreter
+invocations — is what the experiment engine needs to key its on-disk
+result cache, so :func:`stable_json_hash` lives here too: it hashes any
+JSON-representable object via a canonical (sorted-keys, compact) JSON
+encoding.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import json
+from typing import Any, Iterable
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -24,6 +31,26 @@ def fnv1a_64(data: bytes) -> int:
         h ^= byte
         h = (h * _FNV_PRIME) & _MASK
     return h
+
+
+def fnv1a_hex(data: bytes) -> str:
+    """64-bit FNV-1a hash of ``data`` as a fixed-width hex string."""
+    return f"{fnv1a_64(data):016x}"
+
+
+def stable_json_hash(obj: Any) -> str:
+    """Deterministic hex digest of a JSON-representable object.
+
+    The object is encoded as canonical JSON (sorted keys, compact
+    separators, no NaN) so the digest is identical across processes,
+    interpreter runs, and machines — the property a spec-keyed disk
+    cache depends on.  Raises ``TypeError``/``ValueError`` for objects
+    JSON cannot represent canonically.
+    """
+    payload = json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return fnv1a_hex(payload.encode("utf-8"))
 
 
 def stable_hash_ranks(world_ranks: Iterable[int]) -> int:

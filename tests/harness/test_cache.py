@@ -1,0 +1,75 @@
+"""Tests for the on-disk result cache."""
+
+import json
+
+from repro.harness.cache import ResultCache, default_cache_dir
+from repro.harness.spec import SCHEMA_VERSION, RunSpec, execute, spec_hash
+
+
+def _spec(**overrides):
+    base = dict(app="comd", nprocs=2, app_kwargs={"niters": 3}, seed=0)
+    base.update(overrides)
+    return RunSpec.create(base.pop("app"), base.pop("nprocs"), **base)
+
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    assert cache.get(spec) is None
+    result = execute(spec)
+    path = cache.put(spec, result)
+    assert path.exists()
+    assert path.parent.name == f"v{SCHEMA_VERSION}"
+    assert path.stem == spec_hash(spec)
+    cached = cache.get(spec)
+    assert cached is not None
+    assert cached.runtime == result.runtime
+    assert cached.per_rank == result.per_rank
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_different_specs_do_not_collide(tmp_path):
+    cache = ResultCache(tmp_path)
+    a, b = _spec(seed=0), _spec(seed=1)
+    cache.put(a, execute(a))
+    assert cache.get(b) is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    path = cache.put(spec, execute(spec))
+    path.write_text("{not json")
+    assert cache.get(spec) is None
+    path.write_text(json.dumps({"spec": {}}))  # valid JSON, missing result
+    assert cache.get(spec) is None
+
+
+def test_entry_is_inspectable_json(tmp_path):
+    """Cache entries carry the spec for debuggability."""
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    path = cache.put(spec, execute(spec))
+    document = json.loads(path.read_text())
+    assert document["spec"]["app"] == "comd"
+    assert document["result"]["nprocs"] == 2
+
+
+def test_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert len(cache) == 0
+    for seed in range(3):
+        spec = _spec(seed=seed)
+        cache.put(spec, execute(spec))
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+    assert cache.get(_spec(seed=0)) is None
+
+
+def test_default_cache_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == tmp_path / "custom"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-mpi"

@@ -97,10 +97,37 @@ class TestCli:
     def test_cli_table1(self, capsys):
         from repro.cli import main
 
-        assert main(["table1", "--nprocs", "8"]) == 0
+        assert main(["table1", "--nprocs", "8", "--no-cache", "--quiet"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "minivasp" in out
+        # The engine-stats one-liner follows every experiment.
+        assert "engine:" in out
+        assert "jobs submitted" in out
+
+    def test_cli_cache_and_jobs_flags(self, capsys, tmp_path):
+        from repro.cli import main
+
+        argv = ["table1", "--nprocs", "4", "--ppn", "4", "--quiet",
+                "--cache-dir", str(tmp_path), "--jobs", "2"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hits" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "6 cache hits" in warm
+        assert "0 simulated" in warm
+        # Rendered tables identical between cold parallel and warm runs.
+        assert cold.split("[table1")[0] == warm.split("[table1")[0]
+
+    def test_cli_repeats_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig8", "--procs", "4", "--ppn", "4", "--repeats", "1",
+                     "--no-cache", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        # 1 repeat x 3 protocols x 1 proc count = 3 jobs.
+        assert "3 jobs submitted" in out
 
     def test_cli_unknown_experiment(self):
         from repro.cli import main

@@ -1,0 +1,206 @@
+"""Tests for the declarative RunSpec layer: hashing, serialization,
+chain structure, and execution semantics."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.spec import (
+    RunSpec,
+    SpecError,
+    execute,
+    image_is_stripped,
+    record_has_full_images,
+    result_has_full_images,
+    run_result_from_dict,
+    run_result_to_dict,
+    spec_from_dict,
+    spec_hash,
+    spec_to_dict,
+)
+from repro.netmodel import ModelParams, StorageModel
+
+
+def _spec(**overrides):
+    base = dict(app="comd", nprocs=4, app_kwargs={"niters": 4}, seed=0)
+    base.update(overrides)
+    return RunSpec.create(base.pop("app"), base.pop("nprocs"), **base)
+
+
+class TestSpecValue:
+    def test_kwargs_order_insensitive(self):
+        a = RunSpec.create("osu", 4, app_kwargs={"kind": "bcast", "nbytes": 4})
+        b = RunSpec.create("osu", 4, app_kwargs={"nbytes": 4, "kind": "bcast"})
+        assert a == b
+        assert spec_hash(a) == spec_hash(b)
+
+    def test_specs_are_hashable_dict_keys(self):
+        assert len({_spec(): 1, _spec(): 2}) == 1
+        assert len({_spec(seed=0), _spec(seed=1)}) == 2
+
+    def test_non_scalar_kwarg_rejected(self):
+        with pytest.raises(SpecError):
+            RunSpec.create("osu", 4, app_kwargs={"sizes": [1, 2]})
+
+    def test_native_checkpoint_rejected(self):
+        with pytest.raises(SpecError):
+            _spec(protocol="native", checkpoint_at=(1.0,))
+
+    def test_restart_protocol_must_match_parent(self):
+        parent = _spec(protocol="cc", checkpoint_at=(0.01,))
+        with pytest.raises(SpecError):
+            _spec(protocol="2pc", restart_of=parent)
+
+    def test_hash_differs_across_fields(self):
+        seen = {
+            spec_hash(_spec()),
+            spec_hash(_spec(seed=1)),
+            spec_hash(_spec(protocol="cc")),
+            spec_hash(_spec(app_kwargs={"niters": 5})),
+            spec_hash(_spec(ppn=2)),
+        }
+        assert len(seen) == 5
+
+    def test_hash_stable_across_processes(self):
+        spec = _spec(
+            protocol="cc",
+            ppn=2,
+            checkpoint_fractions=(0.5,),
+            storage=StorageModel(base_latency=0.25),
+            params=ModelParams.slow_network(),
+        )
+        code = (
+            "from repro.harness.spec import RunSpec, spec_hash\n"
+            "from repro.netmodel import ModelParams, StorageModel\n"
+            "spec = RunSpec.create('comd', 4, app_kwargs={'niters': 4},\n"
+            "    protocol='cc', ppn=2, checkpoint_fractions=(0.5,),\n"
+            "    storage=StorageModel(base_latency=0.25),\n"
+            "    params=ModelParams.slow_network())\n"
+            "print(spec_hash(spec))\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        )
+        assert out.stdout.strip() == spec_hash(spec)
+
+    def test_spec_dict_round_trip(self):
+        parent = _spec(protocol="cc", checkpoint_fractions=(0.5,),
+                       storage=StorageModel(), params=ModelParams())
+        spec = _spec(protocol="cc", restart_of=parent)
+        restored = spec_from_dict(json.loads(json.dumps(spec_to_dict(spec))))
+        assert restored == spec
+        assert spec_hash(restored) == spec_hash(spec)
+
+
+class TestChains:
+    def test_probe_and_parents(self):
+        spec = _spec(protocol="cc", checkpoint_fractions=(0.5,))
+        probe = spec.probe_spec()
+        assert probe.checkpoint_fractions == ()
+        assert spec.parents() == (probe,)
+        assert probe.parents() == ()
+        assert spec.chain_depth() == 1
+
+    def test_restart_chain_depth(self):
+        ckpt = _spec(protocol="cc", checkpoint_fractions=(0.5,))
+        restart = _spec(protocol="cc", restart_of=ckpt)
+        assert restart.chain_depth() == 2
+        assert set(restart.ancestors()) == {ckpt, ckpt.probe_spec()}
+
+
+class TestExecute:
+    def test_execute_matches_launch_run(self):
+        from repro.apps import make_app_factory
+        from repro.harness.runner import launch_run
+
+        spec = _spec(seed=3)
+        direct = launch_run(make_app_factory("comd", niters=4), 4, seed=3)
+        via_spec = execute(spec)
+        assert via_spec.runtime == direct.runtime
+        assert via_spec.sim_events == direct.sim_events
+
+    def test_execute_na_for_unsupported(self):
+        spec = RunSpec.create(
+            "poisson", 4, app_kwargs={"niters": 4}, protocol="2pc"
+        )
+        result = execute(spec)
+        assert not result.ok
+        assert "non-blocking" in result.na_reason
+        assert result.runtime == 0.0
+
+    def test_execute_resolves_probe_and_restart(self):
+        ckpt = _spec(protocol="cc", checkpoint_fractions=(0.5,))
+        restart = _spec(protocol="cc", restart_of=ckpt)
+        deps = {}
+        result = execute(restart, deps)
+        assert result.restart_ready_time > 0
+        # The chain memoized its intermediate phases.
+        assert ckpt in deps and ckpt.probe_spec() in deps
+
+    def test_execute_reuses_supplied_parent(self):
+        ckpt = _spec(protocol="cc", checkpoint_fractions=(0.5,))
+        parent_result = execute(ckpt)
+        assert result_has_full_images(parent_result)
+        restart = _spec(protocol="cc", restart_of=ckpt)
+        result = execute(restart, {ckpt: parent_result})
+        assert result.restart_ready_time > 0
+
+    def test_restart_from_stripped_parent_resimulates(self):
+        ckpt = _spec(protocol="cc", checkpoint_fractions=(0.5,))
+        stripped = run_result_from_dict(run_result_to_dict(execute(ckpt)))
+        assert not result_has_full_images(stripped)
+        restart = _spec(protocol="cc", restart_of=ckpt)
+        result = execute(restart, {ckpt: stripped})
+        assert result.restart_ready_time > 0
+
+    def test_restart_without_commit_is_error(self):
+        # Parent never checkpoints (no schedule at all).
+        parent = _spec(protocol="cc")
+        restart = _spec(protocol="cc", restart_of=parent)
+        with pytest.raises(SpecError, match="committed no"):
+            execute(restart)
+
+
+class TestResultSerialization:
+    def test_round_trip_plain_run(self):
+        result = execute(_spec(seed=2))
+        restored = run_result_from_dict(
+            json.loads(json.dumps(run_result_to_dict(result)))
+        )
+        assert restored.runtime == result.runtime
+        assert restored.per_rank == result.per_rank
+        assert restored.sim_events == result.sim_events
+        assert restored.coll_calls == result.coll_calls
+
+    def test_round_trip_checkpoint_metadata(self):
+        result = execute(_spec(protocol="cc", checkpoint_fractions=(0.5,)))
+        committed = [r for r in result.checkpoints if r.committed]
+        assert committed and record_has_full_images(committed[0])
+        restored = run_result_from_dict(
+            json.loads(json.dumps(run_result_to_dict(result)))
+        )
+        rec = [r for r in restored.checkpoints if r.committed][0]
+        orig = committed[0]
+        assert rec.checkpoint_time == orig.checkpoint_time
+        assert rec.total_image_bytes == orig.total_image_bytes
+        assert sorted(rec.images) == sorted(orig.images)
+        for rank, image in rec.images.items():
+            assert image.declared_bytes == orig.images[rank].declared_bytes
+            assert image.ckpt_id == orig.images[rank].ckpt_id
+            assert image_is_stripped(image)
+        assert not record_has_full_images(rec)
+
+    def test_round_trip_na_result(self):
+        result = execute(
+            RunSpec.create("poisson", 4, app_kwargs={"niters": 4}, protocol="2pc")
+        )
+        restored = run_result_from_dict(run_result_to_dict(result))
+        assert restored.na_reason == result.na_reason
+        assert not restored.ok
