@@ -6,17 +6,31 @@ Usage::
     python -m repro.cli fig5a --procs 8,16,32 --jobs 4
     python -m repro.cli all --jobs 8
     repro-mpi fig7 --nprocs 32 --repeats 3
+    repro-mpi cache stats
+    repro-mpi cache prune --figure fig9
 
 ``all`` submits every figure's job list as ONE engine batch, so cells
 shared between figures (e.g. the native miniVASP baselines of Table 1,
 Figure 7, and Figure 8) simulate once.  Results are cached on disk
 (``--cache-dir``, default ``~/.cache/repro-mpi``); a warm rerun
 executes zero simulations.  Disable with ``--no-cache``.
+
+``cache`` manages that store: ``stats`` (entry/byte/timing counts),
+``clear`` (drop every entry), and ``prune --figure <name>`` (drop the
+named figure's default-parameter cells, keeping shared baselines other
+figures still reference out of the blast radius is *not* attempted —
+prune is hash-exact, so a shared baseline pruned here is simply
+re-simulated or re-cached by the next run that needs it).
+
+``--bench-json PATH`` appends one machine-readable record per
+invocation (figures run, engine stats, wall time) so performance
+trajectories can accumulate across runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -70,7 +84,59 @@ def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _cache_main(argv: list[str]) -> int:
+    """``repro-mpi cache {stats,clear,prune}`` — manage the result cache."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi cache",
+        description="Inspect and manage the on-disk simulation result cache",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    for name, desc in (
+        ("stats", "entry count, on-disk bytes, recorded timings"),
+        ("clear", "delete every cached result (timings survive)"),
+        ("prune", "delete one figure's default-parameter entries"),
+    ):
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--cache-dir", type=str, default=None,
+                       help="cache directory (default $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-mpi)")
+        if name == "prune":
+            p.add_argument("--figure", required=True, choices=sorted(PLANNERS),
+                           help="figure whose cells to evict")
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+
+    if args.action == "stats":
+        entries = len(cache)
+        print(f"cache dir:      {cache.root}")
+        print(f"schema version: v{cache.version_dir.name.lstrip('v')}")
+        print(f"entries:        {entries}")
+        print(f"size:           {cache.total_bytes() / 1024:.1f} KiB")
+        print(f"recorded times: {cache.timing_count()}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    # prune: evict the figure's default plan, dependency chain included
+    # (probe/parent entries are figure-specific cells too).
+    plan = PLANNERS[args.figure]()
+    specs: dict = {}
+    for spec in plan.specs:
+        for ancestor in spec.ancestors():
+            specs.setdefault(ancestor, None)
+        specs.setdefault(spec, None)
+    removed = cache.prune(specs)
+    print(f"pruned {removed}/{len(specs)} {args.figure} entr"
+          f"{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-mpi",
         description=(
@@ -81,7 +147,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(PLANNERS) + ["all"],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate (or `cache` to manage "
+             "the result cache)",
     )
     parser.add_argument("--procs", type=_int_list, default=None,
                         help="comma-separated process counts (fig5a/fig5b/fig6/fig8)")
@@ -104,6 +171,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="neither read nor write the result cache")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-job progress lines")
+    parser.add_argument("--bench-json", type=str, default=None,
+                        help="append a JSON record of this run's engine "
+                             "stats and wall time to PATH")
     args = parser.parse_args(argv)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -129,7 +199,39 @@ def main(argv: list[str] | None = None) -> int:
     if stats is not None:
         print(f"[{'+'.join(names)}: {stats.summary()}; "
               f"{time.time() - t0:.1f}s total]")
+    if args.bench_json:
+        _append_bench_record(args.bench_json, names, stats, time.time() - t0)
     return 0
+
+
+def _append_bench_record(path: str, names: list[str], stats, total: float) -> None:
+    """Accumulate one run's engine metrics in a JSON list at ``path``."""
+    record = {
+        "figures": names,
+        "total_seconds": round(total, 3),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    if stats is not None:
+        record["engine"] = {
+            "submitted": stats.submitted,
+            "deduped": stats.deduped,
+            "chained": stats.chained,
+            "cache_hits": stats.cache_hits,
+            "executed": stats.executed,
+            "prediction_hit_rate": round(stats.prediction_hit_rate, 4),
+            "wall_time": round(stats.wall_time, 3),
+        }
+    try:
+        with open(path) as fh:
+            records = json.load(fh)
+        if not isinstance(records, list):
+            records = [records]
+    except (OSError, ValueError):
+        records = []
+    records.append(record)
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
 
 
 if __name__ == "__main__":

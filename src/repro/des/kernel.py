@@ -6,9 +6,35 @@ simulated process is a real OS thread, but **exactly one thread runs at a
 time**: the scheduler hands a token to the process whose wake-up event is
 next in virtual time, and the process hands the token back whenever it
 performs a kernel call (``sleep``, blocking on a primitive, exiting).
-Because every hand-off is mediated by the event heap, and heap entries are
+Because every hand-off is mediated by the event queue, and entries are
 ordered by ``(time, sequence_number)``, execution is fully deterministic
 for a fixed program — no dependence on OS thread scheduling.
+
+Hot-path design (every simulated second is millions of these):
+
+* **Pure-callback events run inline** in the scheduler loop — timers,
+  request completions, and coordinator callbacks never touch a thread.
+  Only resuming a simulated *process* costs a thread handoff, and that
+  handoff uses raw ``threading.Lock`` pairs (C-level acquire/release)
+  rather than the Python-implemented ``Semaphore``.
+* **Zero-delay events bypass the heap.**  Events scheduled at the
+  current instant (process resumes, completion wakeups, mailbox
+  deliveries) go to a FIFO *now-queue*; the run loop merges the two
+  sources by ``(time, seq)`` so global ordering — and therefore
+  ``event_count`` — is identical to a single-heap kernel.
+* **Event entries are ``(time, seq, timer_or_None, action)`` tuples**,
+  so heap sifting compares floats/ints in C instead of calling
+  ``Timer.__lt__``, and fire-and-forget events (:meth:`Simulator.defer`
+  / :meth:`Simulator.defer_at`, non-interruptible sleeps, resumes)
+  allocate no Timer handle at all.
+* **Cancelled timers are dropped lazily** when popped, never by
+  re-heapifying.
+* **Tracing is free when off**: ``_trace_emit`` defers ``%``-style
+  formatting (or a callable detail) until a tracer is attached, and hot
+  call sites skip the call entirely when ``tracer is None``.
+* **Consecutive same-time resumes of one process coalesce** into a
+  single resume event (a double wake at the same instant was previously
+  a latent spurious-wakeup hazard).
 
 This is the substrate on which ``repro.simmpi`` (the simulated MPI
 library) and ``repro.mana`` (the checkpointing layer) are built.
@@ -26,9 +52,10 @@ Typical usage::
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import threading
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Iterable
 
 import numpy as np
@@ -49,9 +76,9 @@ _tls = threading.local()
 
 # Process lifecycle states.
 _NEW = "new"
-_READY = "ready"  # has a pending resume event in the heap
+_READY = "ready"  # has a pending resume event in the queue
 _RUNNING = "running"
-_BLOCKED = "blocked"  # waiting for an external wake (no heap entry)
+_BLOCKED = "blocked"  # waiting for an external wake (no queue entry)
 _DONE = "done"
 _FAILED = "failed"
 _KILLED = "killed"
@@ -105,6 +132,28 @@ class SimProcess:
     Do not instantiate directly; use :meth:`Simulator.spawn`.
     """
 
+    __slots__ = (
+        "sim",
+        "name",
+        "fn",
+        "args",
+        "kwargs",
+        "state",
+        "result",
+        "exception",
+        "blocked_on",
+        "_sleep_timer",
+        "_interrupted",
+        "_killed",
+        "_resume",
+        "_joiners",
+        "_waiters_on_exit",
+        "_thread",
+        "_resume_at",
+        "_resume_action",
+        "_wake_action",
+    )
+
     def __init__(
         self,
         sim: "Simulator",
@@ -127,9 +176,19 @@ class SimProcess:
         self._sleep_timer: Timer | None = None
         self._interrupted = False
         self._killed = False
-        self._resume = threading.Semaphore(0)
+        # Raw Lock (not Semaphore): acquire/release are C-level, and the
+        # kernel's strict one-runner-at-a-time handoff never needs counts.
+        self._resume = threading.Lock()
+        self._resume.acquire()
         self._joiners: list[SimProcess] = []
         self._waiters_on_exit: list[Callable[[], None]] = []
+        #: Virtual time of the pending resume event (-1.0 when none),
+        #: for same-time coalescing.
+        self._resume_at = -1.0
+        # Preallocated hot-path callbacks: one closure per process for
+        # its lifetime instead of one per resume/sleep.
+        self._resume_action = lambda: sim._resume_process(self)
+        self._wake_action = lambda: sim._make_ready(self)
         old = threading.stack_size()
         try:
             threading.stack_size(_STACK_SIZE)
@@ -219,7 +278,7 @@ class SimProcess:
         if self._sleep_timer is not None and not self._sleep_timer.cancelled:
             self._sleep_timer.cancel()
             self._interrupted = True
-            self.sim._make_ready(self, detail="interrupt")
+            self.sim._make_ready(self)
             self.sim._trace_emit("interrupt", self.name, "")
             return True
         return False
@@ -235,7 +294,7 @@ class SimProcess:
 
 
 class Simulator:
-    """The event loop: a heap of timed actions plus the process registry.
+    """The event loop: a queue of timed actions plus the process registry.
 
     Args:
         seed: master seed for :meth:`rng` streams.  All randomness in a
@@ -254,13 +313,29 @@ class Simulator:
         tracer: Tracer | None = None,
         max_events: int | None = None,
     ):
-        self._heap: list[Timer] = []
+        #: Future events: ``(time, seq, timer_or_None, action)`` tuples
+        #: so heap sifting compares in C without calling back into
+        #: Python; the Timer slot is None for non-cancellable events.
+        self._heap: list[tuple[float, int, "Timer | None", Callable[[], None]]] = []
+        #: Front-slot cache: the earliest *future* event, kept out of the
+        #: heap.  Invariant: when set, it precedes every heap entry in
+        #: ``(time, seq)`` order.  Chain-shaped workloads (each event
+        #: scheduling its successor into an otherwise empty future) then
+        #: never touch the heap at all.
+        self._front: "tuple[float, int, Timer | None, Callable[[], None]] | None" = None
+        #: Zero-delay events at the current instant, in seq (FIFO) order.
+        self._nowq: deque[tuple[float, int, "Timer | None", Callable[[], None]]] = deque()
         self._seq = itertools.count()
+        #: Bound ``__next__`` of the sequence counter: every scheduled
+        #: event draws one, so skip the ``next()`` builtin dispatch.
+        self._next_seq = self._seq.__next__
         self._now = 0.0
         self._processes: list[SimProcess] = []
         self._failed: list[SimProcess] = []
         self._current: SimProcess | None = None
-        self._token = threading.Semaphore(0)
+        # Scheduler-side half of the handoff pair; see SimProcess._resume.
+        self._token = threading.Lock()
+        self._token.acquire()
         self._running = False
         self._closed = False
         self._seed = seed
@@ -308,20 +383,118 @@ class Simulator:
 
     def call_at(self, time: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn()`` to run in scheduler context at virtual ``time``."""
-        self._check_open()
-        if time < self._now - 1e-15:
-            raise SchedulingError(
-                f"cannot schedule at {time} before current time {self._now}"
-            )
-        timer = Timer(max(time, self._now), next(self._seq), fn)
-        heapq.heappush(self._heap, timer)
+        if self._closed:
+            raise SimClosedError("simulator is closed")
+        now = self._now
+        seq = self._next_seq()
+        if time <= now:
+            if time < now - 1e-15:
+                raise SchedulingError(
+                    f"cannot schedule at {time} before current time {now}"
+                )
+            # Zero-delay fast path: FIFO append, no heap traffic.  The
+            # run loop merges by (time, seq), so ordering is unchanged.
+            timer = Timer(now, seq, fn)
+            self._nowq.append((now, seq, timer, fn))
+        else:
+            timer = Timer(time, seq, fn)
+            self._push_future((time, seq, timer, fn))
         return timer
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn()`` to run ``delay`` seconds of virtual time from now."""
+        if self._closed:
+            raise SimClosedError("simulator is closed")
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, fn)
+        seq = self._next_seq()
+        if delay == 0.0:
+            timer = Timer(self._now, seq, fn)
+            self._nowq.append((timer.time, seq, timer, fn))
+        else:
+            time = self._now + delay
+            timer = Timer(time, seq, fn)
+            # Inline front-slot insert (see _push_future): hot path.
+            front = self._front
+            if front is None:
+                heap = self._heap
+                if heap and heap[0][0] <= time:
+                    _heappush(heap, (time, seq, timer, fn))
+                else:
+                    self._front = (time, seq, timer, fn)
+            elif time < front[0]:
+                _heappush(self._heap, front)
+                self._front = (time, seq, timer, fn)
+            else:
+                _heappush(self._heap, (time, seq, timer, fn))
+        return timer
+
+    def defer(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` after ``delay`` with no cancellation handle.
+
+        The fire-and-forget twin of :meth:`call_after` for hot paths
+        (request completions, message deliveries): no :class:`Timer` is
+        allocated, so the only per-event cost is the queue entry.
+        """
+        if self._closed:
+            raise SimClosedError("simulator is closed")
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        seq = self._next_seq()
+        if delay == 0.0:
+            self._nowq.append((self._now, seq, None, fn))
+        else:
+            time = self._now + delay
+            # Inline front-slot insert (see _push_future): hot path.
+            front = self._front
+            if front is None:
+                heap = self._heap
+                if heap and heap[0][0] <= time:
+                    _heappush(heap, (time, seq, None, fn))
+                else:
+                    self._front = (time, seq, None, fn)
+            elif time < front[0]:
+                _heappush(self._heap, front)
+                self._front = (time, seq, None, fn)
+            else:
+                _heappush(self._heap, (time, seq, None, fn))
+
+    def defer_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Non-cancellable twin of :meth:`call_at` (see :meth:`defer`)."""
+        if self._closed:
+            raise SimClosedError("simulator is closed")
+        now = self._now
+        seq = self._next_seq()
+        if time <= now:
+            if time < now - 1e-15:
+                raise SchedulingError(
+                    f"cannot schedule at {time} before current time {now}"
+                )
+            self._nowq.append((now, seq, None, fn))
+        else:
+            self._push_future((time, seq, None, fn))
+
+    def _push_future(
+        self, entry: "tuple[float, int, Timer | None, Callable[[], None]]"
+    ) -> None:
+        """Insert a future event, maintaining the front-slot invariant.
+
+        New entries always carry the largest sequence number, so a time
+        tie is resolved in favour of the incumbent (front or heap head).
+        """
+        time = entry[0]
+        front = self._front
+        if front is None:
+            heap = self._heap
+            if heap and heap[0][0] <= time:
+                _heappush(heap, entry)
+            else:
+                self._front = entry
+        elif time < front[0]:
+            _heappush(self._heap, front)
+            self._front = entry
+        else:
+            _heappush(self._heap, entry)
 
     def spawn(
         self,
@@ -347,8 +520,10 @@ class Simulator:
         self._processes.append(proc)
         proc.state = _READY
         start = self._now if start_at is None else start_at
-        self.call_at(start, lambda: self._resume_process(proc))
-        self._trace_emit("spawn", name, f"start_at={start}")
+        proc._resume_at = max(start, self._now)
+        self.defer_at(start, proc._resume_action)
+        if self._tracer is not None:
+            self._trace_emit("spawn", name, "start_at=%g", start)
         proc._thread.start()
         return proc
 
@@ -373,15 +548,22 @@ class Simulator:
         value is :data:`INTERRUPTED`, otherwise ``None``.  The caller can
         compute the remaining time from :meth:`now`.
         """
-        proc = self.current_process()
+        proc = getattr(_tls, "proc", None)
+        if proc is None or proc.sim is not self:
+            raise NotInProcessError(
+                "this operation must be called from inside a simulated process"
+            )
         if delay < 0:
             raise SchedulingError(f"negative sleep {delay}")
-        timer = self.call_after(delay, lambda: self._make_ready(proc, detail="wake"))
         if interruptible:
-            proc._sleep_timer = timer
+            proc._sleep_timer = self.call_after(delay, proc._wake_action)
+        else:
+            # Fire-and-forget wake: no Timer handle, no closure.
+            self.defer(delay, proc._wake_action)
         proc.state = _BLOCKED
-        proc.blocked_on = f"sleep({delay:g})"
-        self._trace_emit("sleep", proc.name, f"{delay:g}")
+        proc.blocked_on = "sleep"
+        if self._tracer is not None:
+            self._trace_emit("sleep", proc.name, "%g", delay)
         proc._yield_and_wait()
         proc._sleep_timer = None
         proc.blocked_on = ""
@@ -400,13 +582,14 @@ class Simulator:
         proc = self.current_process()
         proc.state = _BLOCKED
         proc.blocked_on = reason
-        self._trace_emit("block", proc.name, reason)
+        if self._tracer is not None:
+            self._trace_emit("block", proc.name, reason)
         proc._yield_and_wait()
         proc.blocked_on = ""
 
     def wake(self, proc: SimProcess) -> None:
         """Schedule ``proc`` (blocked via :meth:`block`) to resume now."""
-        self._make_ready(proc, detail="wake")
+        self._make_ready(proc)
 
     def checkpoint_yield(self) -> None:
         """Yield to the scheduler for zero virtual time.
@@ -421,7 +604,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def run(self, until: float | None = None) -> float:
-        """Run events until the heap is exhausted (or virtual time ``until``).
+        """Run events until the queue is exhausted (or virtual time ``until``).
 
         Returns the final virtual time.  Raises:
             * :class:`ProcessFailed` if any process raised an exception.
@@ -432,24 +615,82 @@ class Simulator:
         if self._running:
             raise SchedulingError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        nowq = self._nowq
+        heappop = _heappop
+        popleft = nowq.popleft
+        limit = self._max_events
+        if limit is None:
+            limit = float("inf")
+        count = self._event_count
+        failed = self._failed
         try:
-            while self._heap:
-                timer = heapq.heappop(self._heap)
-                if timer.cancelled:
+            while True:
+                # Merge the three event sources by (time, seq): identical
+                # global order to a single-heap kernel, but zero-delay
+                # events (the overwhelming majority in message-heavy
+                # runs) cost a deque append/popleft, and lone future
+                # events sit in the front slot without heap traffic.
+                # Future entries are never earlier than the current
+                # instant, so they preempt the now-queue only on an
+                # equal-time, smaller-seq head.
+                if nowq:
+                    entry = nowq[0]
+                    front = self._front
+                    if front is not None:
+                        if front[0] > entry[0] or front[1] > entry[1]:
+                            popleft()
+                        else:
+                            self._front = None
+                            entry = front
+                    elif heap:
+                        head = heap[0]
+                        if head[0] > entry[0] or head[1] > entry[1]:
+                            popleft()
+                        else:
+                            entry = heappop(heap)
+                    else:
+                        popleft()
+                else:
+                    entry = self._front
+                    if entry is not None:
+                        self._front = None
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
+                time, _seq, timer, action = entry
+                if timer is not None and timer.cancelled:
+                    # Lazy drop: cancelled entries are discarded when
+                    # reached, never by rebuilding the heap.
                     continue
-                if until is not None and timer.time > until:
-                    heapq.heappush(self._heap, timer)
+                if until is not None and time > until:
+                    # Push the entry back preserving the front-slot
+                    # invariant (it usually was the global minimum, so
+                    # the vacated front slot is the right place).
+                    front = self._front
+                    if front is None:
+                        self._front = entry
+                    elif time < front[0] or (
+                        time == front[0] and entry[1] < front[1]
+                    ):
+                        self._front = entry
+                        _heappush(heap, front)
+                    else:
+                        _heappush(heap, entry)
                     self._now = until
-                    return self._now
-                self._event_count += 1
-                if self._max_events is not None and self._event_count > self._max_events:
+                    return until
+                count += 1
+                self._event_count = count
+                if count > limit:
                     raise SchedulingError(
                         f"exceeded max_events={self._max_events}; "
                         "possible runaway protocol loop"
                     )
-                self._now = timer.time
-                timer.action()
-                self._raise_if_failed()
+                self._now = time
+                action()
+                if failed:
+                    self._raise_if_failed()
             blocked = [p for p in self._processes if p.alive]
             if blocked:
                 lines = ", ".join(f"{p.name}<-[{p.blocked_on or p.state}]" for p in blocked)
@@ -476,18 +717,28 @@ class Simulator:
     def _resume_process(self, proc: SimProcess) -> None:
         if not proc.alive:
             return
+        proc._resume_at = -1.0
         previous = self._current
         self._current = proc
-        self._trace_emit("start" if proc.state == _READY else "wake", proc.name, "")
+        if self._tracer is not None:
+            self._trace_emit("start" if proc.state == _READY else "wake", proc.name, "")
         proc._resume.release()
         self._token.acquire()
         self._current = previous
 
-    def _make_ready(self, proc: SimProcess, *, detail: str = "") -> Timer:
+    def _make_ready(self, proc: SimProcess, *, detail: str = "") -> None:
         if not proc.alive:
             raise SchedulingError(f"cannot wake non-live process {proc!r}")
+        now = self._now
+        if proc.state == _READY and proc._resume_at == now:
+            # Coalesce: a second wake at the same instant would
+            # otherwise schedule a duplicate resume that fires as a
+            # spurious wakeup after the process blocks on something
+            # else.
+            return
         proc.state = _READY
-        return self.call_at(self._now, lambda: self._resume_process(proc))
+        proc._resume_at = now
+        self._nowq.append((now, self._next_seq(), None, proc._resume_action))
 
     # ------------------------------------------------------------------ #
     # Shutdown
@@ -531,6 +782,20 @@ class Simulator:
         """Number of events executed so far (a determinism fingerprint)."""
         return self._event_count
 
-    def _trace_emit(self, kind: str, process: str, detail: str) -> None:
-        if self._tracer is not None:
-            self._tracer.emit(TraceRecord(self._now, kind, process, detail))
+    def _trace_emit(
+        self, kind: str, process: str, detail: Any = "", *args: Any
+    ) -> None:
+        """Record a trace event; formatting is deferred until needed.
+
+        ``detail`` may be a plain string, a ``%``-format string (with
+        ``args``), or a zero-argument callable producing the string —
+        nothing is built unless a tracer is attached.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return
+        if args:
+            detail = detail % args
+        elif not isinstance(detail, str):
+            detail = str(detail())
+        tracer.emit(TraceRecord(self._now, kind, process, detail))

@@ -9,6 +9,7 @@ matching engine and the checkpoint control plane.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Any
 
 from .errors import SchedulingError
@@ -43,6 +44,10 @@ class Waiter:
         self._value: Any = None
         self._fired = False
         self._timer: Timer | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "fired" if self._fired else "pending"
+        return f"<Waiter {self.label} {state}>"
 
     @property
     def fired(self) -> bool:
@@ -83,7 +88,7 @@ class Waiter:
         self._proc = proc
         if timeout is not None:
             self._timer = self.sim.call_after(timeout, self._on_timeout)
-        self.sim.block(f"wait:{self.label}")
+        self.sim.block("wait:" + self.label)
         if self._fired:
             return self._value
         return TIMEOUT
@@ -154,6 +159,9 @@ class Mailbox:
     def __init__(self, sim: Simulator, label: str = "mailbox"):
         self.sim = sim
         self.label = label
+        #: Precomputed waiter label — ``get`` is a hot path and must not
+        #: rebuild the same string per call.
+        self._getter_label = "mailbox:" + label
         self._items: deque[Any] = deque()
         self._getters: deque[Waiter] = deque()
         self._taps: list = []
@@ -165,7 +173,7 @@ class Mailbox:
         """Deposit ``item``; with ``delay`` the deposit happens later in
         virtual time (models control-plane latency)."""
         if delay > 0.0:
-            self.sim.call_after(delay, lambda: self._deliver(item))
+            self.sim.defer(delay, partial(self._deliver, item))
         else:
             self._deliver(item)
 
@@ -197,7 +205,7 @@ class Mailbox:
         """
         if self._items:
             return self._items.popleft()
-        w = Waiter(self.sim, label=f"mailbox:{self.label}")
+        w = Waiter(self.sim, label=self._getter_label)
         self._getters.append(w)
         value = w.wait(timeout=timeout)
         if value is TIMEOUT:

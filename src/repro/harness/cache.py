@@ -13,6 +13,12 @@ execution layer re-simulates the parent in that case, and the restart
 run's own result is cached in full, so warm reruns still execute zero
 simulations.
 
+Alongside results, the cache records each spec's **execution wall
+time** — both inside the entry document (``"elapsed"``) and in a small
+sidecar (``v<SCHEMA>-timings.json``) that survives ``clear``/``prune``.
+The engine uses these recorded times to schedule each dependency wave
+longest-pole-first; see :meth:`ResultCache.recorded_time`.
+
 The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mpi``.
 Writes are atomic (tempfile + rename) so concurrent engine workers and
 concurrent CLI invocations can share a cache directory safely.
@@ -25,6 +31,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterable
 
 from .runner import RunResult
 from .spec import (
@@ -64,10 +71,20 @@ class ResultCache:
     def __init__(self, directory: "Path | str | None" = None):
         self.root = Path(directory) if directory is not None else default_cache_dir()
         self.stats = CacheStats()
+        #: spec hash -> last recorded execution wall time (seconds);
+        #: lazily loaded from the sidecar on first use.
+        self._timings: dict[str, float] | None = None
 
     @property
     def version_dir(self) -> Path:
         return self.root / f"v{SCHEMA_VERSION}"
+
+    @property
+    def timings_path(self) -> Path:
+        # Deliberately *outside* version_dir so clear()/prune() leave the
+        # cost model intact: after a cache wipe the next batch still
+        # schedules longest-pole-first from historical times.
+        return self.root / f"v{SCHEMA_VERSION}-timings.json"
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.version_dir / f"{spec_hash(spec)}.json"
@@ -82,11 +99,78 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.stats.misses += 1
             return None
+        elapsed = document.get("elapsed")
+        if isinstance(elapsed, (int, float)) and elapsed > 0:
+            # Harvest the recorded time into memory (no sidecar write):
+            # a warm run learns its cost model from the entries it reads.
+            self._load_timings()[spec_hash(spec)] = float(elapsed)
         self.stats.hits += 1
         return result
 
-    def put(self, spec: RunSpec, result: RunResult) -> Path:
-        """Atomically store ``result`` under ``spec``'s hash."""
+    # ------------------------------------------------------------------ #
+    # Execution-time records (the engine's scheduling cost model)
+    # ------------------------------------------------------------------ #
+
+    def _load_timings(self) -> dict[str, float]:
+        if self._timings is None:
+            try:
+                raw = json.loads(self.timings_path.read_text())
+                self._timings = {
+                    str(k): float(v)
+                    for k, v in raw.items()
+                    if isinstance(v, (int, float)) and v > 0
+                }
+            except (OSError, ValueError, AttributeError):
+                self._timings = {}
+        return self._timings
+
+    def recorded_time(self, spec: RunSpec) -> float | None:
+        """Last recorded execution wall time for ``spec``, if any."""
+        return self._load_timings().get(spec_hash(spec))
+
+    def record_time(self, spec: RunSpec, seconds: float) -> None:
+        """Record ``spec``'s execution wall time in the sidecar.
+
+        The write re-reads the sidecar and merges before replacing it,
+        so concurrent engines sharing a cache directory lose at most a
+        race on the *same* spec's time, never each other's entries.
+        """
+        if seconds <= 0:
+            return
+        timings = self._load_timings()
+        timings[spec_hash(spec)] = seconds
+        try:
+            on_disk = json.loads(self.timings_path.read_text())
+            if isinstance(on_disk, dict):
+                for key, value in on_disk.items():
+                    if isinstance(value, (int, float)) and value > 0:
+                        timings.setdefault(str(key), float(value))
+        except (OSError, ValueError):
+            pass
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(timings, fh, separators=(",", ":"))
+            os.replace(tmp, self.timings_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def timing_count(self) -> int:
+        return len(self._load_timings())
+
+    def put(
+        self, spec: RunSpec, result: RunResult, *, elapsed: float | None = None
+    ) -> Path:
+        """Atomically store ``result`` under ``spec``'s hash.
+
+        ``elapsed`` (execution wall seconds) rides along in the document
+        and feeds the scheduling cost model via :meth:`record_time`.
+        """
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {
@@ -95,6 +179,9 @@ class ResultCache:
             "spec": spec_to_dict(spec),
             "result": run_result_to_dict(result),
         }
+        if elapsed is not None and elapsed > 0:
+            document["elapsed"] = elapsed
+            self.record_time(spec, elapsed)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
@@ -110,7 +197,10 @@ class ResultCache:
         return path
 
     def clear(self) -> int:
-        """Delete all entries for the current schema; returns the count."""
+        """Delete all entries for the current schema; returns the count.
+
+        Recorded execution times (the scheduling cost model) survive.
+        """
         removed = 0
         if self.version_dir.is_dir():
             for entry in self.version_dir.glob("*.json"):
@@ -120,6 +210,30 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+    def prune(self, specs: "Iterable[RunSpec]") -> int:
+        """Delete the entries for ``specs`` (misses ignored); returns the
+        number removed.  Recorded execution times survive."""
+        removed = 0
+        for spec in specs:
+            try:
+                self.path_for(spec).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of the current schema's entries."""
+        if not self.version_dir.is_dir():
+            return 0
+        total = 0
+        for entry in self.version_dir.glob("*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def __len__(self) -> int:
         if not self.version_dir.is_dir():

@@ -12,7 +12,11 @@ values — typically every cell of one or several figures at once — and:
    checkpoint run, and restart each simulate exactly once;
 3. **consults the disk cache** before simulating, so a warm rerun of
    ``repro-mpi all`` executes zero simulations;
-4. **fans out** the remaining unique jobs over a spawn-safe
+4. **orders every wave longest-pole-first** using a per-spec cost
+   model — the wall time recorded in the cache when the spec last ran,
+   falling back to a ``nprocs × niters`` heuristic — so the slowest job
+   starts first and the pool never idles behind a stragglers' tail;
+5. **fans out** the remaining unique jobs over a spawn-safe
    ``ProcessPoolExecutor`` (``jobs=N``), with a per-job ``max_events``
    guard and optional progress lines on stderr.
 
@@ -34,12 +38,23 @@ from .cache import ResultCache
 from .runner import RunResult
 from .spec import RunSpec, execute
 
-__all__ = ["EngineStats", "ExperimentEngine", "DEFAULT_MAX_EVENTS"]
+__all__ = [
+    "EngineStats",
+    "ExperimentEngine",
+    "DEFAULT_MAX_EVENTS",
+    "HEURISTIC_SECONDS_PER_UNIT",
+]
 
 #: Runaway-simulation guard applied to jobs that don't set their own
 #: ``max_events``.  Two orders of magnitude above the largest legitimate
 #: scaled-down run; a job that trips it is wedged, not slow.
 DEFAULT_MAX_EVENTS = 100_000_000
+
+#: Rough wall seconds per ``RunSpec.cost_hint`` unit (one rank-iteration),
+#: calibrated on the scaled-down figure cells.  Only used to let
+#: heuristic estimates sort alongside recorded wall times; ordering, not
+#: accuracy, is what matters.
+HEURISTIC_SECONDS_PER_UNIT = 2e-3
 
 
 @dataclass
@@ -53,28 +68,50 @@ class EngineStats:
     chained: int = 0
     cache_hits: int = 0
     executed: int = 0
+    #: Executed jobs whose scheduling cost came from a recorded wall time.
+    predicted_recorded: int = 0
+    #: Executed jobs scheduled by the ``nprocs × niters`` fallback.
+    predicted_heuristic: int = 0
     wall_time: float = 0.0
 
     @property
     def deduped(self) -> int:
         return self.submitted - self.unique
 
+    @property
+    def prediction_hit_rate(self) -> float:
+        """Fraction of scheduled jobs with a history-based cost estimate."""
+        total = self.predicted_recorded + self.predicted_heuristic
+        if total == 0:
+            return 0.0
+        return self.predicted_recorded / total
+
     def summary(self) -> str:
         """One-line human-readable account (printed by the CLI)."""
-        return (
+        line = (
             f"engine: {self.submitted} jobs submitted, {self.deduped} deduped, "
             f"{self.chained} chained, {self.cache_hits} cache hits, "
             f"{self.executed} simulated, {self.wall_time:.1f}s wall"
         )
+        scheduled = self.predicted_recorded + self.predicted_heuristic
+        if scheduled:
+            line += f", {self.prediction_hit_rate:.0%} costs from history"
+        return line
 
 
 def _execute_job(
     spec: RunSpec,
     deps: dict[RunSpec, RunResult],
     guard: int | None,
-) -> RunResult:
-    """Top-level worker entry point (must be picklable by name for spawn)."""
-    return execute(spec, deps, max_events_guard=guard)
+) -> tuple[RunResult, float]:
+    """Top-level worker entry point (must be picklable by name for spawn).
+
+    Returns ``(result, elapsed_seconds)`` — the wall time is measured in
+    the worker so pool queueing delays never pollute the cost model.
+    """
+    t0 = time.perf_counter()
+    result = execute(spec, deps, max_events_guard=guard)
+    return result, time.perf_counter() - t0
 
 
 class ExperimentEngine:
@@ -147,19 +184,35 @@ class ExperimentEngine:
                         self._report(done, total, spec, "cached")
                         continue
                 pending.append(spec)
-            for spec, result in self._execute_wave(pending, resolved):
+            # Longest pole first: with workers this stops the batch tail
+            # from hiding behind a late-started slow job; serially it
+            # just front-loads the expensive cells.  Stable sort keeps
+            # equal-cost specs in submission order (determinism).
+            pending.sort(key=lambda spec: self._predicted_cost(spec, stats),
+                         reverse=True)
+            for spec, result, elapsed in self._execute_wave(pending, resolved):
                 resolved[spec] = result
                 stats.executed += 1
                 done += 1
                 self._report(done, total, spec, "ran")
                 if self.cache is not None:
-                    self.cache.put(spec, result)
+                    self.cache.put(spec, result, elapsed=elapsed)
 
         stats.wall_time = time.perf_counter() - t0
         self.last_stats = stats
         return {spec: resolved[spec] for spec in unique}
 
     # ----------------------------------------------------------------- #
+
+    def _predicted_cost(self, spec: RunSpec, stats: EngineStats) -> float:
+        """Estimated execution seconds for wave ordering."""
+        if self.cache is not None:
+            recorded = self.cache.recorded_time(spec)
+            if recorded is not None:
+                stats.predicted_recorded += 1
+                return recorded
+        stats.predicted_heuristic += 1
+        return spec.cost_hint() * HEURISTIC_SECONDS_PER_UNIT
 
     def _deps_for(
         self, spec: RunSpec, resolved: Mapping[RunSpec, RunResult]
@@ -174,14 +227,15 @@ class ExperimentEngine:
         self,
         pending: Sequence[RunSpec],
         resolved: Mapping[RunSpec, RunResult],
-    ) -> Iterable[tuple[RunSpec, RunResult]]:
+    ) -> Iterable[tuple[RunSpec, RunResult, float]]:
         if not pending:
             return
         if self.jobs == 1 or len(pending) == 1:
             for spec in pending:
-                yield spec, _execute_job(
+                result, elapsed = _execute_job(
                     spec, self._deps_for(spec, resolved), self.max_events
                 )
+                yield spec, result, elapsed
             return
 
         # Spawn (not fork): simulations build deep object graphs and
@@ -203,7 +257,8 @@ class ExperimentEngine:
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    yield futures[future], future.result()
+                    result, elapsed = future.result()
+                    yield futures[future], result, elapsed
 
     def _report(self, done: int, total: int, spec: RunSpec, how: str) -> None:
         if self.progress:

@@ -232,6 +232,32 @@ class RunSpec:
         """Zero-argument app factory (one instance per rank)."""
         return make_app_factory(self.app, **dict(self.app_kwargs))
 
+    def cost_hint(self) -> float:
+        """Relative execution-cost estimate (``nprocs × niters`` shaped).
+
+        The engine's wave scheduler prefers *recorded* wall times from
+        the result cache; this heuristic is the fallback for specs never
+        executed before.  Units are arbitrary — only the ordering within
+        a wave matters — but :data:`~repro.harness.engine.HEURISTIC_SECONDS_PER_UNIT`
+        maps them onto rough seconds so recorded and estimated costs can
+        sort together.
+        """
+        niters = 30.0
+        for key, value in self.app_kwargs:
+            if key == "niters":
+                niters = float(value)
+                break
+        cost = float(self.nprocs) * niters
+        n_ckpt = len(self.checkpoint_at) + len(self.checkpoint_fractions)
+        if n_ckpt:
+            # Checkpoint phases add drain/commit rounds on top of the
+            # app's own traffic.
+            cost *= 1.0 + 0.25 * n_ckpt
+        if self.restart_of is not None:
+            # A restart replays the tail of the parent's run.
+            cost = max(cost, 0.5 * self.restart_of.cost_hint())
+        return cost
+
     def label(self) -> str:
         """Short human-readable identity for progress reporting."""
         tag = f"{self.app}/{self.protocol} p={self.nprocs}"

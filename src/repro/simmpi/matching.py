@@ -16,13 +16,28 @@ semantics:
 The engine is purely logical: virtual time enters through envelope
 timestamps and through completion times computed with the topology's
 link parameters.
+
+Matching is **indexed**, not scanned: unexpected envelopes and posted
+receives are bucketed into per-``(source, tag)`` deques, so the common
+concrete-pattern receive is an O(1) dict lookup + ``popleft`` instead of
+a linear walk over every in-flight message.  Wildcard patterns fall back
+to comparing the *heads* of the candidate buckets — for an incoming
+envelope at most the four patterns ``(src, tag)``, ``(src, ANY)``,
+``(ANY, tag)``, ``(ANY, ANY)`` can match, and for a wildcard receive
+each bucket head is its earliest envelope — taking the minimum sequence
+number across heads, which is exactly the earliest match a full scan
+would have found.  Buckets are deleted when they empty, so the fallback
+never visits stale keys.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from collections import deque
+from dataclasses import dataclass
+from operator import attrgetter
+from typing import Any, Iterator
 
 from ..des import Simulator
 from ..netmodel import ClusterTopology
@@ -31,6 +46,8 @@ from .errors import MatchingError
 from .request import Request
 
 __all__ = ["MatchingEngine", "Status", "Envelope"]
+
+_by_seq = attrgetter("seq")
 
 
 @dataclass(frozen=True)
@@ -42,7 +59,7 @@ class Status:
     nbytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """One in-flight or unexpected message."""
 
@@ -63,7 +80,7 @@ class Envelope:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class _PostedRecv:
     seq: int
     dst: int
@@ -73,7 +90,7 @@ class _PostedRecv:
     posted_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProbeWait:
     dst: int
     source: int
@@ -99,10 +116,13 @@ class MatchingEngine:
         self.eager_threshold = eager_threshold
         self.label = label
         self._seq = itertools.count()
-        #: Unmatched envelopes per destination group rank, in send order.
-        self._unexpected: dict[int, list[Envelope]] = {}
-        #: Posted-but-unmatched receives per destination, in post order.
-        self._posted: dict[int, list[_PostedRecv]] = {}
+        #: Unmatched envelopes per destination group rank, bucketed by
+        #: the concrete ``(src, tag)`` pair; each deque is in send order.
+        self._unexpected: dict[int, dict[tuple[int, int], deque[Envelope]]] = {}
+        #: Posted-but-unmatched receives per destination, bucketed by the
+        #: posted ``(source, tag)`` *pattern* (wildcards included); each
+        #: deque is in post order.
+        self._posted: dict[int, dict[tuple[int, int], deque[_PostedRecv]]] = {}
         #: Blocking probes waiting for a matching arrival.
         self._probes: dict[int, list[_ProbeWait]] = {}
 
@@ -111,14 +131,26 @@ class MatchingEngine:
     # ------------------------------------------------------------------ #
 
     def in_flight_to(self, dst: int) -> list[Envelope]:
-        """Unmatched envelopes destined to group rank ``dst``."""
-        return list(self._unexpected.get(dst, ()))
+        """Unmatched envelopes destined to group rank ``dst``, send order."""
+        buckets = self._unexpected.get(dst)
+        if not buckets:
+            return []
+        return sorted(
+            (env for bucket in buckets.values() for env in bucket), key=_by_seq
+        )
 
     def total_unmatched(self) -> int:
-        return sum(len(v) for v in self._unexpected.values())
+        return sum(
+            len(bucket)
+            for buckets in self._unexpected.values()
+            for bucket in buckets.values()
+        )
 
     def pending_recvs(self, dst: int) -> int:
-        return len(self._posted.get(dst, ()))
+        buckets = self._posted.get(dst)
+        if not buckets:
+            return 0
+        return sum(len(bucket) for bucket in buckets.values())
 
     # ------------------------------------------------------------------ #
     # Send path
@@ -160,9 +192,15 @@ class MatchingEngine:
         )
         if not rendezvous:
             send_req.complete(None)
-        matched = self._try_match_posted(env)
-        if not matched:
-            self._unexpected.setdefault(dst, []).append(env)
+        if not self._try_match_posted(env):
+            buckets = self._unexpected.get(dst)
+            if buckets is None:
+                buckets = self._unexpected[dst] = {}
+            bucket = buckets.get((src, tag))
+            if bucket is None:
+                buckets[(src, tag)] = deque((env,))
+            else:
+                bucket.append(env)
             self._notify_probes(env)
         return send_req
 
@@ -176,36 +214,40 @@ class MatchingEngine:
         if source != ANY_SOURCE:
             self._check_rank(source)
         now = self.sim.now()
-        queue = self._unexpected.get(dst, [])
-        for i, env in enumerate(queue):
-            if env.matches(source, tag):
-                queue.pop(i)
-                req = Request(
-                    self.sim,
-                    "recv",
-                    meta={"src": env.src, "dst": dst, "tag": env.tag},
-                )
-                self._complete_transfer(env, req, posted_at=now)
-                return req
-        req = Request(self.sim, "recv", meta={"dst": dst, "source": source, "tag": tag})
-        self._posted.setdefault(dst, []).append(
-            _PostedRecv(
-                seq=next(self._seq),
-                dst=dst,
-                source=source,
-                tag=tag,
-                request=req,
-                posted_at=now,
+        env = self._take_unexpected(dst, source, tag)
+        if env is not None:
+            req = Request(
+                self.sim,
+                "recv",
+                meta={"src": env.src, "dst": dst, "tag": env.tag},
             )
+            self._complete_transfer(env, req, posted_at=now)
+            return req
+        req = Request(self.sim, "recv", meta={"dst": dst, "source": source, "tag": tag})
+        buckets = self._posted.get(dst)
+        if buckets is None:
+            buckets = self._posted[dst] = {}
+        posted = _PostedRecv(
+            seq=next(self._seq),
+            dst=dst,
+            source=source,
+            tag=tag,
+            request=req,
+            posted_at=now,
         )
+        bucket = buckets.get((source, tag))
+        if bucket is None:
+            buckets[(source, tag)] = deque((posted,))
+        else:
+            bucket.append(posted)
         return req
 
     def iprobe(self, dst: int, source: int, tag: int) -> Status | None:
         """Non-blocking probe: status of the first *arrived* match, or None."""
         self._check_rank(dst)
-        now = self.sim.now()
-        for env in self._unexpected.get(dst, ()):
-            if env.matches(source, tag) and env.available_at <= now + 1e-18:
+        horizon = self.sim.now() + 1e-18
+        for env in self._iter_matching(dst, source, tag):
+            if env.available_at <= horizon:
                 return Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
         return None
 
@@ -215,28 +257,128 @@ class MatchingEngine:
         self._check_rank(dst)
         now = self.sim.now()
         req = Request(self.sim, "probe", meta={"dst": dst, "source": source, "tag": tag})
-        for env in self._unexpected.get(dst, ()):
-            if env.matches(source, tag):
-                status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
-                req.complete_at(max(env.available_at, now), status)
-                return req
+        env = self._peek_unexpected(dst, source, tag)
+        if env is not None:
+            status = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
+            req.complete_at(max(env.available_at, now), status)
+            return req
         self._probes.setdefault(dst, []).append(_ProbeWait(dst, source, tag, req))
         return req
+
+    # ------------------------------------------------------------------ #
+    # Indexed lookup internals
+    # ------------------------------------------------------------------ #
+
+    def _peek_unexpected(
+        self, dst: int, source: int, tag: int
+    ) -> Envelope | None:
+        """Earliest-sent unexpected envelope matching the pattern."""
+        buckets = self._unexpected.get(dst)
+        if not buckets:
+            return None
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            bucket = buckets.get((source, tag))
+            return bucket[0] if bucket else None
+        # Wildcard fallback: every bucket head is that bucket's earliest
+        # envelope, so the global earliest match is the min-seq head
+        # among pattern-compatible buckets.
+        best: Envelope | None = None
+        for (src, btag), bucket in buckets.items():
+            if (source == ANY_SOURCE or src == source) and (
+                tag == ANY_TAG or btag == tag
+            ):
+                head = bucket[0]
+                if best is None or head.seq < best.seq:
+                    best = head
+        return best
+
+    def _take_unexpected(
+        self, dst: int, source: int, tag: int
+    ) -> Envelope | None:
+        """Pop the earliest-sent unexpected envelope matching the pattern."""
+        buckets = self._unexpected.get(dst)
+        if not buckets:
+            return None
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (source, tag)
+            bucket = buckets.get(key)
+            if not bucket:
+                return None
+            env = bucket.popleft()
+            if not bucket:
+                del buckets[key]
+            return env
+        best_key: tuple[int, int] | None = None
+        best_seq = -1
+        for (src, btag), bucket in buckets.items():
+            if (source == ANY_SOURCE or src == source) and (
+                tag == ANY_TAG or btag == tag
+            ):
+                head_seq = bucket[0].seq
+                if best_key is None or head_seq < best_seq:
+                    best_key, best_seq = (src, btag), head_seq
+        if best_key is None:
+            return None
+        bucket = buckets[best_key]
+        env = bucket.popleft()
+        if not bucket:
+            del buckets[best_key]
+        return env
+
+    def _iter_matching(
+        self, dst: int, source: int, tag: int
+    ) -> Iterator[Envelope]:
+        """Matching unexpected envelopes in global send order."""
+        buckets = self._unexpected.get(dst)
+        if not buckets:
+            return iter(())
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            bucket = buckets.get((source, tag))
+            return iter(bucket) if bucket else iter(())
+        candidates = [
+            bucket
+            for (src, btag), bucket in buckets.items()
+            if (source == ANY_SOURCE or src == source)
+            and (tag == ANY_TAG or btag == tag)
+        ]
+        if not candidates:
+            return iter(())
+        if len(candidates) == 1:
+            return iter(candidates[0])
+        return heapq.merge(*candidates, key=_by_seq)
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
     def _try_match_posted(self, env: Envelope) -> bool:
-        posted = self._posted.get(env.dst)
-        if not posted:
+        buckets = self._posted.get(env.dst)
+        if not buckets:
             return False
-        for i, pr in enumerate(posted):
-            if env.matches(pr.source, pr.tag):
-                posted.pop(i)
-                self._complete_transfer(env, pr.request, posted_at=pr.posted_at)
-                return True
-        return False
+        # An envelope can only match receives posted under one of these
+        # four patterns; each bucket head is its earliest post, so the
+        # overall earliest matching post is the min-seq head of the four.
+        best_key: tuple[int, int] | None = None
+        best: _PostedRecv | None = None
+        for key in (
+            (env.src, env.tag),
+            (env.src, ANY_TAG),
+            (ANY_SOURCE, env.tag),
+            (ANY_SOURCE, ANY_TAG),
+        ):
+            bucket = buckets.get(key)
+            if bucket:
+                head = bucket[0]
+                if best is None or head.seq < best.seq:
+                    best_key, best = key, head
+        if best is None:
+            return False
+        bucket = buckets[best_key]
+        bucket.popleft()
+        if not bucket:
+            del buckets[best_key]
+        self._complete_transfer(env, best.request, posted_at=best.posted_at)
+        return True
 
     def _complete_transfer(self, env: Envelope, recv_req: Request, posted_at: float) -> None:
         now = self.sim.now()

@@ -11,6 +11,7 @@ legal and instantaneous.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
 from ..des import Simulator, Waiter
@@ -55,7 +56,10 @@ class Request:
 
     def complete_at(self, time: float, value: Any = None) -> None:
         """Schedule completion at virtual ``time`` (>= now)."""
-        self.sim.call_at(max(time, self.sim.now()), lambda: self.complete(value))
+        # defer_at + partial, not call_at + lambda: completions are
+        # scheduled once per message and never cancelled, so no Timer
+        # handle or closure needs to be allocated.
+        self.sim.defer_at(max(time, self.sim.now()), partial(self.complete, value))
 
     def on_complete(self, cb: Callable[["Request"], None]) -> None:
         """Observe completion; fires immediately if already done."""
@@ -83,7 +87,7 @@ class Request:
         """MPI_Wait: block the calling process until completion."""
         if self._done:
             return self._value
-        w = Waiter(self.sim, label=f"req:{self.kind}")
+        w = Waiter(self.sim, label=self.kind)
         self.on_complete(lambda _req: w.fire())
         w.wait()
         return self._value

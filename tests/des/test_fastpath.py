@@ -1,0 +1,252 @@
+"""Hot-path kernel behaviour: determinism fingerprints, lazy tracing,
+the defer/defer_at fire-and-forget API, front-slot/now-queue ordering,
+and same-time resume coalescing.
+
+The fingerprint constants below were captured by running the mixed
+scenario on the pre-fast-path kernel (single heap, Semaphore handoff,
+eager tracing).  The fast-path kernel must reproduce them exactly:
+``event_count`` and ``(time, seq)`` dispatch order are the determinism
+contract every cached experiment result relies on.
+"""
+
+import pytest
+
+from repro.des import (
+    INTERRUPTED,
+    Mailbox,
+    SchedulingError,
+    Simulator,
+    Tracer,
+)
+from repro.util.hashing import stable_json_hash
+
+# Captured on the pre-fast-path kernel (see module docstring).
+EXPECTED_END = 26.0
+EXPECTED_EVENT_COUNT = 176
+EXPECTED_LOG_HASH = "dab4cc8e94341767"
+EXPECTED_TRACE_LEN = 214
+EXPECTED_TRACE_HASH = "2bc8d863df99886b"
+
+
+def _mixed_scenario():
+    """Timers, sleeps, cancels, mailboxes, interrupts — one fixed run."""
+    tracer = Tracer()
+    sim = Simulator(seed=7, tracer=tracer)
+    box = Mailbox(sim, label="m")
+    log = []
+
+    def producer():
+        for i in range(50):
+            sim.sleep(0.5)
+            box.put(("msg", i))
+        t = sim.call_after(100.0, lambda: log.append("never"))
+        t.cancel()
+
+    def consumer():
+        for _ in range(50):
+            item = box.get()
+            log.append((sim.now(), item))
+        r = sim.sleep(3.0, interruptible=True)
+        log.append((sim.now(), repr(r)))
+
+    def interrupter():
+        sim.sleep(26.0)
+        for p in sim.processes:
+            if p.name == "cons":
+                p.interrupt()
+
+    sim.spawn(producer, name="prod")
+    sim.spawn(consumer, name="cons")
+    sim.spawn(interrupter, name="intr")
+    for i in range(20):
+        sim.call_at(float(i), lambda i=i: log.append(("tick", i, sim.now())))
+    end = sim.run()
+    sim.close()
+    return sim, end, log, tracer
+
+
+def test_mixed_scenario_fingerprint_matches_pre_fastpath_kernel():
+    sim, end, log, tracer = _mixed_scenario()
+    assert end == EXPECTED_END
+    assert sim.event_count == EXPECTED_EVENT_COUNT
+    assert stable_json_hash([repr(x) for x in log]) == EXPECTED_LOG_HASH
+    records = [(r.time, r.kind, r.process) for r in tracer]
+    assert len(records) == EXPECTED_TRACE_LEN
+    assert stable_json_hash([list(r) for r in records]) == EXPECTED_TRACE_HASH
+
+
+def test_mixed_scenario_is_run_to_run_deterministic():
+    _, end1, log1, _ = _mixed_scenario()
+    _, end2, log2, _ = _mixed_scenario()
+    assert end1 == end2
+    assert log1 == log2
+
+
+# --------------------------------------------------------------------- #
+# defer / defer_at
+# --------------------------------------------------------------------- #
+
+def test_defer_orders_with_call_after_by_schedule_order():
+    with Simulator() as sim:
+        order = []
+        sim.call_after(1.0, lambda: order.append("a"))
+        sim.defer(1.0, lambda: order.append("b"))
+        sim.call_after(0.5, lambda: order.append("c"))
+        sim.defer(0.0, lambda: order.append("d"))
+        sim.run()
+        assert order == ["d", "c", "a", "b"]
+
+
+def test_defer_at_clamps_to_now_and_rejects_past():
+    with Simulator() as sim:
+        hits = []
+        sim.defer_at(0.0, lambda: hits.append(sim.now()))
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert hits == [0.0]
+        with pytest.raises(SchedulingError):
+            sim.defer_at(0.5, lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.defer(-1.0, lambda: None)
+
+
+def test_defer_counts_events_like_call_after():
+    def run(schedule_name):
+        with Simulator() as sim:
+            state = {"left": 100}
+            sched = getattr(sim, schedule_name)
+
+            def tick():
+                state["left"] -= 1
+                if state["left"] > 0:
+                    sched(0.25, tick)
+
+            sched(0.25, tick)
+            sim.run()
+            return sim.event_count
+
+    assert run("defer") == run("call_after") == 100
+
+
+# --------------------------------------------------------------------- #
+# Front slot / now-queue merge order
+# --------------------------------------------------------------------- #
+
+def test_interleaved_future_and_zero_delay_events_keep_global_order():
+    with Simulator() as sim:
+        order = []
+
+        def at(t, tag):
+            sim.call_at(t, lambda: order.append((sim.now(), tag)))
+
+        # Out-of-order inserts across front slot, heap, and now-queue.
+        at(3.0, "c")
+        at(1.0, "a")
+        at(2.0, "b")
+        sim.defer(0.0, lambda: order.append((sim.now(), "z")))
+        at(1.0, "a2")
+        sim.run()
+        assert order == [
+            (0.0, "z"),
+            (1.0, "a"),
+            (1.0, "a2"),
+            (2.0, "b"),
+            (3.0, "c"),
+        ]
+
+
+def test_run_until_resumes_without_losing_front_event():
+    with Simulator() as sim:
+        order = []
+        sim.call_at(1.0, lambda: order.append(1.0))
+        sim.call_at(5.0, lambda: order.append(5.0))
+        assert sim.run(until=2.0) == 2.0
+        assert order == [1.0]
+        sim.call_at(3.0, lambda: order.append(3.0))
+        assert sim.run() == 5.0
+        assert order == [1.0, 3.0, 5.0]
+
+
+def test_cancelled_timer_is_dropped_lazily_not_dispatched():
+    with Simulator() as sim:
+        hits = []
+        keep = sim.call_after(1.0, lambda: hits.append("keep"))
+        drop = sim.call_after(0.5, lambda: hits.append("drop"))
+        drop.cancel()
+        sim.run()
+        assert hits == ["keep"]
+        assert not keep.cancelled
+        # Cancelled entries do not count as executed events.
+        assert sim.event_count == 1
+
+
+# --------------------------------------------------------------------- #
+# Same-time resume coalescing
+# --------------------------------------------------------------------- #
+
+def test_double_wake_at_same_instant_coalesces_no_spurious_wakeup():
+    with Simulator() as sim:
+        trail = []
+
+        def sleeper():
+            sim.block("first")
+            trail.append(("woke_first", sim.now()))
+            # If the duplicate wake were not coalesced, this second
+            # block would be cut short at t=0 by the stale resume.
+            sim.block("second")
+            trail.append(("woke_second", sim.now()))
+
+        proc = sim.spawn(sleeper, name="s")
+
+        def double_wake():
+            sim.wake(proc)
+            sim.wake(proc)  # same instant: must coalesce
+
+        def later_wake():
+            sim.wake(proc)
+
+        sim.call_at(1.0, double_wake)
+        sim.call_at(2.0, later_wake)
+        sim.run()
+        assert trail == [("woke_first", 1.0), ("woke_second", 2.0)]
+
+
+# --------------------------------------------------------------------- #
+# Lazy tracing
+# --------------------------------------------------------------------- #
+
+def test_trace_emit_defers_formatting_until_tracer_attached():
+    calls = []
+
+    def expensive_detail():
+        calls.append(1)
+        return "built"
+
+    with Simulator() as sim:
+        sim._trace_emit("kind", "proc", expensive_detail)
+        assert calls == []  # no tracer: detail never built
+
+    tracer = Tracer()
+    with Simulator(tracer=tracer) as sim:
+        sim._trace_emit("kind", "proc", expensive_detail)
+        sim._trace_emit("fmt", "proc", "x=%g y=%d", 1.5, 2)
+    assert calls == [1]
+    details = [r.detail for r in tracer]
+    assert details == ["built", "x=1.5 y=2"]
+
+
+def test_untraced_run_produces_same_result_as_traced_run():
+    def run(tracer):
+        with Simulator(seed=3, tracer=tracer) as sim:
+            out = []
+
+            def body():
+                for i in range(5):
+                    sim.sleep(0.5)
+                    out.append((i, sim.now()))
+
+            sim.spawn(body, name="b")
+            end = sim.run()
+            return end, out, sim.event_count
+
+    assert run(None) == run(Tracer())

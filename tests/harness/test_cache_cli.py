@@ -1,0 +1,69 @@
+"""The ``repro-mpi cache`` subcommand: stats, clear, prune."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness import ExperimentEngine, ResultCache
+from repro.harness.experiments import plan_fig6
+
+
+def _populate_fig6_defaults(cache_dir):
+    """Simulate (tiny subset of) fig6's default plan into the cache."""
+    plan = plan_fig6()
+    cache = ResultCache(cache_dir)
+    # Executing the full default plan is slow; seed the cache by storing
+    # a real result under several default-plan spec hashes instead.
+    small = plan.specs[0]
+    engine = ExperimentEngine(jobs=1, cache=cache)
+    result = engine.run(small)
+    for spec in plan.specs[1:6]:
+        cache.put(spec, result, elapsed=0.5)
+    return cache, 6
+
+
+def test_cache_stats_reports_entries_and_timings(tmp_path, capsys):
+    cache, n = _populate_fig6_defaults(tmp_path)
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"entries:        {n}" in out
+    assert str(tmp_path) in out
+    assert "recorded times:" in out
+
+
+def test_cache_clear_removes_entries_keeps_timings(tmp_path, capsys):
+    cache, n = _populate_fig6_defaults(tmp_path)
+    timings_before = ResultCache(tmp_path).timing_count()
+    assert timings_before > 0
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"removed {n} cache entries" in out
+    fresh = ResultCache(tmp_path)
+    assert len(fresh) == 0
+    assert fresh.timing_count() == timings_before
+
+
+def test_cache_prune_figure_removes_only_that_figure(tmp_path, capsys):
+    cache, n = _populate_fig6_defaults(tmp_path)
+    # An unrelated (non-default-plan) entry must survive the prune.
+    from repro.harness.spec import RunSpec
+
+    other = RunSpec.create("poisson", 2, app_kwargs={"niters": 2}, seed=99)
+    result = ExperimentEngine(jobs=1).run(other)
+    cache.put(other, result)
+    assert main(["cache", "prune", "--figure", "fig6",
+                 "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert f"pruned {n}/" in out
+    fresh = ResultCache(tmp_path)
+    assert len(fresh) == 1  # only the unrelated entry remains
+    assert fresh.get(other) is not None
+
+
+def test_cache_prune_requires_known_figure(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--figure", "nope", "--cache-dir", str(tmp_path)])
+
+
+def test_cache_requires_action(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["cache"])

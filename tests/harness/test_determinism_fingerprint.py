@@ -1,0 +1,68 @@
+"""Determinism fingerprints across execution modes.
+
+A scaled-down Figure 5a cell set is executed serially, in parallel
+workers, and from a warm cache; all three must agree on every result
+hash *and* on the kernel event counts — the constants below were
+captured on the pre-fast-path kernel, so these tests also pin the
+fast-path kernel to the seed kernel's exact event schedule.
+"""
+
+import pytest
+
+from repro.harness import ExperimentEngine, ResultCache
+from repro.harness.experiments import plan_fig5a
+from repro.harness.spec import run_result_to_dict
+from repro.util.hashing import stable_json_hash
+
+# Captured on the pre-fast-path kernel for plan_fig5a(procs=(4,),
+# kinds=("bcast",), sizes=(1024,), iters=20).
+EXPECTED_EVENTS = {
+    "osu/native p=4": 327,
+    "osu/cc p=4": 491,
+    "osu/2pc p=4": 1539,
+}
+EXPECTED_RESULT_HASH = "aebd93dc12cd34de"
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_fig5a(procs=(4,), kinds=("bcast",), sizes=(1024,), iters=20)
+
+
+def _fingerprint(plan, results):
+    events = {spec.label(): results[spec].sim_events for spec in plan.specs}
+    rhash = stable_json_hash(
+        [run_result_to_dict(results[spec]) for spec in plan.specs]
+    )
+    return events, rhash
+
+
+def test_serial_run_matches_pre_fastpath_fingerprint(plan):
+    results = ExperimentEngine(jobs=1).run_batch(plan.specs)
+    events, rhash = _fingerprint(plan, results)
+    assert events == EXPECTED_EVENTS
+    assert rhash == EXPECTED_RESULT_HASH
+
+
+def test_parallel_run_matches_serial_fingerprint(plan):
+    results = ExperimentEngine(jobs=2).run_batch(plan.specs)
+    events, rhash = _fingerprint(plan, results)
+    assert events == EXPECTED_EVENTS
+    assert rhash == EXPECTED_RESULT_HASH
+
+
+def test_warm_cache_run_matches_serial_fingerprint(plan, tmp_path):
+    cache = ResultCache(tmp_path)
+    cold_engine = ExperimentEngine(jobs=1, cache=cache)
+    cold = cold_engine.run_batch(plan.specs)
+    assert cold_engine.last_stats.executed == len(set(plan.specs))
+
+    warm_engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    warm = warm_engine.run_batch(plan.specs)
+    assert warm_engine.last_stats.executed == 0
+    assert warm_engine.last_stats.cache_hits == len(set(plan.specs))
+
+    assert _fingerprint(plan, cold) == _fingerprint(plan, warm)
+    events, rhash = _fingerprint(plan, warm)
+    assert events == EXPECTED_EVENTS
+    assert rhash == EXPECTED_RESULT_HASH
