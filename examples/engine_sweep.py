@@ -1,72 +1,56 @@
-"""Custom experiment sweeps on the batch engine.
+"""Custom scenario sweeps with the declarative Sweep DSL.
 
     python examples/engine_sweep.py
 
-Builds a (protocol x nprocs x seed) sweep of declarative RunSpecs,
-including a checkpoint/restart chain per cell, and submits everything
-as ONE engine batch: duplicates dedupe, dependent phases (the probe run
-behind a fraction-scheduled checkpoint, the checkpoint run behind a
-restart) are expanded and scheduled automatically, and — with `jobs` or
-a cache directory set below — the sweep fans out over worker processes
-and persists across reruns.  This is the intended template for
-exploring scenarios the paper didn't run.
+One `Sweep` declaration spans a (protocol x nprocs x seed x phase) grid
+including checkpoint -> restart chains: the `restart` axis marks cells
+that restore from their checkpoint sibling, the derived
+`checkpoint_fractions` column schedules the parent's snapshot, and the
+engine expands/dedupes the whole product — the probe run behind each
+fraction schedule and the checkpoint run behind each restart simulate
+exactly once.  Set `jobs` or a cache directory on the engine below to
+fan out over worker processes and make reruns free.
+
+This is the intended template for exploring scenarios the paper didn't
+run; `repro-mpi sweep --axis ...` is the same machinery from the shell.
 """
 
-from repro.harness import ExperimentEngine, RunSpec
-from repro.util.records import format_table
+from repro.harness import ExperimentEngine, Sweep
 
 
-def build_sweep() -> list[RunSpec]:
-    specs: list[RunSpec] = []
-    for nprocs in (4, 8):
-        for protocol in ("2pc", "cc"):
-            for seed in (0, 1):
-                ckpt = RunSpec.create(
-                    "comd",
-                    nprocs,
-                    app_kwargs={"niters": 8},
-                    protocol=protocol,
-                    ppn=4,
-                    seed=seed,
-                    # Checkpoint halfway through the probe runtime; the
-                    # probe itself becomes a dedupable engine job.
-                    checkpoint_fractions=(0.5,),
-                )
-                restart = RunSpec.create(
-                    "comd",
-                    nprocs,
-                    app_kwargs={"niters": 8},
-                    protocol=protocol,
-                    ppn=4,
-                    seed=seed,
-                    restart_of=ckpt,
-                )
-                specs += [ckpt, restart]
-    return specs
+def build_sweep() -> Sweep:
+    return Sweep(
+        "comd_ckpt_restart",
+        axes={
+            "nprocs": (4, 8),
+            "protocol": ("2pc", "cc"),
+            "seed": (0, 1),
+            "restart": (False, True),
+        },
+        base={"app": "comd", "niters": 8, "ppn": 4},
+        # Checkpoint halfway through the probe runtime; the probe itself
+        # becomes a dedupable engine job.
+        derive={"checkpoint_fractions": lambda p: (0.5,)},
+    )
 
 
 def main() -> None:
-    # jobs=4 fans out over worker processes; add cache=ResultCache(dir)
-    # to make reruns free.
     engine = ExperimentEngine(jobs=1)
-    specs = build_sweep()
-    results = engine.run_batch(specs)
+    sweep = build_sweep()
+    results = engine.run_sweep(sweep)
 
-    rows = []
-    for spec in specs:
-        r = results[spec]
-        if spec.restart_of is not None:
-            rows.append(
-                [spec.protocol, spec.nprocs, spec.seed, "restart",
-                 f"{r.restart_ready_time:.3f}s ready"]
-            )
-        else:
-            committed = [c for c in r.checkpoints if c.committed]
-            rows.append(
-                [spec.protocol, spec.nprocs, spec.seed, "checkpoint",
-                 f"{committed[0].checkpoint_time:.3f}s ckpt"]
-            )
-    print(format_table(["protocol", "procs", "seed", "phase", "time"], rows))
+    result = sweep.fold(
+        results,
+        metrics=(
+            ("ckpt (s)", lambda r: (
+                [c for c in r.checkpoints if c.committed][0].checkpoint_time
+                if any(c.committed for c in r.checkpoints) else None
+            )),
+            ("restart ready (s)", lambda r: r.restart_ready_time or None),
+        ),
+        title="CoMD checkpoint/restart sweep",
+    )
+    print(result.render())
     print(engine.last_stats.summary())
 
 

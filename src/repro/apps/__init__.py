@@ -17,7 +17,14 @@ from .lammps_lj import LammpsLJ
 from .minivasp import MiniVasp
 from .osu import OSU_KINDS, OsuCollective, OsuOverlap
 from .poisson import PoissonCG
-from .registry import APP_FACTORIES, REAL_WORLD_APPS, make_app_factory
+from .registry import (
+    APP_ALIASES,
+    APP_FACTORIES,
+    REAL_WORLD_APPS,
+    app_uses_nonblocking,
+    make_app_factory,
+    resolve_app_name,
+)
 from .sw4 import SW4
 
 __all__ = [
@@ -32,6 +39,9 @@ __all__ = [
     "OsuOverlap",
     "OSU_KINDS",
     "APP_FACTORIES",
+    "APP_ALIASES",
     "REAL_WORLD_APPS",
     "make_app_factory",
+    "resolve_app_name",
+    "app_uses_nonblocking",
 ]

@@ -17,7 +17,14 @@ from .osu import OsuCollective, OsuOverlap
 from .poisson import PoissonCG
 from .sw4 import SW4
 
-__all__ = ["APP_FACTORIES", "make_app_factory", "REAL_WORLD_APPS"]
+__all__ = [
+    "APP_FACTORIES",
+    "APP_ALIASES",
+    "make_app_factory",
+    "resolve_app_name",
+    "app_uses_nonblocking",
+    "REAL_WORLD_APPS",
+]
 
 #: The paper's five real-world applications (Figure 7 order).
 REAL_WORLD_APPS = ("minivasp", "sw4", "comd", "lammps", "poisson")
@@ -32,13 +39,60 @@ APP_FACTORIES: dict[str, Callable[..., MpiApp]] = {
     "osu_overlap": OsuOverlap,
 }
 
+#: Accepted spellings for axis values and CLI arguments.  Canonical
+#: names map to themselves so resolution is one lookup.
+APP_ALIASES: dict[str, str] = {
+    **{name: name for name in APP_FACTORIES},
+    "vasp": "minivasp",
+    "mini-vasp": "minivasp",
+    "lammps-lj": "lammps",
+    "lj": "lammps",
+    "cg": "poisson",
+    "poisson-cg": "poisson",
+    "osu-overlap": "osu_overlap",
+    "overlap": "osu_overlap",
+}
+
+#: Apps that issue non-blocking collectives with their default
+#: configuration (the paper's NA cells under 2PC).
+_ALWAYS_NONBLOCKING = ("poisson", "osu_overlap")
+
+
+def resolve_app_name(name: str) -> str:
+    """Canonical registry name for ``name`` (case-insensitive, aliased).
+
+    This is the sweep layer's axis-value → factory resolution: it
+    normalizes user-supplied spellings *before* specs are built, so a
+    typo fails the whole sweep up front with the known-app list instead
+    of one cell at simulation time.
+    """
+    if isinstance(name, str):
+        canonical = APP_ALIASES.get(name) or APP_ALIASES.get(name.lower())
+        if canonical is not None:
+            return canonical
+    raise ValueError(
+        f"unknown app {name!r}; expected one of {sorted(APP_FACTORIES)} "
+        f"(aliases: {sorted(a for a in APP_ALIASES if a not in APP_FACTORIES)})"
+    )
+
+
+def app_uses_nonblocking(name: str, app_kwargs=None) -> bool:
+    """Whether the app issues non-blocking collectives as configured.
+
+    Used by sweep NA masks to annotate 2PC × non-blocking cells without
+    simulating them.  OSU is non-blocking exactly when ``blocking`` is
+    false; Poisson's CG loop and the overlap kernel always are.
+    """
+    canonical = resolve_app_name(name)
+    if canonical in _ALWAYS_NONBLOCKING:
+        return True
+    if canonical == "osu":
+        kwargs = dict(app_kwargs or {})
+        return not kwargs.get("blocking", True)
+    return False
+
 
 def make_app_factory(name: str, **overrides) -> Callable[[], MpiApp]:
     """A zero-argument factory for the named app with overrides applied."""
-    try:
-        cls = APP_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown app {name!r}; expected one of {sorted(APP_FACTORIES)}"
-        ) from None
+    cls = APP_FACTORIES[resolve_app_name(name)]
     return lambda: cls(**overrides)

@@ -6,8 +6,12 @@ Usage::
     python -m repro.cli fig5a --procs 8,16,32 --jobs 4
     python -m repro.cli all --jobs 8
     repro-mpi fig7 --nprocs 32 --repeats 3
+    repro-mpi sweep --axis app=comd,minivasp --axis protocol=native,2pc,cc \
+        --axis nprocs=4,8 --base niters=8 --pivot protocol --baseline native
+    repro-mpi sweep --study scale_grid --jobs 4
     repro-mpi cache stats
     repro-mpi cache prune --figure fig9
+    repro-mpi cache prune --older-than 7d --max-entries 2000
 
 ``all`` submits every figure's job list as ONE engine batch, so cells
 shared between figures (e.g. the native miniVASP baselines of Table 1,
@@ -16,11 +20,22 @@ Figure 7, and Figure 8) simulate once.  Results are cached on disk
 executes zero simulations.  Disable with ``--no-cache``.
 
 ``cache`` manages that store: ``stats`` (entry/byte/timing counts),
-``clear`` (drop every entry), and ``prune --figure <name>`` (drop the
-named figure's default-parameter cells, keeping shared baselines other
-figures still reference out of the blast radius is *not* attempted —
-prune is hash-exact, so a shared baseline pruned here is simply
-re-simulated or re-cached by the next run that needs it).
+``clear`` (drop every entry), and ``prune`` with ``--figure <name>``
+(drop the named figure's default-parameter cells), ``--older-than AGE``
+(drop entries last stored more than e.g. ``12h`` or ``7d`` ago), and/or
+``--max-entries N`` (drop oldest entries beyond N).  Prune is
+hash-exact: no attempt is made to keep a shared baseline out of the
+blast radius just because another figure still references it — a pruned
+shared cell is simply re-simulated and re-cached by the next run that
+needs it.  Pruned cells' recorded wall times are evicted with them.
+
+``sweep`` runs declarative cartesian scenario grids (the Sweep DSL,
+``repro.harness.sweep``): ``--axis key=v1,v2`` flags span the grid,
+``--base key=value`` pins constants, named ``--mask`` rules annotate
+NA cells (2PC × non-blocking collectives is always on), and
+``--pivot``/``--baseline``/``--x-axis`` shape the folded table.  The
+whole grid runs as ONE deduplicated engine batch, cache-aware like any
+figure; ``--study`` runs a predefined grid (scale_grid, ckpt_freq).
 
 ``--bench-json PATH`` appends one machine-readable record per
 invocation (figures run, engine stats, wall time) so performance
@@ -34,7 +49,16 @@ import json
 import sys
 import time
 
-from .harness import PLANNERS, ExperimentEngine, ResultCache, run_plans
+from .harness import (
+    MASKS,
+    PLANNERS,
+    STUDIES,
+    ExperimentEngine,
+    ResultCache,
+    Sweep,
+    SweepError,
+    run_plans,
+)
 
 #: Which per-figure keyword each CLI flag maps to, per experiment.
 _PROCS_EXPERIMENTS = ("fig5a", "fig5b", "fig6", "fig8")
@@ -84,6 +108,24 @@ def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _duration(text: str) -> float:
+    """argparse type for ages like ``90``, ``30m``, ``12h``, ``7d`` (seconds)."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    body, scale = text, 1.0
+    if text and text[-1].lower() in units:
+        scale = units[text[-1].lower()]
+        body = text[:-1]
+    try:
+        value = float(body)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a duration like 90, 30m, 12h, or 7d, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"durations cannot be negative: {text!r}")
+    return value * scale
+
+
 def _cache_main(argv: list[str]) -> int:
     """``repro-mpi cache {stats,clear,prune}`` — manage the result cache."""
     parser = argparse.ArgumentParser(
@@ -94,15 +136,22 @@ def _cache_main(argv: list[str]) -> int:
     for name, desc in (
         ("stats", "entry count, on-disk bytes, recorded timings"),
         ("clear", "delete every cached result (timings survive)"),
-        ("prune", "delete one figure's default-parameter entries"),
+        ("prune", "evict entries by figure, age, and/or count"),
     ):
         p = sub.add_parser(name, help=desc)
         p.add_argument("--cache-dir", type=str, default=None,
                        help="cache directory (default $REPRO_CACHE_DIR "
                             "or ~/.cache/repro-mpi)")
         if name == "prune":
-            p.add_argument("--figure", required=True, choices=sorted(PLANNERS),
-                           help="figure whose cells to evict")
+            p.add_argument("--figure", choices=sorted(PLANNERS), default=None,
+                           help="figure whose default-parameter cells to evict")
+            p.add_argument("--older-than", type=_duration, default=None,
+                           metavar="AGE",
+                           help="evict entries last stored more than AGE ago "
+                                "(e.g. 90, 30m, 12h, 7d)")
+            p.add_argument("--max-entries", type=_positive_int, default=None,
+                           metavar="N",
+                           help="evict oldest entries until at most N remain")
     args = parser.parse_args(argv)
     cache = ResultCache(args.cache_dir)
 
@@ -118,17 +167,212 @@ def _cache_main(argv: list[str]) -> int:
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
         return 0
-    # prune: evict the figure's default plan, dependency chain included
-    # (probe/parent entries are figure-specific cells too).
-    plan = PLANNERS[args.figure]()
-    specs: dict = {}
-    for spec in plan.specs:
-        for ancestor in spec.ancestors():
-            specs.setdefault(ancestor, None)
-        specs.setdefault(spec, None)
-    removed = cache.prune(specs)
-    print(f"pruned {removed}/{len(specs)} {args.figure} entr"
-          f"{'y' if removed == 1 else 'ies'}")
+    if (
+        args.figure is None
+        and args.older_than is None
+        and args.max_entries is None
+    ):
+        parser.error("prune needs at least one of --figure, --older-than, "
+                     "--max-entries")
+    if args.figure is not None:
+        # Evict the figure's default plan, dependency chain included
+        # (probe/parent entries are figure-specific cells too).
+        plan = PLANNERS[args.figure]()
+        specs: dict = {}
+        for spec in plan.specs:
+            for ancestor in spec.ancestors():
+                specs.setdefault(ancestor, None)
+            specs.setdefault(spec, None)
+        removed = cache.prune(specs)
+        print(f"pruned {removed}/{len(specs)} {args.figure} entr"
+              f"{'y' if removed == 1 else 'ies'}")
+    if args.older_than is not None:
+        removed = cache.prune_older_than(args.older_than)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"older than {args.older_than:g}s")
+    if args.max_entries is not None:
+        removed = cache.prune_to_max_entries(args.max_entries)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"beyond the newest {args.max_entries}")
+    return 0
+
+
+def _coerce_token(token: str):
+    """CLI axis/base value -> python value (int, float, bool, or str)."""
+    text = token.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _axis_arg(text: str) -> tuple[str, tuple]:
+    """argparse type for ``--axis key=v1,v2,...``."""
+    key, sep, body = text.partition("=")
+    if not sep or not key or not body:
+        raise argparse.ArgumentTypeError(
+            f"expected key=v1,v2,... got {text!r}"
+        )
+    return key, tuple(_coerce_token(v) for v in body.split(","))
+
+
+def _base_arg(text: str) -> tuple[str, object]:
+    """argparse type for ``--base key=value``."""
+    key, sep, body = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    return key, _coerce_token(body)
+
+
+def _sweep_main(argv: list[str]) -> int:
+    """``repro-mpi sweep`` — run a declarative scenario sweep."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi sweep",
+        description="Run a cartesian scenario sweep (protocol x app x scale "
+                    "grids as one deduplicated engine batch)",
+    )
+    parser.add_argument("--study", choices=sorted(STUDIES), default=None,
+                        help="run a predefined sweep study instead of --axis")
+    parser.add_argument("--axis", type=_axis_arg, action="append", default=[],
+                        metavar="KEY=V1,V2,...",
+                        help="sweep axis (repeatable; declaration order is "
+                             "expansion order)")
+    parser.add_argument("--base", type=_base_arg, action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="constant merged into every point (repeatable)")
+    parser.add_argument("--mask", choices=sorted(MASKS), action="append",
+                        default=[],
+                        help="named NA mask to apply (repeatable; "
+                             "2pc-nonblocking is always on)")
+    parser.add_argument("--pivot", type=str, default=None,
+                        help="pivot axis for the folded table (e.g. protocol)")
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="pivot value to report overhead %% against")
+    parser.add_argument("--x-axis", type=str, default=None,
+                        help="numeric axis for series output (with --pivot)")
+    parser.add_argument("--metric", type=str, default=None,
+                        help="metric column (runtime, ckpt_time, ...)")
+    parser.add_argument("--name", type=str, default="sweep",
+                        help="sweep name used in titles and bench records")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--procs", type=_int_list, default=None,
+                        help="process counts for --study scale_grid")
+    parser.add_argument("--nprocs", type=_positive_int, default=None,
+                        help="process count for --study ckpt_freq")
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    parser.add_argument("--cache-dir", type=str, default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--bench-json", type=str, default=None,
+                        help="append a JSON record of this sweep's engine "
+                             "stats and wall time to PATH")
+    args = parser.parse_args(argv)
+
+    if args.study is not None:
+        # A study is a complete declaration (axes, masks, fold shape);
+        # reject flags that would be silently ignored — including the
+        # scale knob that belongs to the *other* study.
+        ignored = [
+            flag
+            for flag, value in (
+                ("--axis", args.axis),
+                ("--base", args.base),
+                ("--mask", args.mask),
+                ("--pivot", args.pivot),
+                ("--baseline", args.baseline),
+                ("--x-axis", args.x_axis),
+                ("--metric", args.metric),
+                ("--name", args.name != "sweep" and args.name),
+                ("--procs", args.study != "scale_grid" and args.procs),
+                ("--nprocs", args.study != "ckpt_freq" and args.nprocs),
+            )
+            if value
+        ]
+        if ignored:
+            parser.error(
+                f"--study {args.study} does not take {', '.join(ignored)}"
+            )
+    else:
+        if not args.axis:
+            parser.error("give either --study or at least one --axis")
+        if args.procs is not None or args.nprocs is not None:
+            parser.error(
+                "--procs/--nprocs only apply to --study; sweep process "
+                "counts with --axis nprocs=... or pin one with --base nprocs=N"
+            )
+        for flag, pairs in (("--axis", args.axis), ("--base", args.base)):
+            keys = [k for k, _ in pairs]
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            if dupes:
+                parser.error(
+                    f"duplicate {flag} key(s): {', '.join(dupes)} — each key "
+                    "may be declared once (values are comma-separated)"
+                )
+
+    fold_kwargs: dict = {}
+    if args.pivot is not None:
+        fold_kwargs["pivot"] = args.pivot
+    if args.baseline is not None:
+        fold_kwargs["baseline"] = _coerce_token(args.baseline)
+    if args.x_axis is not None:
+        fold_kwargs["x_axis"] = args.x_axis
+    if args.metric is not None:
+        fold_kwargs["metrics"] = (args.metric,)
+
+    try:
+        if args.study is not None:
+            study_kwargs: dict = {"seed": args.seed}
+            if args.study == "scale_grid" and args.procs is not None:
+                study_kwargs["procs"] = args.procs
+            if args.study == "ckpt_freq" and args.nprocs is not None:
+                study_kwargs["nprocs"] = args.nprocs
+            plan = STUDIES[args.study](**study_kwargs)
+            label = args.study
+        else:
+            masks = [MASKS["2pc-nonblocking"]]
+            masks += [MASKS[name] for name in args.mask
+                      if name != "2pc-nonblocking"]
+            base = dict(args.base)
+            base.setdefault("seed", args.seed)
+            sweep = Sweep(
+                args.name,
+                axes=dict(args.axis),
+                base=base,
+                mask=masks,
+            )
+            plan = sweep.plan(**fold_kwargs)
+            label = sweep.name
+    except (SweepError, ValueError) as exc:
+        parser.error(str(exc))
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None:
+        try:
+            cache.version_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"cannot use cache directory {cache.root}: {exc}")
+    engine = ExperimentEngine(jobs=args.jobs, cache=cache,
+                              progress=not args.quiet)
+    t0 = time.time()
+    results = run_plans([plan], engine)
+    for result in results:
+        print(result.render())
+        print()
+    stats = engine.last_stats
+    if stats is not None:
+        print(f"[sweep:{label}: {stats.summary()}; "
+              f"{time.time() - t0:.1f}s total]")
+    if args.bench_json:
+        _append_bench_record(
+            args.bench_json, [f"sweep:{label}"], stats, time.time() - t0
+        )
     return 0
 
 
@@ -137,6 +381,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-mpi",
         description=(

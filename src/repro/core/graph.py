@@ -27,6 +27,10 @@ __all__ = ["CollectiveProgram", "SafeCut", "compute_safe_cut", "build_dependency
 
 GroupId = Hashable
 
+#: Prefix-count snapshot spacing: ``counts_at`` pays O(block + groups)
+#: per call instead of O(position).
+_PREFIX_BLOCK = 128
+
 
 @dataclass(frozen=True)
 class CollectiveProgram:
@@ -46,10 +50,36 @@ class CollectiveProgram:
     def nranks(self) -> int:
         return len(self.ops)
 
+    def _prefix_snapshots(self, rank: int) -> list[dict]:
+        """Per-group counts at every ``_PREFIX_BLOCK`` ops of ``rank``.
+
+        Built lazily, once per rank, and cached on the instance (the
+        program is immutable).  Rebuilding the prefix from scratch on
+        every ``counts_at`` call made the :func:`compute_safe_cut`
+        fixpoint quadratic in program length; with the snapshots each
+        call scans at most one block.
+        """
+        cache = self.__dict__.get("_prefix_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_prefix_cache", cache)
+        snapshots = cache.get(rank)
+        if snapshots is None:
+            snapshots = [{}]
+            counts: dict[GroupId, int] = {}
+            for i, g in enumerate(self.ops[rank], 1):
+                counts[g] = counts.get(g, 0) + 1
+                if i % _PREFIX_BLOCK == 0:
+                    snapshots.append(dict(counts))
+            cache[rank] = snapshots
+        return snapshots
+
     def counts_at(self, rank: int, position: int) -> dict[GroupId, int]:
         """Per-group executed-op counts after ``position`` ops of ``rank``."""
-        counts: dict[GroupId, int] = {}
-        for g in self.ops[rank][:position]:
+        snapshots = self._prefix_snapshots(rank)
+        base = min(position // _PREFIX_BLOCK, len(snapshots) - 1)
+        counts = dict(snapshots[base])
+        for g in self.ops[rank][base * _PREFIX_BLOCK : position]:
             counts[g] = counts.get(g, 0) + 1
         return counts
 

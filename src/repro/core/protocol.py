@@ -17,7 +17,7 @@ Control-plane message conventions (tuples; first element is the kind):
 coordinator -> rank        ``("intent", ckpt_id)``, ``("targets", {ggid: n})``,
                            ``("confirm?",)``, ``("commit",)``,
                            ``("drain_p2p", expected)``, ``("snapshot", duration)``,
-                           ``("resume",)``
+                           ``("resume",)``, ``("abort",)``
 rank -> rank               ``("target_update", ggid, value)``
 rank -> coordinator        ``("seq_report", rank, {ggid: n})``,
                            ``("parked", rank, gen, sent, recvd)``,
@@ -167,6 +167,13 @@ class RankProtocol(ABC):
                 )
             )
             return "stay"
+        if kind == "abort":
+            # The coordinator abandoned the round (a rank finished before
+            # the cut quiesced).  Drop all checkpoint state and keep
+            # executing — there is nothing to commit.
+            if self.intent:
+                self.on_abort()
+            return "resumed" if parked else "stay"
         if kind == "commit":
             if not parked:
                 # Race: this rank unparked on a data-plane event (e.g. a
@@ -256,6 +263,11 @@ class RankProtocol(ABC):
         self.intent = False
         self.ckpt_id = None
         self.targets_known = False
+
+    def on_abort(self) -> None:
+        """Clear checkpoint state after an aborted round (no commit ran)."""
+        self._commit_pending = False
+        self.on_resume()
 
 
 class CoordinatorLogic(ABC):

@@ -15,9 +15,13 @@ simulations.
 
 Alongside results, the cache records each spec's **execution wall
 time** — both inside the entry document (``"elapsed"``) and in a small
-sidecar (``v<SCHEMA>-timings.json``) that survives ``clear``/``prune``.
-The engine uses these recorded times to schedule each dependency wave
-longest-pole-first; see :meth:`ResultCache.recorded_time`.
+sidecar (``v<SCHEMA>-timings.json``).  The sidecar survives ``clear``
+(a wiped cache still schedules from history) but tracks evictions:
+``prune`` variants drop the evicted hashes' timings, and the sidecar is
+capped at :data:`TIMINGS_MAX_ENTRIES` entries (oldest records evicted
+first) so it cannot grow without bound.  The engine uses these recorded
+times to schedule each dependency wave longest-pole-first; see
+:meth:`ResultCache.recorded_time`.
 
 The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mpi``.
 Writes are atomic (tempfile + rename) so concurrent engine workers and
@@ -29,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
@@ -43,9 +48,15 @@ from .spec import (
     spec_to_dict,
 )
 
-__all__ = ["ResultCache", "default_cache_dir"]
+__all__ = ["ResultCache", "default_cache_dir", "TIMINGS_MAX_ENTRIES"]
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Hard cap on timing-sidecar entries.  The sidecar survives ``clear``
+#: and schema bumps by design (it is the scheduling cost model), which
+#: also means nothing else ever shrinks it; the cap evicts the oldest
+#: records once the model outgrows any plausible working set.
+TIMINGS_MAX_ENTRIES = 4096
 
 
 def default_cache_dir() -> Path:
@@ -71,9 +82,14 @@ class ResultCache:
     def __init__(self, directory: "Path | str | None" = None):
         self.root = Path(directory) if directory is not None else default_cache_dir()
         self.stats = CacheStats()
-        #: spec hash -> last recorded execution wall time (seconds);
-        #: lazily loaded from the sidecar on first use.
-        self._timings: dict[str, float] | None = None
+        #: spec hash -> (wall seconds, record epoch); lazily loaded from
+        #: the sidecar on first use.  Legacy sidecars stored a bare float
+        #: per hash; those load with epoch 0 (first in line for eviction).
+        self._timings: dict[str, tuple[float, float]] | None = None
+        #: Hashes explicitly evicted this session — excluded when the
+        #: sidecar write merges concurrent writers' entries back in, so
+        #: an eviction is not undone by the merge.
+        self._dropped_timings: set[str] = set()
 
     @property
     def version_dir(self) -> Path:
@@ -103,7 +119,15 @@ class ResultCache:
         if isinstance(elapsed, (int, float)) and elapsed > 0:
             # Harvest the recorded time into memory (no sidecar write):
             # a warm run learns its cost model from the entries it reads.
-            self._load_timings()[spec_hash(spec)] = float(elapsed)
+            # Stamped "now": a hit re-confirms the entry, so if the
+            # harvest ever reaches the sidecar it must not sort as
+            # ancient and be first out at the cap.
+            timings = self._load_timings()
+            key = spec_hash(spec)
+            stamp = max(
+                time.time(), timings[key][1] if key in timings else 0.0
+            )
+            timings[key] = (float(elapsed), stamp)
         self.stats.hits += 1
         return result
 
@@ -111,47 +135,67 @@ class ResultCache:
     # Execution-time records (the engine's scheduling cost model)
     # ------------------------------------------------------------------ #
 
-    def _load_timings(self) -> dict[str, float]:
+    @staticmethod
+    def _parse_timing(value) -> "tuple[float, float] | None":
+        """One sidecar entry: either legacy ``seconds`` or ``[seconds, epoch]``."""
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (float(value), 0.0) if value > 0 else None
+        if (
+            isinstance(value, (list, tuple))
+            and len(value) == 2
+            and all(isinstance(v, (int, float)) for v in value)
+            and value[0] > 0
+        ):
+            return (float(value[0]), float(value[1]))
+        return None
+
+    def _read_timings_file(self) -> dict[str, tuple[float, float]]:
+        try:
+            raw = json.loads(self.timings_path.read_text())
+            if not isinstance(raw, dict):
+                return {}
+        except (OSError, ValueError):
+            return {}
+        out: dict[str, tuple[float, float]] = {}
+        for key, value in raw.items():
+            parsed = self._parse_timing(value)
+            if parsed is not None:
+                out[str(key)] = parsed
+        return out
+
+    def _load_timings(self) -> dict[str, tuple[float, float]]:
         if self._timings is None:
-            try:
-                raw = json.loads(self.timings_path.read_text())
-                self._timings = {
-                    str(k): float(v)
-                    for k, v in raw.items()
-                    if isinstance(v, (int, float)) and v > 0
-                }
-            except (OSError, ValueError, AttributeError):
-                self._timings = {}
+            self._timings = self._read_timings_file()
         return self._timings
 
-    def recorded_time(self, spec: RunSpec) -> float | None:
-        """Last recorded execution wall time for ``spec``, if any."""
-        return self._load_timings().get(spec_hash(spec))
+    def _write_timings(self) -> None:
+        """Merge-on-write sidecar replacement.
 
-    def record_time(self, spec: RunSpec, seconds: float) -> None:
-        """Record ``spec``'s execution wall time in the sidecar.
-
-        The write re-reads the sidecar and merges before replacing it,
-        so concurrent engines sharing a cache directory lose at most a
-        race on the *same* spec's time, never each other's entries.
+        Re-reads the sidecar and merges entries other writers added, so
+        concurrent engines sharing a cache directory lose at most a race
+        on the *same* spec's time, never each other's entries.  Hashes
+        this cache explicitly evicted stay evicted, and the result is
+        capped at :data:`TIMINGS_MAX_ENTRIES` (oldest records first out)
+        so the sidecar cannot grow without bound across schema bumps and
+        pruned figures.
         """
-        if seconds <= 0:
-            return
         timings = self._load_timings()
-        timings[spec_hash(spec)] = seconds
-        try:
-            on_disk = json.loads(self.timings_path.read_text())
-            if isinstance(on_disk, dict):
-                for key, value in on_disk.items():
-                    if isinstance(value, (int, float)) and value > 0:
-                        timings.setdefault(str(key), float(value))
-        except (OSError, ValueError):
-            pass
+        for key, value in self._read_timings_file().items():
+            if key not in self._dropped_timings:
+                timings.setdefault(key, value)
+        if len(timings) > TIMINGS_MAX_ENTRIES:
+            keep = sorted(timings.items(), key=lambda kv: kv[1][1], reverse=True)
+            timings = dict(keep[:TIMINGS_MAX_ENTRIES])
+            self._timings = timings
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(timings, fh, separators=(",", ":"))
+                json.dump(
+                    {k: [s, t] for k, (s, t) in timings.items()},
+                    fh,
+                    separators=(",", ":"),
+                )
             os.replace(tmp, self.timings_path)
         except BaseException:
             try:
@@ -159,6 +203,32 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def recorded_time(self, spec: RunSpec) -> float | None:
+        """Last recorded execution wall time for ``spec``, if any."""
+        entry = self._load_timings().get(spec_hash(spec))
+        return None if entry is None else entry[0]
+
+    def record_time(self, spec: RunSpec, seconds: float) -> None:
+        """Record ``spec``'s execution wall time in the sidecar."""
+        if seconds <= 0:
+            return
+        key = spec_hash(spec)
+        self._load_timings()[key] = (seconds, time.time())
+        self._dropped_timings.discard(key)
+        self._write_timings()
+
+    def drop_timings(self, hashes: Iterable[str]) -> int:
+        """Evict the given spec hashes from the timing sidecar."""
+        timings = self._load_timings()
+        dropped = 0
+        for key in hashes:
+            self._dropped_timings.add(key)
+            if timings.pop(key, None) is not None:
+                dropped += 1
+        if dropped:
+            self._write_timings()
+        return dropped
 
     def timing_count(self) -> int:
         return len(self._load_timings())
@@ -213,15 +283,71 @@ class ResultCache:
 
     def prune(self, specs: "Iterable[RunSpec]") -> int:
         """Delete the entries for ``specs`` (misses ignored); returns the
-        number removed.  Recorded execution times survive."""
+        number removed.  Unlike :meth:`clear`, prune targets specific
+        cells, so their recorded execution times are evicted too — a
+        pruned cell's next run re-records its cost."""
         removed = 0
+        evicted_hashes = []
         for spec in specs:
             try:
                 self.path_for(spec).unlink()
                 removed += 1
             except OSError:
-                pass
+                continue
+            evicted_hashes.append(spec_hash(spec))
+        self.drop_timings(evicted_hashes)
         return removed
+
+    def _prune_paths(self, paths: "Iterable[Path]") -> int:
+        """Unlink entry files and evict their timings (stems are hashes)."""
+        removed = 0
+        evicted = []
+        for path in paths:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+            evicted.append(path.stem)
+        self.drop_timings(evicted)
+        return removed
+
+    def prune_older_than(self, max_age_seconds: float) -> int:
+        """Evict entries whose file is older than ``max_age_seconds``.
+
+        Age is the entry file's mtime — i.e. when the result was last
+        (re-)stored, not last read.  Returns the number removed.
+        """
+        if not self.version_dir.is_dir():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        stale = []
+        for entry in self.version_dir.glob("*.json"):
+            try:
+                if entry.stat().st_mtime < cutoff:
+                    stale.append(entry)
+            except OSError:
+                pass
+        return self._prune_paths(stale)
+
+    def prune_to_max_entries(self, max_entries: int) -> int:
+        """Evict oldest entries (by mtime) until at most ``max_entries``
+        remain; returns the number removed."""
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if not self.version_dir.is_dir():
+            return 0
+        aged = []
+        for entry in self.version_dir.glob("*.json"):
+            try:
+                aged.append((entry.stat().st_mtime, entry.name, entry))
+            except OSError:
+                pass
+        if len(aged) <= max_entries:
+            return 0
+        aged.sort()
+        n_evict = len(aged) - max_entries
+        return self._prune_paths(entry for _, _, entry in aged[:n_evict])
 
     def total_bytes(self) -> int:
         """On-disk footprint of the current schema's entries."""

@@ -23,6 +23,11 @@ values — typically every cell of one or several figures at once — and:
 Results are keyed by spec and identical whether the batch ran serially
 or in parallel — workers only ever execute independent simulations, and
 folding happens in the parent process.
+
+Declarative scenario grids submit through :meth:`ExperimentEngine.run_sweep`
+(see :mod:`repro.harness.sweep`): the sweep's masked cells never reach
+the engine, and its cartesian product arrives as one batch so shared
+cells and probe/restart parents dedupe like any figure's.
 """
 
 from __future__ import annotations
@@ -143,6 +148,16 @@ class ExperimentEngine:
     def run(self, spec: RunSpec) -> RunResult:
         """Run a single spec (one-element batch)."""
         return self.run_batch([spec])[spec]
+
+    def run_sweep(self, sweep) -> dict[RunSpec, RunResult]:
+        """Execute a :class:`~repro.harness.sweep.Sweep` as ONE batch.
+
+        The sweep's masked (NA) cells never reach the engine; the
+        executable product is submitted in one deduplicated batch so
+        cells sharing a spec — or a probe/restart parent — simulate
+        once.  Returns the result map :meth:`Sweep.fold` consumes.
+        """
+        return self.run_batch(sweep.specs())
 
     def run_batch(
         self, specs: Sequence[RunSpec]

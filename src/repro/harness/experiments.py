@@ -30,11 +30,17 @@ from ..util.stats import mean, overhead_pct
 from .engine import ExperimentEngine
 from .runner import RunResult
 from .spec import RunSpec
+from .sweep import MASKS, Sweep, mask_paper_memory_limit
 
 __all__ = [
     "ExperimentResult",
     "FigurePlan",
     "run_plans",
+    "sweep_plan",
+    "sweep_fold",
+    "plan_scale_grid",
+    "plan_ckpt_freq",
+    "STUDIES",
     "table1",
     "fig5a",
     "fig5b",
@@ -683,11 +689,149 @@ def fig9(
     return _run_single(plan, engine)
 
 
+# --------------------------------------------------------------------- #
+# Sweep-DSL studies: scenario grids beyond the paper's figures
+# --------------------------------------------------------------------- #
+
+def sweep_plan(sweep: Sweep, **fold_kwargs) -> FigurePlan:
+    """A :class:`Sweep` as a figure plan (generic plan/fold pair).
+
+    The plan's spec list is the sweep's deduplicated product; the fold
+    is :meth:`Sweep.fold` bound to ``fold_kwargs``.  Because it is an
+    ordinary :class:`FigurePlan`, sweeps batch with figures through
+    :func:`run_plans` and dedupe against their cells.
+    """
+    return sweep.plan(**fold_kwargs)
+
+
+def sweep_fold(
+    sweep: Sweep, results: Mapping[RunSpec, RunResult], **fold_kwargs
+) -> ExperimentResult:
+    """Fold an engine result map through ``sweep`` (see :meth:`Sweep.fold`)."""
+    return sweep.fold(results, **fold_kwargs)
+
+
+#: Per-app default step counts for sweep studies (scaled-down sizes in
+#: the same spirit as the figure defaults above).
+_STUDY_NITERS = {
+    "minivasp": 8,
+    "poisson": 12,
+    "comd": 20,
+    "lammps": 30,
+    "sw4": 6,
+    "osu": 80,
+    "osu_overlap": 30,
+}
+
+
+def plan_scale_grid(
+    apps: Sequence[str] = ("minivasp", "comd", "poisson"),
+    procs: Sequence[int] = (4, 8, 16),
+    *,
+    seed: int = 0,
+) -> FigurePlan:
+    """Scenario study: protocol × application × process-count grid.
+
+    The whole study is one sweep declaration — per-app step counts and
+    the node layout are derived columns, the paper's 2PC × non-blocking
+    NA rule is a mask, and the fold pivots on protocol with native as
+    the overhead baseline (series over process count, Figure-8 style).
+    """
+    sweep = Sweep(
+        "scale_grid",
+        axes={
+            "app": tuple(apps),
+            "protocol": ("native", "2pc", "cc"),
+            "nprocs": tuple(int(p) for p in procs),
+        },
+        base={"seed": seed},
+        derive={
+            "niters": lambda p: _STUDY_NITERS.get(p["app"], 16),
+            "ppn": lambda p: max(p["nprocs"] // 2, 1),
+        },
+        mask=MASKS["2pc-nonblocking"],
+    )
+    return sweep.plan(
+        pivot="protocol",
+        baseline="native",
+        x_axis="nprocs",
+        title="Scale grid: runtime and overhead % vs native, "
+        "protocol × app × procs",
+    )
+
+
+def plan_ckpt_freq(
+    n_ckpts: Sequence[int] = (1, 2, 4),
+    *,
+    app: str = "minivasp",
+    nprocs: int = 8,
+    niters: int = 10,
+    seed: int = 0,
+) -> FigurePlan:
+    """Scenario study: checkpoint-frequency sensitivity.
+
+    Sweeps how many evenly spaced checkpoints a run takes (the schedule
+    is a derived column: ``n`` fractions of the probe runtime; native
+    derives an empty schedule, so its one baseline cell dedupes across
+    the whole frequency axis) and reports runtime overhead vs native.
+    """
+    # Fast burst-buffer-like storage: checkpoint pauses stay comparable
+    # to the (scaled-down) run itself, so the frequency trend reads as
+    # overhead percentages rather than multiples.
+    storage = StorageModel(
+        per_node_bandwidth=8.0e9, aggregate_bandwidth=2.0e10, base_latency=1e-3
+    )
+    sweep = Sweep(
+        "ckpt_freq",
+        axes={"protocol": ("native", "2pc", "cc"), "n_ckpts": tuple(n_ckpts)},
+        base={
+            "app": app,
+            "nprocs": int(nprocs),
+            "niters": int(niters),
+            "memory_bytes": 4 << 20,
+            "ppn": max(int(nprocs) // 2, 1),
+            "seed": seed,
+            "storage": storage,
+        },
+        derive={
+            "checkpoint_fractions": lambda p: ()
+            if p["protocol"] == "native"
+            else tuple(
+                (i + 1) / (p["n_ckpts"] + 1) for i in range(p["n_ckpts"])
+            ),
+        },
+        meta=("n_ckpts",),
+    )
+    return sweep.plan(
+        pivot="protocol",
+        baseline="native",
+        x_axis="n_ckpts",
+        title=f"Checkpoint frequency: {app} runtime vs checkpoints per run "
+        f"({nprocs} procs)",
+    )
+
+
+#: Sweep-based scenario studies.  Deliberately *not* in PLANNERS:
+#: ``repro-mpi all`` regenerates exactly the paper's tables/figures;
+#: studies run via ``repro-mpi sweep --study <name>``.
+STUDIES = {
+    "scale_grid": plan_scale_grid,
+    "ckpt_freq": plan_ckpt_freq,
+}
+
+
 def _memory_limited(kind: str, size: int, procs: int) -> bool:
     """Cells the paper itself omits: alltoall/allgather buffers grow with
     p^2 x message size ("do not support a message size of 1 MB over 1024
-    and 2048 processes, due to the default maximum memory limit")."""
-    return kind in ("alltoall", "allgather") and size >= (1 << 20) and procs > 16
+    and 2048 processes, due to the default maximum memory limit").
+
+    The rule itself lives in the sweep mask registry so figures and
+    sweeps can never disagree about which cells the paper skips.
+    """
+    return (
+        mask_paper_memory_limit({"kind": kind, "nbytes": size, "nprocs": procs})
+        is not None
+    )
 
 
 def _fmt_size(nbytes: int) -> str:

@@ -37,7 +37,7 @@ from typing import Any, Mapping, MutableMapping
 
 import numpy as np
 
-from ..apps import make_app_factory
+from ..apps import make_app_factory, resolve_app_name
 from ..core import UnsupportedOperationError
 from ..des import ProcessFailed
 from ..mana import CheckpointImage, CheckpointRecord
@@ -54,6 +54,7 @@ from .runner import RunResult, launch_run
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SPEC_POINT_FIELDS",
     "RunSpec",
     "SpecError",
     "execute",
@@ -72,6 +73,25 @@ __all__ = [
 #: Bump whenever the meaning of a spec field or the serialized result
 #: layout changes; the cache segregates entries by this version.
 SCHEMA_VERSION = 1
+
+#: Point keys :meth:`RunSpec.from_point` routes to spec fields; every
+#: other key becomes an app kwarg.  ``restart`` (bool) is the sweep
+#: layer's chain marker: the point's checkpoint schedule moves to a
+#: parent spec and the built spec restarts from it.
+SPEC_POINT_FIELDS = (
+    "app",
+    "nprocs",
+    "protocol",
+    "ppn",
+    "seed",
+    "checkpoint_at",
+    "checkpoint_fractions",
+    "storage",
+    "params",
+    "max_events",
+    "restart",
+    "restart_ckpt",
+)
 
 #: Sentinel key marking a deserialized image whose payload was dropped.
 _STRIPPED_KEY = "__payload_stripped__"
@@ -150,7 +170,10 @@ class RunSpec:
         restart_ckpt: int = 0,
     ) -> "RunSpec":
         spec = cls(
-            app=app,
+            # Canonicalize aliases ("vasp" -> "minivasp") here, where
+            # nprocs/seed are already being normalized: spec equality,
+            # dedup, and the cache key must not depend on spelling.
+            app=resolve_app_name(app),
             nprocs=int(nprocs),
             app_kwargs=_normalize_kwargs(app_kwargs),
             protocol=protocol,
@@ -166,6 +189,57 @@ class RunSpec:
         )
         spec.validate()
         return spec
+
+    @classmethod
+    def from_point(cls, point: Mapping[str, Any]) -> "RunSpec":
+        """Build a spec from a flat axis-point mapping (the sweep layer).
+
+        Keys in :data:`SPEC_POINT_FIELDS` route to spec fields; every
+        other key is an app kwarg (so ``niters``, ``kind``, ``nbytes``…
+        are first-class sweep axes).  Scalar ``checkpoint_at`` /
+        ``checkpoint_fractions`` values are promoted to one-element
+        schedules.  A truthy ``restart`` key moves the point's
+        checkpoint schedule onto a parent spec and returns a spec that
+        restarts from that parent's ``restart_ckpt``-th commit.
+        """
+        point = dict(point)
+        try:
+            app = point.pop("app")
+            nprocs = point.pop("nprocs")
+        except KeyError as exc:
+            raise SpecError(f"sweep point is missing the {exc.args[0]!r} axis") from None
+        restart = bool(point.pop("restart", False))
+        restart_ckpt = int(point.pop("restart_ckpt", 0))
+        fields = {
+            name: point.pop(name)
+            for name in SPEC_POINT_FIELDS
+            if name in point
+        }
+        for schedule in ("checkpoint_at", "checkpoint_fractions"):
+            value = fields.get(schedule)
+            if isinstance(value, (int, float)):
+                fields[schedule] = (float(value),)
+            elif value is not None:
+                fields[schedule] = tuple(value)
+        app_kwargs = point  # whatever is left belongs to the application
+        if not restart:
+            return cls.create(app, nprocs, app_kwargs=app_kwargs, **fields)
+        if not fields.get("checkpoint_at") and not fields.get("checkpoint_fractions"):
+            raise SpecError(
+                "restart=True needs a checkpoint schedule (checkpoint_at "
+                "or checkpoint_fractions) for the parent run to commit"
+            )
+        parent = cls.create(app, nprocs, app_kwargs=app_kwargs, **fields)
+        for schedule in ("checkpoint_at", "checkpoint_fractions"):
+            fields.pop(schedule, None)
+        return cls.create(
+            app,
+            nprocs,
+            app_kwargs=app_kwargs,
+            restart_of=parent,
+            restart_ckpt=restart_ckpt,
+            **fields,
+        )
 
     def validate(self) -> None:
         if self.nprocs < 1:
@@ -232,16 +306,8 @@ class RunSpec:
         """Zero-argument app factory (one instance per rank)."""
         return make_app_factory(self.app, **dict(self.app_kwargs))
 
-    def cost_hint(self) -> float:
-        """Relative execution-cost estimate (``nprocs × niters`` shaped).
-
-        The engine's wave scheduler prefers *recorded* wall times from
-        the result cache; this heuristic is the fallback for specs never
-        executed before.  Units are arbitrary — only the ordering within
-        a wave matters — but :data:`~repro.harness.engine.HEURISTIC_SECONDS_PER_UNIT`
-        maps them onto rough seconds so recorded and estimated costs can
-        sort together.
-        """
+    def _own_cost(self) -> float:
+        """This spec's cost ignoring any restart parent."""
         niters = 30.0
         for key, value in self.app_kwargs:
             if key == "niters":
@@ -253,10 +319,41 @@ class RunSpec:
             # Checkpoint phases add drain/commit rounds on top of the
             # app's own traffic.
             cost *= 1.0 + 0.25 * n_ckpt
-        if self.restart_of is not None:
-            # A restart replays the tail of the parent's run.
-            cost = max(cost, 0.5 * self.restart_of.cost_hint())
         return cost
+
+    def cost_hint(self) -> float:
+        """Relative execution-cost estimate (``nprocs × niters`` shaped).
+
+        The engine's wave scheduler prefers *recorded* wall times from
+        the result cache; this heuristic is the fallback for specs never
+        executed before.  Units are arbitrary — only the ordering within
+        a wave matters — but :data:`~repro.harness.engine.HEURISTIC_SECONDS_PER_UNIT`
+        maps them onto rough seconds so recorded and estimated costs can
+        sort together.
+
+        ``restart_of`` chains are folded iteratively, deepest ancestor
+        first, and each link's value is memoized on the (immutable)
+        instance — wave sorting used to recompute every ancestor's cost
+        per call, O(depth²) across a chain, and recursed past Python's
+        stack limit on very deep chains.
+        """
+        memo = self.__dict__.get("_cost_hint")
+        if memo is not None:
+            return memo
+        chain: list[RunSpec] = []
+        node: RunSpec | None = self
+        while node is not None and "_cost_hint" not in node.__dict__:
+            chain.append(node)
+            node = node.restart_of
+        inherited = 0.0 if node is None else node.__dict__["_cost_hint"]
+        for spec in reversed(chain):
+            cost = spec._own_cost()
+            if spec.restart_of is not None:
+                # A restart replays the tail of the parent's run.
+                cost = max(cost, 0.5 * inherited)
+            object.__setattr__(spec, "_cost_hint", cost)
+            inherited = cost
+        return inherited
 
     def label(self) -> str:
         """Short human-readable identity for progress reporting."""

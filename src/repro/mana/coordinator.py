@@ -100,6 +100,7 @@ class CheckpointCoordinator:
         self._state = "idle"
         self._next_ckpt_id = 0
         self._deferred_requests = 0
+        self._aborted_rounds = 0
         self._tracker: QuiescenceTracker | None = None
         self._record: CheckpointRecord | None = None
         self._seq_reports: dict[int, dict[int, int]] = {}
@@ -167,6 +168,9 @@ class CheckpointCoordinator:
                 f"ranks {sorted(self.finished_ranks)} already finished"
             )
             self._record = None
+            # Any requests deferred behind this one must still be
+            # accounted for (each gets its own aborted record).
+            self._pump_deferred()
             return
         self._tracker = QuiescenceTracker(nprocs=self.nprocs)
         self._seq_reports.clear()
@@ -196,17 +200,60 @@ class CheckpointCoordinator:
     # Message dispatch
     # ------------------------------------------------------------------ #
 
+    #: Rank->coordinator kinds that may legitimately straggle in after a
+    #: round was aborted (the sender had not yet seen the abort).
+    _STALE_OK = ("seq_report", "parked", "unparked", "confirm")
+
     def deliver(self, msg: tuple) -> None:
         kind = msg[0]
         if kind == "finished":
             self.finished_ranks.add(msg[1])
+            if self._state in ("collecting", "draining", "confirming"):
+                # A rank exited before quiescing: the round can never
+                # complete (the quiescence tracker waits for a park that
+                # will not come).  Abort instead of deadlocking every
+                # still-parked rank.
+                self._abort_round(
+                    f"rank {msg[1]} finished before the cut quiesced"
+                )
             return
         if self._state == "idle":
+            if self._aborted_rounds and kind in self._STALE_OK:
+                return
             raise ProtocolError(f"coordinator idle but received {msg!r}")
         handler = getattr(self, f"_on_{kind}", None)
         if handler is None:
             raise ProtocolError(f"coordinator cannot handle {msg!r}")
         handler(msg)
+
+    def _abort_round(self, reason: str) -> None:
+        """Abandon the in-flight (pre-commit) round: record why, release
+        every parked rank, and return to idle."""
+        assert self._record is not None
+        self._record.aborted = True
+        self._record.abort_reason = reason
+        self._record = None
+        self._tracker = None
+        self._state = "idle"
+        self._aborted_rounds += 1
+        self._broadcast(("abort",))
+        # Re-issue deferred requests so they are accounted for (they
+        # abort immediately in turn: a rank has already finished).
+        self._pump_deferred()
+
+    def _pump_deferred(self) -> None:
+        """Schedule the next deferred checkpoint request, if any.
+
+        Called whenever a round ends (commit or abort) *and* from the
+        immediate-abort path of :meth:`request_checkpoint`, so a queue
+        of deferred requests drains one aborted/committed record each
+        instead of silently losing everything after the first.
+        """
+        if self._deferred_requests > 0:
+            self._deferred_requests -= 1
+            # Give ranks one control latency to process the round's end.
+            latency = next(iter(self.sessions.values())).overheads.control_latency
+            self.sim.call_after(latency * 2, self.request_checkpoint)
 
     # -- phase 1 (CC): Algorithm 1 ---------------------------------------- #
 
@@ -315,11 +362,7 @@ class CheckpointCoordinator:
             self._record = None
             self._tracker = None
             self._state = "idle"
-            if self._deferred_requests > 0:
-                self._deferred_requests -= 1
-                # Give ranks one control latency to process the resume.
-                latency = next(iter(self.sessions.values())).overheads.control_latency
-                self.sim.call_after(latency * 2, self.request_checkpoint)
+            self._pump_deferred()
 
     # ------------------------------------------------------------------ #
 

@@ -146,3 +146,62 @@ def test_dependency_graph_is_dag(data):
 
     g = build_dependency_graph(program)
     assert nx.is_directed_acyclic_graph(g)
+
+
+class TestPrefixCountMemoization:
+    """`counts_at` memoizes per-rank prefix counts (regression: it used
+    to rescan the whole prefix per call, making the fixpoint quadratic
+    in program length)."""
+
+    def _long_program(self, nranks=3, nops=4000):
+        # Round-robin over a world group and per-pair groups: legal by
+        # construction (every member calls each group's ops in order).
+        members = {"w": tuple(range(nranks))}
+        ops = [[] for _ in range(nranks)]
+        for k in range(nops):
+            for r in range(nranks):
+                ops[r].append("w")
+        return make_program(ops, members)
+
+    def test_counts_match_naive_reference(self):
+        program = self._long_program()
+        for rank in range(program.nranks):
+            for position in (0, 1, 127, 128, 129, 1000, 2500, 4000):
+                naive = {}
+                for g in program.ops[rank][:position]:
+                    naive[g] = naive.get(g, 0) + 1
+                assert program.counts_at(rank, position) == naive
+
+    def test_snapshots_built_once_and_reused(self):
+        program = self._long_program()
+        program.counts_at(0, 10)
+        first = program._prefix_snapshots(0)
+        program.counts_at(0, 3999)
+        assert program._prefix_snapshots(0) is first
+
+    def test_returned_counts_are_private_copies(self):
+        """Mutating a counts_at result (as compute_safe_cut does) must
+        not corrupt the cached snapshots."""
+        program = self._long_program(nops=300)
+        counts = program.counts_at(0, 256)
+        counts["w"] += 100
+        assert program.counts_at(0, 256)["w"] == 256
+
+    def test_long_program_oracle_fixpoint(self):
+        """The oracle still resolves correctly on a long mixed program."""
+        nranks, blocks = 4, 600
+        members = {"w": (0, 1, 2, 3), "lo": (0, 1), "hi": (2, 3)}
+        ops = [[] for _ in range(nranks)]
+        for k in range(blocks):
+            for r in range(nranks):
+                ops[r].append("w")
+            for r in members["lo" if k % 2 == 0 else "hi"]:
+                ops[r].append("lo" if k % 2 == 0 else "hi")
+        program = make_program(ops, members)
+        # Rank 0 is far ahead; everyone else must be pulled to its cut.
+        start = (len(ops[0]), 5, 3, 0)
+        cut = compute_safe_cut(program, start)
+        for g, t in cut.targets.items():
+            for r in program.members[g]:
+                assert program.counts_at(r, cut.positions[r]).get(g, 0) == t
+        assert cut.positions[0] == len(ops[0])

@@ -10,7 +10,7 @@ to the paper's formal model (Section 4.2.2) end to end.
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.apps.base import MpiApp
@@ -157,7 +157,12 @@ def test_online_cut_matches_offline_oracle(schedule_seed, frac):
         factory, nprocs, protocol="cc", seed=2,
         checkpoint_at=[native.runtime * frac], storage=STORAGE,
     )
-    rec = [c for c in ck.checkpoints if c.committed][0]
+    # A late request can race job completion: a rank may finish before
+    # the cut quiesces, and the coordinator (correctly) aborts the round.
+    # The oracle comparison is only meaningful for committed checkpoints.
+    committed = [c for c in ck.checkpoints if c.committed]
+    assume(committed)
+    rec = committed[0]
     app = factory()
     program = app.offline_program()
 

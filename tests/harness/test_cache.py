@@ -73,3 +73,111 @@ def test_default_cache_dir_env(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR")
     monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
     assert default_cache_dir() == tmp_path / "xdg" / "repro-mpi"
+
+
+class TestTimingEviction:
+    """The timing sidecar is capped and tracks prune evictions
+    (regression: it was merge-on-write only and grew without bound)."""
+
+    def test_prune_drops_evicted_timings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = _spec(seed=0), _spec(seed=1)
+        cache.put(a, execute(a), elapsed=0.5)
+        cache.put(b, execute(b), elapsed=0.7)
+        assert cache.timing_count() == 2
+        assert cache.prune([a]) == 1
+        assert cache.recorded_time(a) is None
+        assert cache.recorded_time(b) == 0.7
+        fresh = ResultCache(tmp_path)
+        assert fresh.timing_count() == 1
+        assert fresh.recorded_time(b) == 0.7
+
+    def test_clear_still_keeps_timings(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cache.put(spec, execute(spec), elapsed=0.5)
+        cache.clear()
+        assert ResultCache(tmp_path).recorded_time(spec) == 0.5
+
+    def test_legacy_float_sidecar_still_loads(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        from repro.harness.spec import spec_hash as _hash
+
+        cache.timings_path.parent.mkdir(parents=True, exist_ok=True)
+        cache.timings_path.write_text(json.dumps({_hash(spec): 1.5}))
+        assert cache.recorded_time(spec) == 1.5
+        # A new record upgrades the file format without losing the entry.
+        other = _spec(seed=7)
+        cache.record_time(other, 0.25)
+        fresh = ResultCache(tmp_path)
+        assert fresh.recorded_time(spec) == 1.5
+        assert fresh.recorded_time(other) == 0.25
+
+    def test_sidecar_capped_oldest_first(self, tmp_path, monkeypatch):
+        import repro.harness.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "TIMINGS_MAX_ENTRIES", 5)
+        cache = ResultCache(tmp_path)
+        specs = [_spec(seed=i) for i in range(8)]
+        for i, spec in enumerate(specs):
+            cache.record_time(spec, 0.1 + i)
+        assert cache.timing_count() == 5
+        # The most recent records survive; the earliest were evicted.
+        assert cache.recorded_time(specs[0]) is None
+        assert cache.recorded_time(specs[-1]) == 0.1 + 7
+
+    def test_merge_does_not_resurrect_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = _spec(seed=0), _spec(seed=1)
+        cache.record_time(a, 0.5)
+        cache.drop_timings([spec_hash(a)])
+        cache.record_time(b, 0.7)  # merge-on-write happens here
+        fresh = ResultCache(tmp_path)
+        assert fresh.recorded_time(a) is None
+        assert fresh.recorded_time(b) == 0.7
+
+
+class TestAgeAndSizePrune:
+    def _populate(self, tmp_path, n=4):
+        import os
+        import time as _time
+
+        cache = ResultCache(tmp_path)
+        result = execute(_spec())
+        paths = []
+        for i in range(n):
+            spec = _spec(seed=100 + i)
+            path = cache.put(spec, result, elapsed=0.5)
+            # Deterministic, well-separated mtimes: oldest first.
+            stamp = _time.time() - (n - i) * 1000
+            os.utime(path, (stamp, stamp))
+            paths.append((spec, path))
+        return cache, paths
+
+    def test_prune_older_than(self, tmp_path):
+        cache, paths = self._populate(tmp_path)
+        # Entries are 4000/3000/2000/1000 seconds old: evict > 2500s.
+        removed = cache.prune_older_than(2500)
+        assert removed == 2
+        assert not paths[0][1].exists() and not paths[1][1].exists()
+        assert paths[2][1].exists() and paths[3][1].exists()
+        assert cache.recorded_time(paths[0][0]) is None
+        assert cache.recorded_time(paths[3][0]) == 0.5
+
+    def test_prune_to_max_entries_keeps_newest(self, tmp_path):
+        cache, paths = self._populate(tmp_path)
+        assert cache.prune_to_max_entries(1) == 3
+        assert len(cache) == 1
+        assert paths[-1][1].exists()
+        assert cache.recorded_time(paths[-1][0]) == 0.5
+
+    def test_prune_to_max_entries_noop_when_under(self, tmp_path):
+        cache, _paths = self._populate(tmp_path, n=2)
+        assert cache.prune_to_max_entries(10) == 0
+        assert len(cache) == 2
+
+    def test_empty_cache_prunes_cleanly(self, tmp_path):
+        cache = ResultCache(tmp_path / "nope")
+        assert cache.prune_older_than(10) == 0
+        assert cache.prune_to_max_entries(0) == 0

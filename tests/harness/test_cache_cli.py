@@ -67,3 +67,48 @@ def test_cache_prune_requires_known_figure(tmp_path):
 def test_cache_requires_action(tmp_path):
     with pytest.raises(SystemExit):
         main(["cache"])
+
+
+class TestPruneByAgeAndCount:
+    def _aged_cache(self, tmp_path, n=3):
+        import os
+        import time as _time
+
+        from repro.harness.spec import RunSpec
+
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(jobs=1, cache=cache)
+        base = RunSpec.create("poisson", 2, app_kwargs={"niters": 2}, seed=50)
+        result = engine.run(base)
+        paths = []
+        for i in range(n):
+            spec = RunSpec.create("poisson", 2, app_kwargs={"niters": 2}, seed=60 + i)
+            path = cache.put(spec, result, elapsed=0.5)
+            stamp = _time.time() - (n - i) * 1000
+            os.utime(path, (stamp, stamp))
+            paths.append(path)
+        return paths
+
+    def test_prune_older_than_cli(self, tmp_path, capsys):
+        self._aged_cache(tmp_path)
+        assert main(["cache", "prune", "--older-than", "2500s",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 entry older than 2500s" in out
+
+    def test_prune_max_entries_cli(self, tmp_path, capsys):
+        self._aged_cache(tmp_path)
+        assert main(["cache", "prune", "--max-entries", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "beyond the newest 2" in out
+        assert len(ResultCache(tmp_path)) == 2
+
+    def test_prune_requires_some_selector(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
+    def test_bad_duration_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--older-than", "soon",
+                  "--cache-dir", str(tmp_path)])

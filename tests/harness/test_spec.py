@@ -204,3 +204,59 @@ class TestResultSerialization:
         restored = run_result_from_dict(run_result_to_dict(result))
         assert restored.na_reason == result.na_reason
         assert not restored.ok
+
+
+class TestCostHint:
+    def _chain(self, depth, *, parent_niters=64, child_niters=4):
+        spec = RunSpec.create(
+            "comd", 4, app_kwargs={"niters": parent_niters}, protocol="cc",
+            checkpoint_at=(0.5,),
+        )
+        for _ in range(depth):
+            spec = RunSpec.create(
+                "comd", 4, app_kwargs={"niters": child_niters}, protocol="cc",
+                restart_of=spec,
+            )
+        return spec
+
+    def test_restart_chain_values_fold_geometrically(self):
+        """Each link is max(own, 0.5 × parent): a cheap restart behind an
+        expensive run decays geometrically to its own floor."""
+        root_cost = 4 * 64 * 1.25  # nprocs × niters × one-checkpoint factor
+        own = 4 * 4.0
+        expected = root_cost
+        spec = self._chain(3)
+        chain = []
+        node = spec
+        while node is not None:
+            chain.append(node)
+            node = node.restart_of
+        for link in reversed(chain[:-1]):
+            expected = max(own, 0.5 * expected)
+        assert spec.cost_hint() == expected
+        # And a shallow sanity check against the closed form.
+        assert self._chain(1).cost_hint() == max(own, 0.5 * root_cost)
+
+    def test_deep_chain_does_not_recurse(self):
+        """Regression: cost_hint recursed per ancestor (O(depth²) during
+        wave sorting, RecursionError past the stack limit)."""
+        deep = self._chain(5000)
+        assert deep.cost_hint() == 16.0  # decayed to the child floor
+
+    def test_memo_is_per_instance_and_stable(self):
+        spec = self._chain(2)
+        first = spec.cost_hint()
+        assert spec.__dict__["_cost_hint"] == first
+        assert spec.cost_hint() == first
+        # Parents were memoized along the way (one pass fills the chain).
+        assert "_cost_hint" in spec.restart_of.__dict__
+
+    def test_memo_survives_pickle_boundary(self):
+        import pickle
+
+        spec = self._chain(1)
+        spec.cost_hint()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cost_hint() == spec.cost_hint()
+        assert spec_hash(clone) == spec_hash(spec)

@@ -146,3 +146,78 @@ class TestRestartValidation:
         with pytest.raises(ValueError):
             launch_run(lambda: Chain(niters=10), 2, protocol="cc",
                        restore_images=partial)
+
+
+class UnevenTail(MpiApp):
+    """Ranks share ``shared`` collective steps, then every rank except 0
+    computes a communication-free tail — rank 0 finishes first, opening
+    the request-races-completion window."""
+
+    name = "uneven_tail"
+
+    def __init__(self, niters=12, shared=6):
+        super().__init__(niters)
+        self.shared = shared
+
+    def setup(self, ctx):
+        ctx.state["acc"] = 0.0
+
+    def step(self, ctx, i):
+        if i < self.shared:
+            ctx.compute(2e-6)
+            ctx.state["acc"] = ctx.state["acc"] + ctx.world.allreduce(float(i))
+        elif ctx.rank != 0:
+            ctx.compute(5e-6)
+
+    def finalize(self, ctx):
+        return ctx.now()
+
+
+class TestFinishedMidRoundAbort:
+    """A rank exiting before the cut quiesces must abort the round, not
+    deadlock every still-parked rank (regression: DeadlockError with all
+    surviving ranks blocked on their control mailboxes)."""
+
+    def _finish_times(self, protocol):
+        r = launch_run(lambda: UnevenTail(), 4, protocol=protocol, seed=3)
+        return r, list(r.per_rank)
+
+    @pytest.mark.parametrize("protocol", ["cc", "2pc"])
+    def test_request_racing_first_finisher_aborts(self, protocol):
+        base, finish = self._finish_times(protocol)
+        t_first = min(finish)
+        # Request just before rank 0 exits: the intent is still in flight
+        # (one control latency away) when the rank is gone.
+        t_req = t_first - 1e-6
+        r = launch_run(
+            lambda: UnevenTail(), 4, protocol=protocol, seed=3,
+            checkpoint_at=[t_req], storage=STORAGE,
+        )
+        assert len(r.checkpoints) == 1
+        rec = r.checkpoints[0]
+        assert not rec.committed
+        assert rec.aborted
+        assert "finished" in rec.abort_reason
+        # The survivors resumed and the job completed every iteration.
+        assert r.per_rank  # finalize ran on every rank
+
+    def test_request_before_window_still_commits(self):
+        base, finish = self._finish_times("cc")
+        r = launch_run(
+            lambda: UnevenTail(), 4, protocol="cc", seed=3,
+            checkpoint_at=[min(finish) * 0.5], storage=STORAGE,
+        )
+        assert [c.committed for c in r.checkpoints] == [True]
+
+    def test_deferred_requests_behind_aborted_round_are_accounted(self):
+        """Every deferred request drains to its own aborted record, even
+        when the re-issued request itself aborts immediately."""
+        base, finish = self._finish_times("cc")
+        t_req = min(finish) - 1e-6
+        r = launch_run(
+            lambda: UnevenTail(), 4, protocol="cc", seed=3,
+            checkpoint_at=[t_req, t_req + 1e-7, t_req + 2e-7], storage=STORAGE,
+        )
+        # All three attempts exist; none deadlocked; all carry reasons.
+        assert len(r.checkpoints) == 3
+        assert all(c.aborted and c.abort_reason for c in r.checkpoints)
