@@ -19,15 +19,18 @@ Figure 7, and Figure 8) simulate once.  Results are cached on disk
 (``--cache-dir``, default ``~/.cache/repro-mpi``); a warm rerun
 executes zero simulations.  Disable with ``--no-cache``.
 
-``cache`` manages that store: ``stats`` (entry/byte/timing counts),
-``clear`` (drop every entry), and ``prune`` with ``--figure <name>``
-(drop the named figure's default-parameter cells), ``--older-than AGE``
-(drop entries last stored more than e.g. ``12h`` or ``7d`` ago), and/or
-``--max-entries N`` (drop oldest entries beyond N).  Prune is
-hash-exact: no attempt is made to keep a shared baseline out of the
-blast radius just because another figure still references it — a pruned
-shared cell is simply re-simulated and re-cached by the next run that
-needs it.  Pruned cells' recorded wall times are evicted with them.
+``cache`` manages that store: ``stats`` (entry/byte/timing counts plus
+the image tier's blob count and footprint), ``clear`` (drop every entry
+and image blob), and ``prune`` with ``--figure <name>`` (drop the named
+figure's default-parameter cells), ``--older-than AGE`` (drop entries
+last stored more than e.g. ``12h`` or ``7d`` ago), ``--max-entries N``
+(drop oldest entries beyond N), and/or ``--max-image-bytes SIZE``
+(evict oldest image-tier blobs until the tier fits in e.g. ``512M`` or
+``2G``).  Prune is hash-exact: no attempt is made to keep a shared
+baseline out of the blast radius just because another figure still
+references it — a pruned shared cell is simply re-simulated and
+re-cached by the next run that needs it.  Pruned cells' recorded wall
+times and image blobs are evicted with them.
 
 ``sweep`` runs declarative cartesian scenario grids (the Sweep DSL,
 ``repro.harness.sweep``): ``--axis key=v1,v2`` flags span the grid,
@@ -35,7 +38,11 @@ needs it.  Pruned cells' recorded wall times are evicted with them.
 NA cells (2PC × non-blocking collectives is always on), and
 ``--pivot``/``--baseline``/``--x-axis`` shape the folded table.  The
 whole grid runs as ONE deduplicated engine batch, cache-aware like any
-figure; ``--study`` runs a predefined grid (scale_grid, ckpt_freq).
+figure; ``--study`` runs a predefined grid (scale_grid, ckpt_freq,
+restart_chain).  Restart-chain sweeps ride the cache's image tier: on
+a warm cache the engine feeds each restart its parent's committed
+images instead of re-simulating the parent (the stats line reports
+``N restarts fed from image tier``).
 
 ``--bench-json PATH`` appends one machine-readable record per
 invocation (figures run, engine stats, wall time) so performance
@@ -108,6 +115,24 @@ def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _byte_size(text: str) -> int:
+    """argparse type for sizes like ``0``, ``64K``, ``512M``, ``2G`` (bytes)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    body, scale = text, 1
+    if text and text[-1].lower() in units:
+        scale = units[text[-1].lower()]
+        body = text[:-1]
+    try:
+        value = float(body)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a size like 1048576, 64K, 512M, or 2G, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"sizes cannot be negative: {text!r}")
+    return int(value * scale)
+
+
 def _duration(text: str) -> float:
     """argparse type for ages like ``90``, ``30m``, ``12h``, ``7d`` (seconds)."""
     units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
@@ -134,9 +159,11 @@ def _cache_main(argv: list[str]) -> int:
     )
     sub = parser.add_subparsers(dest="action", required=True)
     for name, desc in (
-        ("stats", "entry count, on-disk bytes, recorded timings"),
-        ("clear", "delete every cached result (timings survive)"),
-        ("prune", "evict entries by figure, age, and/or count"),
+        ("stats", "entry count, on-disk bytes, image tier, recorded timings"),
+        ("clear", "delete every cached result and image blob "
+                  "(timings survive)"),
+        ("prune", "evict entries by figure, age, count, and/or "
+                  "image-tier size"),
     ):
         p = sub.add_parser(name, help=desc)
         p.add_argument("--cache-dir", type=str, default=None,
@@ -152,6 +179,11 @@ def _cache_main(argv: list[str]) -> int:
             p.add_argument("--max-entries", type=_positive_int, default=None,
                            metavar="N",
                            help="evict oldest entries until at most N remain")
+            p.add_argument("--max-image-bytes", type=_byte_size, default=None,
+                           metavar="SIZE",
+                           help="evict oldest image-tier blobs until the "
+                                "tier is at most SIZE (e.g. 512M, 2G; "
+                                "results are untouched)")
     args = parser.parse_args(argv)
     cache = ResultCache(args.cache_dir)
 
@@ -161,6 +193,8 @@ def _cache_main(argv: list[str]) -> int:
         print(f"schema version: v{cache.version_dir.name.lstrip('v')}")
         print(f"entries:        {entries}")
         print(f"size:           {cache.total_bytes() / 1024:.1f} KiB")
+        print(f"image blobs:    {cache.image_count()}")
+        print(f"image size:     {cache.image_bytes() / 1024:.1f} KiB")
         print(f"recorded times: {cache.timing_count()}")
         return 0
     if args.action == "clear":
@@ -171,9 +205,10 @@ def _cache_main(argv: list[str]) -> int:
         args.figure is None
         and args.older_than is None
         and args.max_entries is None
+        and args.max_image_bytes is None
     ):
         parser.error("prune needs at least one of --figure, --older-than, "
-                     "--max-entries")
+                     "--max-entries, --max-image-bytes")
     if args.figure is not None:
         # Evict the figure's default plan, dependency chain included
         # (probe/parent entries are figure-specific cells too).
@@ -194,6 +229,10 @@ def _cache_main(argv: list[str]) -> int:
         removed = cache.prune_to_max_entries(args.max_entries)
         print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
               f"beyond the newest {args.max_entries}")
+    if args.max_image_bytes is not None:
+        removed = cache.prune_images_to_max_bytes(args.max_image_bytes)
+        print(f"pruned {removed} image blob{'' if removed == 1 else 's'} "
+              f"beyond {args.max_image_bytes} bytes")
     return 0
 
 
@@ -265,7 +304,7 @@ def _sweep_main(argv: list[str]) -> int:
     parser.add_argument("--procs", type=_int_list, default=None,
                         help="process counts for --study scale_grid")
     parser.add_argument("--nprocs", type=_positive_int, default=None,
-                        help="process count for --study ckpt_freq")
+                        help="process count for --study ckpt_freq/restart_chain")
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
@@ -291,7 +330,9 @@ def _sweep_main(argv: list[str]) -> int:
                 ("--metric", args.metric),
                 ("--name", args.name != "sweep" and args.name),
                 ("--procs", args.study != "scale_grid" and args.procs),
-                ("--nprocs", args.study != "ckpt_freq" and args.nprocs),
+                ("--nprocs",
+                 args.study not in ("ckpt_freq", "restart_chain")
+                 and args.nprocs),
             )
             if value
         ]
@@ -331,7 +372,10 @@ def _sweep_main(argv: list[str]) -> int:
             study_kwargs: dict = {"seed": args.seed}
             if args.study == "scale_grid" and args.procs is not None:
                 study_kwargs["procs"] = args.procs
-            if args.study == "ckpt_freq" and args.nprocs is not None:
+            if (
+                args.study in ("ckpt_freq", "restart_chain")
+                and args.nprocs is not None
+            ):
                 study_kwargs["nprocs"] = args.nprocs
             plan = STUDIES[args.study](**study_kwargs)
             label = args.study
@@ -464,6 +508,7 @@ def _append_bench_record(path: str, names: list[str], stats, total: float) -> No
             "chained": stats.chained,
             "cache_hits": stats.cache_hits,
             "executed": stats.executed,
+            "images_reused": stats.images_reused,
             "prediction_hit_rate": round(stats.prediction_hit_rate, 4),
             "wall_time": round(stats.wall_time, 3),
         }

@@ -182,8 +182,12 @@ class Mailbox:
             self._getters.popleft().fire(item)
         else:
             self._items.append(item)
-        for tap in list(self._taps):
-            tap()
+        if self._taps:
+            # Copy only when taps exist: delivery is the control-plane
+            # hot path and most mailboxes never register one.  The copy
+            # itself stays — taps may remove themselves while firing.
+            for tap in list(self._taps):
+                tap()
 
     def add_tap(self, callback) -> None:
         """Register a notification callback invoked (in scheduler context)

@@ -7,11 +7,21 @@ silently orphans older entries rather than misreading them; corrupt or
 truncated files count as misses and are overwritten on the next store.
 
 The cache stores the JSON form of :class:`RunResult`, which drops
-checkpoint-image payloads (see ``spec.py``); a cached checkpointing run
-therefore replays every *measurement* but cannot seed a restart — the
-execution layer re-simulates the parent in that case, and the restart
-run's own result is cached in full, so warm reruns still execute zero
-simulations.
+checkpoint-image payloads (see ``spec.py``); on its own, a cached
+checkpointing run replays every *measurement* but cannot seed a
+restart.  The **image tier** closes that gap: whenever a stored result
+carries full checkpoint images, each committed checkpoint's image map
+is also written as a content-addressed sidecar blob under
+``v<SCHEMA>-images/<spec_hash>.c<committed_index>.img`` (compressed
+pickle with a SHA-256 digest; see
+:func:`repro.mana.image.pack_image_set`).  A warm restart then loads
+its parent's images straight from the tier instead of re-simulating
+the parent run.  Integrity failures, truncations, and blobs from older
+formats all read as misses (legacy caches simply have no image
+directory), so the tier can only ever make restarts faster, never
+wrong.  Image blobs are evicted together with their spec's entry by
+``clear``/``prune``, age out with ``prune_older_than``, and the tier's
+total footprint can be capped with :meth:`ResultCache.prune_images_to_max_bytes`.
 
 Alongside results, the cache records each spec's **execution wall
 time** — both inside the entry document (``"elapsed"``) and in a small
@@ -38,10 +48,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from ..mana import CheckpointImage
+from ..mana.image import ImageError, pack_image_set, unpack_image_set
 from .runner import RunResult
 from .spec import (
     SCHEMA_VERSION,
     RunSpec,
+    record_has_full_images,
     run_result_from_dict,
     run_result_to_dict,
     spec_hash,
@@ -74,6 +87,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Image-tier traffic: blobs written on ``put`` / served to restarts.
+    image_stores: int = 0
+    image_hits: int = 0
 
 
 class ResultCache:
@@ -94,6 +110,11 @@ class ResultCache:
     @property
     def version_dir(self) -> Path:
         return self.root / f"v{SCHEMA_VERSION}"
+
+    @property
+    def images_dir(self) -> Path:
+        """The image tier: one blob per (spec, committed checkpoint)."""
+        return self.root / f"v{SCHEMA_VERSION}-images"
 
     @property
     def timings_path(self) -> Path:
@@ -233,6 +254,156 @@ class ResultCache:
     def timing_count(self) -> int:
         return len(self._load_timings())
 
+    # ------------------------------------------------------------------ #
+    # Image tier (full checkpoint images for warm restarts)
+    # ------------------------------------------------------------------ #
+
+    def image_path_for(self, spec_or_hash: "RunSpec | str", index: int) -> Path:
+        """Blob path for a spec's ``index``-th *committed* checkpoint."""
+        key = (
+            spec_or_hash
+            if isinstance(spec_or_hash, str)
+            else spec_hash(spec_or_hash)
+        )
+        return self.images_dir / f"{key}.c{int(index)}.img"
+
+    def put_images(self, spec: RunSpec, result: RunResult) -> int:
+        """Store every committed checkpoint's full images for ``spec``.
+
+        Records without full images (e.g. a result that already crossed
+        the JSON boundary) are skipped silently; returns the number of
+        blobs written.  Writes are atomic for the same reason entry
+        writes are.
+        """
+        committed = [r for r in result.checkpoints if r.committed]
+        written = 0
+        for index, record in enumerate(committed):
+            if not record_has_full_images(record):
+                continue
+            path = self.image_path_for(spec, index)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            blob = pack_image_set(record.images)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            written += 1
+            self.stats.image_stores += 1
+        return written
+
+    def get_images(
+        self, spec_or_hash: "RunSpec | str", index: int
+    ) -> "dict[int, CheckpointImage] | None":
+        """The stored image map for a committed checkpoint, or None.
+
+        Misses cover everything that could be wrong — no blob, a
+        truncated or digest-mismatching blob, a legacy/unknown format —
+        so callers can always fall back to re-simulating the parent.
+        """
+        path = self.image_path_for(spec_or_hash, index)
+        try:
+            images = unpack_image_set(path.read_bytes())
+        except (OSError, ImageError):
+            return None
+        self.stats.image_hits += 1
+        return images
+
+    def has_images(self, spec_or_hash: "RunSpec | str", index: int) -> bool:
+        """Cheap existence probe (no read/verify) used by wave planning.
+
+        A blob that exists but fails verification on the later
+        :meth:`get_images` degrades to parent re-simulation inside the
+        job, so planning on existence alone is safe.
+        """
+        return self.image_path_for(spec_or_hash, index).is_file()
+
+    def _drop_images(self, hashes: Iterable[str]) -> int:
+        """Delete every image blob belonging to the given spec hashes."""
+        if not self.images_dir.is_dir():
+            return 0
+        removed = 0
+        for key in hashes:
+            for path in self.images_dir.glob(f"{key}.c*.img"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def image_count(self) -> int:
+        if not self.images_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.images_dir.glob("*.img"))
+
+    def image_bytes(self) -> int:
+        """On-disk footprint of the image tier."""
+        if not self.images_dir.is_dir():
+            return 0
+        total = 0
+        for entry in self.images_dir.glob("*.img"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune_images_older_than(self, max_age_seconds: float) -> int:
+        """Evict image blobs older (by mtime) than ``max_age_seconds``."""
+        if not self.images_dir.is_dir():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for entry in self.images_dir.glob("*.img"):
+            try:
+                if entry.stat().st_mtime < cutoff:
+                    entry.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune_images_to_max_bytes(self, max_bytes: int) -> int:
+        """Evict oldest image blobs until the tier is at most ``max_bytes``.
+
+        The size knob applies to the image tier alone: blobs dominate the
+        cache's footprint by orders of magnitude, and evicting one only
+        costs a future warm restart its fast path (the JSON results —
+        every *measurement* — stay intact).
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if not self.images_dir.is_dir():
+            return 0
+        aged = []
+        total = 0
+        for entry in self.images_dir.glob("*.img"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue
+            aged.append((st.st_mtime, entry.name, st.st_size, entry))
+            total += st.st_size
+        aged.sort()
+        removed = 0
+        for _, _, size, entry in aged:
+            if total <= max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
+
     def put(
         self, spec: RunSpec, result: RunResult, *, elapsed: float | None = None
     ) -> Path:
@@ -240,7 +411,19 @@ class ResultCache:
 
         ``elapsed`` (execution wall seconds) rides along in the document
         and feeds the scheduling cost model via :meth:`record_time`.
+        A result still carrying full checkpoint images also lands in the
+        image tier (:meth:`put_images`) so later restarts of this spec
+        skip re-simulating it.
         """
+        try:
+            self.put_images(spec, result)
+        except OSError:
+            # The tier is strictly an accelerator: a blob write failing
+            # (disk full, permissions) must not cost the batch its
+            # results.  Restarts simply fall back to re-simulation, and
+            # atomic tmp+rename writes mean no torn blob was left for
+            # them to trip over.
+            pass
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {
@@ -269,7 +452,8 @@ class ResultCache:
     def clear(self) -> int:
         """Delete all entries for the current schema; returns the count.
 
-        Recorded execution times (the scheduling cost model) survive.
+        Image-tier blobs go with their entries; recorded execution times
+        (the scheduling cost model) survive.
         """
         removed = 0
         if self.version_dir.is_dir():
@@ -277,6 +461,12 @@ class ResultCache:
                 try:
                     entry.unlink()
                     removed += 1
+                except OSError:
+                    pass
+        if self.images_dir.is_dir():
+            for blob in self.images_dir.glob("*.img"):
+                try:
+                    blob.unlink()
                 except OSError:
                     pass
         return removed
@@ -289,17 +479,20 @@ class ResultCache:
         removed = 0
         evicted_hashes = []
         for spec in specs:
+            key = spec_hash(spec)
+            self._drop_images([key])
             try:
                 self.path_for(spec).unlink()
                 removed += 1
             except OSError:
                 continue
-            evicted_hashes.append(spec_hash(spec))
+            evicted_hashes.append(key)
         self.drop_timings(evicted_hashes)
         return removed
 
     def _prune_paths(self, paths: "Iterable[Path]") -> int:
-        """Unlink entry files and evict their timings (stems are hashes)."""
+        """Unlink entry files and evict their timings and image blobs
+        (stems are hashes)."""
         removed = 0
         evicted = []
         for path in paths:
@@ -310,15 +503,18 @@ class ResultCache:
                 continue
             evicted.append(path.stem)
         self.drop_timings(evicted)
+        self._drop_images(evicted)
         return removed
 
     def prune_older_than(self, max_age_seconds: float) -> int:
         """Evict entries whose file is older than ``max_age_seconds``.
 
         Age is the entry file's mtime — i.e. when the result was last
-        (re-)stored, not last read.  Returns the number removed.
+        (re-)stored, not last read.  Image blobs age out on the same
+        clock (their own mtime).  Returns the number of entries removed.
         """
         if not self.version_dir.is_dir():
+            self.prune_images_older_than(max_age_seconds)
             return 0
         cutoff = time.time() - max_age_seconds
         stale = []
@@ -328,7 +524,9 @@ class ResultCache:
                     stale.append(entry)
             except OSError:
                 pass
-        return self._prune_paths(stale)
+        removed = self._prune_paths(stale)
+        self.prune_images_older_than(max_age_seconds)
+        return removed
 
     def prune_to_max_entries(self, max_entries: int) -> int:
         """Evict oldest entries (by mtime) until at most ``max_entries``

@@ -11,7 +11,11 @@ values — typically every cell of one or several figures at once — and:
    schedules them in dependency waves, so a Figure 9 cell's probe,
    checkpoint run, and restart each simulate exactly once;
 3. **consults the disk cache** before simulating, so a warm rerun of
-   ``repro-mpi all`` executes zero simulations;
+   ``repro-mpi all`` executes zero simulations — and consults the
+   cache's **image tier** when planning restart chains: a restart whose
+   parent's committed images are already stored needs no parent job at
+   all, so it schedules as wave-0 work and the parent simulation is
+   dropped from the batch (``EngineStats.images_reused``);
 4. **orders every wave longest-pole-first** using a per-spec cost
    model — the wall time recorded in the cache when the spec last ran,
    falling back to a ``nprocs × niters`` heuristic — so the slowest job
@@ -73,6 +77,11 @@ class EngineStats:
     chained: int = 0
     cache_hits: int = 0
     executed: int = 0
+    #: Parent image maps the cache's image tier actually served to
+    #: executed restarts (each one is a parent simulation skipped).
+    #: Counted at load time, not planning time: a blob that exists but
+    #: fails verification degrades to re-simulation and is not reported.
+    images_reused: int = 0
     #: Executed jobs whose scheduling cost came from a recorded wall time.
     predicted_recorded: int = 0
     #: Executed jobs scheduled by the ``nprocs × niters`` fallback.
@@ -98,6 +107,8 @@ class EngineStats:
             f"{self.chained} chained, {self.cache_hits} cache hits, "
             f"{self.executed} simulated, {self.wall_time:.1f}s wall"
         )
+        if self.images_reused:
+            line += f", {self.images_reused} restarts fed from image tier"
         scheduled = self.predicted_recorded + self.predicted_heuristic
         if scheduled:
             line += f", {self.prediction_hit_rate:.0%} costs from history"
@@ -108,15 +119,34 @@ def _execute_job(
     spec: RunSpec,
     deps: dict[RunSpec, RunResult],
     guard: int | None,
-) -> tuple[RunResult, float]:
+    cache_dir=None,
+) -> tuple[RunResult, float, int]:
     """Top-level worker entry point (must be picklable by name for spawn).
 
-    Returns ``(result, elapsed_seconds)`` — the wall time is measured in
-    the worker so pool queueing delays never pollute the cost model.
+    ``cache_dir`` (a path, not a live cache — workers are spawned) roots
+    a local :class:`ResultCache` whose image tier feeds restart parents
+    without re-simulation.  Returns ``(result, elapsed_seconds,
+    images_served)`` — the wall time is measured in the worker so pool
+    queueing delays never pollute the cost model, and ``images_served``
+    counts the parent image maps the tier *actually* delivered (a blob
+    that exists at planning time but fails verification here degrades
+    to re-simulation, and must not be reported as reuse).
     """
+    served = 0
+    images = None
+    if cache_dir is not None:
+        loader = ResultCache(cache_dir).get_images
+
+        def images(parent, index):
+            nonlocal served
+            found = loader(parent, index)
+            if found is not None:
+                served += 1
+            return found
+
     t0 = time.perf_counter()
-    result = execute(spec, deps, max_events_guard=guard)
-    return result, time.perf_counter() - t0
+    result = execute(spec, deps, max_events_guard=guard, images=images)
+    return result, time.perf_counter() - t0, served
 
 
 class ExperimentEngine:
@@ -171,18 +201,64 @@ class ExperimentEngine:
             unique.setdefault(spec, None)
         stats.unique = len(unique)
 
-        # Dependency closure, then waves by chain depth: a spec only
-        # runs once every ancestor's result is available to pass along.
+        # Dependency closure over *pruned* parent edges, then waves by
+        # effective chain depth: a spec only runs once every remaining
+        # ancestor's result is available to pass along.  The pruning is
+        # the restart-chain short-circuit — a restart whose parent
+        # images are already in the cache's image tier needs no parent
+        # job at all (execution loads the images directly), so that
+        # edge, and everything reachable only through it, is dropped
+        # and the restart schedules as wave-0 work.
+        parent_memo: dict[RunSpec, tuple[RunSpec, ...]] = {}
+
+        def parents_of(spec: RunSpec) -> tuple[RunSpec, ...]:
+            known = parent_memo.get(spec)
+            if known is None:
+                known = spec.parents()
+                if (
+                    self.cache is not None
+                    and spec.restart_of is not None
+                    and self.cache.has_images(spec.restart_of, spec.restart_ckpt)
+                ):
+                    known = tuple(p for p in known if p != spec.restart_of)
+                parent_memo[spec] = known
+            return known
+
         closure: dict[RunSpec, None] = {}
         for spec in unique:
-            for ancestor in spec.ancestors():
-                closure.setdefault(ancestor, None)
+            stack = list(parents_of(spec))
+            while stack:
+                node = stack.pop()
+                if node in closure:
+                    continue
+                closure[node] = None
+                stack.extend(parents_of(node))
             closure.setdefault(spec, None)
         stats.chained = len(closure) - stats.unique
 
+        # Effective depth over the pruned graph, iteratively (restart
+        # chains can be thousands of links deep; no recursion).
+        depths: dict[RunSpec, int] = {}
+        for spec in closure:
+            stack = [spec]
+            while stack:
+                node = stack[-1]
+                if node in depths:
+                    stack.pop()
+                    continue
+                parents = parents_of(node)
+                missing = [p for p in parents if p not in depths]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                depths[node] = (
+                    1 + max(depths[p] for p in parents) if parents else 0
+                )
+                stack.pop()
+
         waves: dict[int, list[RunSpec]] = {}
         for spec in closure:
-            waves.setdefault(spec.chain_depth(), []).append(spec)
+            waves.setdefault(depths[spec], []).append(spec)
 
         resolved: dict[RunSpec, RunResult] = {}
         total = len(closure)
@@ -205,9 +281,12 @@ class ExperimentEngine:
             # equal-cost specs in submission order (determinism).
             pending.sort(key=lambda spec: self._predicted_cost(spec, stats),
                          reverse=True)
-            for spec, result, elapsed in self._execute_wave(pending, resolved):
+            for spec, result, elapsed, served in self._execute_wave(
+                pending, resolved
+            ):
                 resolved[spec] = result
                 stats.executed += 1
+                stats.images_reused += served
                 done += 1
                 self._report(done, total, spec, "ran")
                 if self.cache is not None:
@@ -242,15 +321,17 @@ class ExperimentEngine:
         self,
         pending: Sequence[RunSpec],
         resolved: Mapping[RunSpec, RunResult],
-    ) -> Iterable[tuple[RunSpec, RunResult, float]]:
+    ) -> Iterable[tuple[RunSpec, RunResult, float, int]]:
         if not pending:
             return
+        cache_dir = None if self.cache is None else self.cache.root
         if self.jobs == 1 or len(pending) == 1:
             for spec in pending:
-                result, elapsed = _execute_job(
-                    spec, self._deps_for(spec, resolved), self.max_events
+                result, elapsed, served = _execute_job(
+                    spec, self._deps_for(spec, resolved), self.max_events,
+                    cache_dir,
                 )
-                yield spec, result, elapsed
+                yield spec, result, elapsed, served
             return
 
         # Spawn (not fork): simulations build deep object graphs and
@@ -265,6 +346,7 @@ class ExperimentEngine:
                     spec,
                     self._deps_for(spec, resolved),
                     self.max_events,
+                    cache_dir,
                 ): spec
                 for spec in pending
             }
@@ -272,8 +354,8 @@ class ExperimentEngine:
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    result, elapsed = future.result()
-                    yield futures[future], result, elapsed
+                    result, elapsed, served = future.result()
+                    yield futures[future], result, elapsed, served
 
     def _report(self, done: int, total: int, spec: RunSpec, how: str) -> None:
         if self.progress:

@@ -40,6 +40,7 @@ __all__ = [
     "sweep_fold",
     "plan_scale_grid",
     "plan_ckpt_freq",
+    "plan_restart_chain",
     "STUDIES",
     "table1",
     "fig5a",
@@ -811,12 +812,61 @@ def plan_ckpt_freq(
     )
 
 
+def plan_restart_chain(
+    apps: Sequence[str] = ("minivasp", "comd"),
+    *,
+    nprocs: int = 4,
+    seed: int = 0,
+) -> FigurePlan:
+    """Scenario study: checkpoint → restart recovery chains (MANA's
+    headline scenario — a fresh lower half adopting committed images).
+
+    Sweeps ``restart`` on/off per app × protocol: the ``restart=True``
+    cell's checkpoint schedule moves onto a parent spec that the
+    ``restart=False`` cell dedupes against, so a cold run simulates
+    each chain once.  On a warm cache the parent's committed images are
+    served from the result cache's image tier and the engine schedules
+    restart cells as wave-0 work with zero parent simulations
+    (``EngineStats.images_reused``) — this study is the cheap way to
+    exercise that fast path.
+    """
+    # Burst-buffer-like storage (as in ckpt_freq): image write/read
+    # stays comparable to the scaled-down run itself.
+    storage = StorageModel(
+        per_node_bandwidth=8.0e9, aggregate_bandwidth=2.0e10, base_latency=1e-3
+    )
+    sweep = Sweep(
+        "restart_chain",
+        axes={
+            "app": tuple(apps),
+            "protocol": ("2pc", "cc"),
+            "restart": (False, True),
+        },
+        base={
+            "nprocs": int(nprocs),
+            "ppn": max(int(nprocs) // 2, 1),
+            "seed": seed,
+            "checkpoint_fractions": 0.5,
+            "storage": storage,
+            "memory_bytes": 4 << 20,
+        },
+        derive={"niters": lambda p: _STUDY_NITERS.get(p["app"], 16)},
+        mask=MASKS["2pc-nonblocking"],
+    )
+    return sweep.plan(
+        metrics=("runtime", "ckpt_count", "restart_ready", "restart_read"),
+        title=f"Restart chains: checkpoint → restart per app × protocol "
+        f"({nprocs} procs)",
+    )
+
+
 #: Sweep-based scenario studies.  Deliberately *not* in PLANNERS:
 #: ``repro-mpi all`` regenerates exactly the paper's tables/figures;
 #: studies run via ``repro-mpi sweep --study <name>``.
 STUDIES = {
     "scale_grid": plan_scale_grid,
     "ckpt_freq": plan_ckpt_freq,
+    "restart_chain": plan_restart_chain,
 }
 
 

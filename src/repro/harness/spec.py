@@ -26,14 +26,16 @@ boundaries.  Image *payloads* (application state, call logs, drained
 messages) are deliberately dropped in the JSON form — they can hold
 hundreds of MB of numpy state; a result deserialized from JSON reports
 every measurement but cannot seed a restart, which :func:`execute`
-detects and handles by re-simulating the parent.
+detects and handles by loading the parent's committed images from the
+cache's image tier (the ``images`` loader argument) or, failing that,
+by re-simulating the parent.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, replace
-from typing import Any, Mapping, MutableMapping
+from typing import Any, Callable, Mapping, MutableMapping
 
 import numpy as np
 
@@ -381,6 +383,7 @@ def execute(
     deps: MutableMapping[RunSpec, RunResult] | None = None,
     *,
     max_events_guard: int | None = None,
+    images: "Callable[[RunSpec, int], dict | None] | None" = None,
 ) -> RunResult:
     """Run one spec (resolving probe/restart chains) and return its result.
 
@@ -394,6 +397,13 @@ def execute(
         max_events_guard: per-job event ceiling applied to specs that do
             not set their own ``max_events`` (runaway-simulation guard;
             it never alters the result of a job that completes).
+        images: optional loader ``(parent_spec, committed_index) ->
+            image map or None`` backed by the cache's image tier (see
+            :meth:`repro.harness.cache.ResultCache.get_images`).  When
+            it serves a restart parent's images, the parent is not
+            simulated at all — the warm-restart fast path.  Any miss
+            falls back to the re-simulation path, so a loader can only
+            make execution faster, never change a result.
 
     A job whose protocol cannot wrap the application (the paper's NA
     cells, e.g. 2PC with non-blocking collectives) returns a
@@ -401,18 +411,22 @@ def execute(
     batch execution records *why* the cell is NA instead of dying.
     """
     deps = deps if deps is not None else {}
-    return _execute(spec, deps, max_events_guard)
+    return _execute(spec, deps, guard=max_events_guard, images=images)
 
 
 def _execute(
     spec: RunSpec,
     deps: MutableMapping[RunSpec, RunResult],
+    *,
     guard: int | None,
+    images: "Callable[[RunSpec, int], dict | None] | None" = None,
 ) -> RunResult:
     checkpoint_at = spec.checkpoint_at
     probe = spec.probe_spec()
     if probe is not None:
-        probe_result = _resolve_parent(probe, deps, guard, need_images=False)
+        probe_result = _resolve_parent(
+            probe, deps, guard=guard, images=images, need_images=False
+        )
         if probe_result.na_reason:
             return _na_result(spec, probe_result.na_reason)
         checkpoint_at = checkpoint_at + tuple(
@@ -421,24 +435,38 @@ def _execute(
 
     restore_images = None
     if spec.restart_of is not None:
-        parent = _resolve_parent(
-            spec.restart_of, deps, guard, need_images=True
-        )
-        if parent.na_reason:
-            return _na_result(spec, parent.na_reason)
-        committed = [r for r in parent.checkpoints if r.committed]
-        if not committed:
-            raise SpecError(
-                f"restart parent {spec.restart_of.label()} committed no "
-                "checkpoints — nothing to restart from"
+        # Warm-restart fast path: a known-NA parent still propagates NA,
+        # but a parent whose result is merely image-stripped (or not
+        # resolved at all) can be served straight from the image tier —
+        # the committed images are the only thing a restart needs from
+        # its parent.
+        known = deps.get(spec.restart_of)
+        if known is not None and known.na_reason:
+            return _na_result(spec, known.na_reason)
+        if images is not None and (
+            known is None or not result_has_full_images(known)
+        ):
+            restore_images = images(spec.restart_of, spec.restart_ckpt)
+        if restore_images is None:
+            parent = _resolve_parent(
+                spec.restart_of, deps, guard=guard, images=images,
+                need_images=True,
             )
-        try:
-            restore_images = committed[spec.restart_ckpt].images
-        except IndexError:
-            raise SpecError(
-                f"restart_ckpt={spec.restart_ckpt} out of range: parent "
-                f"committed {len(committed)} checkpoint(s)"
-            ) from None
+            if parent.na_reason:
+                return _na_result(spec, parent.na_reason)
+            committed = [r for r in parent.checkpoints if r.committed]
+            if not committed:
+                raise SpecError(
+                    f"restart parent {spec.restart_of.label()} committed no "
+                    "checkpoints — nothing to restart from"
+                )
+            try:
+                restore_images = committed[spec.restart_ckpt].images
+            except IndexError:
+                raise SpecError(
+                    f"restart_ckpt={spec.restart_ckpt} out of range: parent "
+                    f"committed {len(committed)} checkpoint(s)"
+                ) from None
 
     max_events = spec.max_events if spec.max_events is not None else guard
     try:
@@ -468,8 +496,9 @@ def _execute(
 def _resolve_parent(
     parent: RunSpec,
     deps: MutableMapping[RunSpec, RunResult],
-    guard: int | None,
     *,
+    guard: int | None,
+    images: "Callable[[RunSpec, int], dict | None] | None",
     need_images: bool,
 ) -> RunResult:
     known = deps.get(parent)
@@ -479,7 +508,7 @@ def _resolve_parent(
         or result_has_full_images(known)
     ):
         return known
-    fresh = _execute(parent, deps, guard)
+    fresh = _execute(parent, deps, guard=guard, images=images)
     deps[parent] = fresh
     return fresh
 

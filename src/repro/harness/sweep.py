@@ -34,6 +34,9 @@ and expands it into a deduplicated spec batch:
 * Point keys that are not spec fields flow into ``app_kwargs``
   (``niters``, ``kind``, ``nbytes``, …), and a truthy ``restart`` key
   builds checkpoint → restart chains (see :meth:`RunSpec.from_point`).
+  Restart cells are cheap to re-sweep: once a parent's committed images
+  sit in the result cache's image tier, the engine schedules restarts
+  without re-simulating (or even re-planning) the parent runs.
   **Meta** keys are grid-only: they feed derivation, masks, and the
   table (an ``n_ckpts`` axis a schedule is derived from) but are
   stripped before the spec is built.
@@ -148,6 +151,7 @@ METRICS: dict[str, tuple[str, Callable[[RunResult], Any]]] = {
     "ckpt_time": ("ckpt (s)", _metric_ckpt_time),
     "ckpt_count": ("ckpts", _metric_ckpt_count),
     "restart_ready": ("restart ready (s)", lambda r: r.restart_ready_time),
+    "restart_read": ("restart read (s)", lambda r: r.restart_read_time),
 }
 
 

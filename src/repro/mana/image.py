@@ -10,10 +10,25 @@ On-disk layout::
 
     MAGIC (8 bytes) | version (u32) | rank (u32) | payload_len (u64)
     | crc32 (u32) | pickle payload
+
+Besides the one-file-per-rank format, :func:`pack_image_set` /
+:func:`unpack_image_set` serialize a whole committed checkpoint's image
+map (rank -> :class:`CheckpointImage`) as one compressed blob with a
+SHA-256 integrity digest — the payload of the result cache's image
+tier (see :mod:`repro.harness.cache`).  Blob layout::
+
+    ARCHIVE_MAGIC (8 bytes) | version (u32) | payload_len (u64)
+    | sha256 (32 bytes) | zlib-compressed pickle payload
+
+Any structural problem (bad magic, unknown version, truncation, digest
+mismatch) raises :class:`ImageError`; readers built on top treat that
+as a cache miss, so blobs written by older/newer formats degrade to
+re-simulation instead of corrupting a restart.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import struct
 import zlib
@@ -21,11 +36,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CheckpointImage", "ImageError", "write_image_file", "read_image_file"]
+__all__ = [
+    "CheckpointImage",
+    "ImageError",
+    "write_image_file",
+    "read_image_file",
+    "pack_image_set",
+    "unpack_image_set",
+]
 
 MAGIC = b"MANAPY01"
 VERSION = 1
 _HEADER = struct.Struct("<8sIIQI")
+
+ARCHIVE_MAGIC = b"MANAPYA1"
+ARCHIVE_VERSION = 1
+_ARCHIVE_HEADER = struct.Struct("<8sIQ32s")
 
 
 class ImageError(Exception):
@@ -100,3 +126,44 @@ def read_image_file(path: "Path | str") -> CheckpointImage:
     if image.rank != rank:
         raise ImageError(f"{path}: header rank {rank} != payload rank {image.rank}")
     return image
+
+
+def pack_image_set(images: "dict[int, CheckpointImage]") -> bytes:
+    """One committed checkpoint's image map as a self-verifying blob.
+
+    The digest covers the *compressed* payload, so verification on read
+    costs one SHA-256 pass before any decompression or unpickling.
+    """
+    payload = zlib.compress(
+        pickle.dumps(images, protocol=pickle.HIGHEST_PROTOCOL), 6
+    )
+    digest = hashlib.sha256(payload).digest()
+    return (
+        _ARCHIVE_HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, len(payload), digest)
+        + payload
+    )
+
+
+def unpack_image_set(raw: bytes) -> "dict[int, CheckpointImage]":
+    """Verify and load a :func:`pack_image_set` blob."""
+    if len(raw) < _ARCHIVE_HEADER.size:
+        raise ImageError("image-set blob: truncated header")
+    magic, version, length, digest = _ARCHIVE_HEADER.unpack_from(raw)
+    if magic != ARCHIVE_MAGIC:
+        raise ImageError(f"image-set blob: bad magic {magic!r}")
+    if version != ARCHIVE_VERSION:
+        raise ImageError(f"image-set blob: unsupported version {version}")
+    payload = raw[_ARCHIVE_HEADER.size : _ARCHIVE_HEADER.size + length]
+    if len(payload) != length:
+        raise ImageError("image-set blob: truncated payload")
+    if hashlib.sha256(payload).digest() != digest:
+        raise ImageError("image-set blob: digest mismatch (corrupt blob)")
+    try:
+        images = pickle.loads(zlib.decompress(payload))
+    except (zlib.error, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise ImageError(f"image-set blob: undecodable payload ({exc})") from exc
+    if not isinstance(images, dict) or not all(
+        isinstance(im, CheckpointImage) for im in images.values()
+    ):
+        raise ImageError("image-set blob: payload is not an image map")
+    return images

@@ -12,10 +12,20 @@ A :class:`CollectiveSite` represents one such operation instance.  It
 * assembles each member's result value at the moment its exit resolves
   (by construction, every contribution the member's result needs has
   arrived by then).
+
+Collective results are **value-semantic**: applications must treat a
+received result as immutable.  ``bcast`` has always handed every member
+the root's payload object itself, and ``allreduce``/``allgather`` now
+assemble one shared result per operation (memoized — rebuilding an
+identical list per member was O(p²) work and allocation); mutating a
+result in place would therefore alias into other ranks' views, exactly
+as writing into a received buffer without copying does in real MPI
+bindings that return views.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Sequence
 
 from ..des import Simulator
@@ -31,6 +41,15 @@ ROOTLESS_KINDS = frozenset(
     {"barrier", "allreduce", "alltoall", "allgather", "scan", "reduce_scatter"}
 )
 VECTOR_KINDS = frozenset({"alltoall", "reduce_scatter"})  # contribution is a p-list
+
+#: "No memoized result yet" marker (None is a legitimate result value).
+_UNSET = object()
+
+
+def _complete_batch(batch: "list[tuple[Request, Any]]") -> None:
+    """Complete several requests sharing one exit instant (one event)."""
+    for req, value in batch:
+        req.complete(value)
 
 
 class CollectiveSite:
@@ -62,6 +81,7 @@ class CollectiveSite:
         self._requests: dict[int, Request] = {}
         self._pending_arrivals: list[tuple[int, float]] = []
         self._exited = 0
+        self._shared_result: Any = _UNSET
 
     # ------------------------------------------------------------------ #
 
@@ -118,10 +138,36 @@ class CollectiveSite:
         return req
 
     def _fire(self, newly: dict[int, float]) -> None:
+        if len(newly) <= 1:
+            for idx, exit_time in newly.items():
+                value = self._assemble(idx)
+                self._exited += 1
+                self._requests[idx].complete_at(exit_time, value)
+            return
+        # Batch same-instant exits into ONE queue entry: solver
+        # resolutions routinely release many members at an identical
+        # time (every member of a barrier/allreduce), and per-member
+        # defer_at made the queue constant O(p) per collective.  The
+        # batch completes its requests in arrival-resolution order —
+        # exactly the consecutive-seq order the per-member events would
+        # have fired in — and defer_batch_at counts it as one event per
+        # member, so dispatch order, event counts, and therefore every
+        # result stay byte-identical; only the queue traffic shrinks.
+        by_time: dict[float, list[tuple[Request, Any]]] = {}
         for idx, exit_time in newly.items():
             value = self._assemble(idx)
             self._exited += 1
-            self._requests[idx].complete_at(exit_time, value)
+            by_time.setdefault(exit_time, []).append((self._requests[idx], value))
+        sim = self.sim
+        now = sim.now()
+        for exit_time, batch in by_time.items():
+            if len(batch) == 1:
+                req, value = batch[0]
+                req.complete_at(exit_time, value)
+            else:
+                sim.defer_batch_at(
+                    max(exit_time, now), partial(_complete_batch, batch), len(batch)
+                )
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -215,12 +261,24 @@ class CollectiveSite:
             if member != self.root:
                 return None
             return reduce_payloads([c[i] for i in range(self.p)], self.op)
-        if kind == "allreduce":
-            return reduce_payloads([c[i] for i in range(self.p)], self.op)
+        if kind in ("allreduce", "allgather"):
+            # Every member's result is identical and needs all p
+            # contributions (which have therefore all arrived by the
+            # first resolvable exit): build it once per site and hand
+            # each member the same object, instead of O(p) work and a
+            # fresh allocation per member (O(p²) per operation).
+            shared = self._shared_result
+            if shared is _UNSET:
+                if kind == "allreduce":
+                    shared = reduce_payloads(
+                        [c[i] for i in range(self.p)], self.op
+                    )
+                else:
+                    shared = [c[j] for j in range(self.p)]
+                self._shared_result = shared
+            return shared
         if kind == "alltoall":
             return [c[j][member] for j in range(self.p)]
-        if kind == "allgather":
-            return [c[j] for j in range(self.p)]
         if kind == "gather":
             if member != self.root:
                 return None

@@ -1,0 +1,404 @@
+"""The result cache's image tier and the warm-restart fast path.
+
+Three layers under test:
+
+* the blob format — ``pack_image_set``/``unpack_image_set`` round-trip
+  arbitrary upper-half state and refuse anything corrupt (property
+  test);
+* the :class:`ResultCache` tier — blobs written on ``put``, served to
+  restarts, and evicted together with their entries;
+* the engine short-circuit — a warm restart-chain batch simulates zero
+  parent jobs and produces results byte-identical to a cold recompute.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import ExperimentEngine, ResultCache, Sweep
+from repro.harness.spec import (
+    RunSpec,
+    execute,
+    run_result_to_dict,
+    spec_hash,
+)
+from repro.mana.image import (
+    CheckpointImage,
+    ImageError,
+    pack_image_set,
+    unpack_image_set,
+)
+from repro.netmodel import StorageModel
+
+#: Burst-buffer-ish storage so checkpoint phases stay fast at test scale.
+STORAGE = StorageModel(
+    per_node_bandwidth=8.0e9, aggregate_bandwidth=2.0e10, base_latency=1e-3
+)
+
+
+def _ckpt_spec(**overrides):
+    base = dict(
+        app="poisson",
+        nprocs=2,
+        app_kwargs={"niters": 4, "memory_bytes": 1 << 20},
+        protocol="cc",
+        seed=0,
+        checkpoint_fractions=(0.5,),
+        storage=STORAGE,
+    )
+    base.update(overrides)
+    return RunSpec.create(base.pop("app"), base.pop("nprocs"), **base)
+
+
+def _restart_spec(parent, **overrides):
+    return RunSpec.create(
+        parent.app,
+        parent.nprocs,
+        app_kwargs=dict(parent.app_kwargs),
+        protocol=parent.protocol,
+        seed=parent.seed,
+        storage=parent.storage,
+        restart_of=parent,
+        **overrides,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Blob format round-trip (property test)
+# --------------------------------------------------------------------- #
+
+#: JSON-ish upper-half state: what application ``state`` dicts hold,
+#: minus numpy arrays (added deterministically below — hypothesis and
+#: array equality don't mix well inside recursive strategies).
+_payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**40), 2**40)
+    | st.floats(allow_nan=False, width=32)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=12,
+)
+
+
+def _assert_images_equal(a: CheckpointImage, b: CheckpointImage) -> None:
+    for name in (
+        "rank",
+        "nprocs",
+        "protocol",
+        "ckpt_id",
+        "seq_table",
+        "ggid_peers",
+        "creation_log",
+        "call_index",
+        "boundary_index",
+        "call_log",
+        "drained",
+        "vreq_table",
+        "pending_recvs",
+        "remaining_compute",
+        "declared_bytes",
+        "stats",
+    ):
+        assert getattr(a, name) == getattr(b, name), name
+    assert set(a.app_state) == set(b.app_state)
+    for key, value in a.app_state.items():
+        other = b.app_state[key]
+        if isinstance(value, np.ndarray):
+            assert np.array_equal(value, other)
+        else:
+            assert value == other
+
+
+@settings(max_examples=25, deadline=None)
+@given(state=_payloads, ranks=st.integers(1, 4), data=st.data())
+def test_pack_unpack_round_trip(state, ranks, data):
+    images = {}
+    for rank in range(ranks):
+        images[rank] = CheckpointImage(
+            rank=rank,
+            nprocs=ranks,
+            protocol="cc",
+            ckpt_id=data.draw(st.integers(0, 5)),
+            app_state={
+                "payload": state,
+                "grid": np.arange(6, dtype=np.float64) * (rank + 1),
+            },
+            seq_table={7: rank},
+            ggid_peers={7: list(range(ranks))},
+            pending_recvs=[rank],
+            remaining_compute=data.draw(
+                st.floats(0, 1e3, allow_nan=False)
+            ),
+            declared_bytes=rank << 20,
+            stats={"calls": rank},
+        )
+    restored = unpack_image_set(pack_image_set(images))
+    assert set(restored) == set(images)
+    for rank in images:
+        _assert_images_equal(images[rank], restored[rank])
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda raw: raw[:10],  # truncated header
+        lambda raw: b"NOTMAGIC" + raw[8:],  # wrong magic
+        lambda raw: raw[:-5],  # truncated payload
+        lambda raw: raw[:-1] + bytes([raw[-1] ^ 0xFF]),  # flipped bit
+        lambda raw: b"",  # empty file
+    ],
+)
+def test_unpack_rejects_corruption(mutate):
+    images = {0: CheckpointImage(rank=0, nprocs=1, protocol="cc", ckpt_id=0)}
+    raw = pack_image_set(images)
+    with pytest.raises(ImageError):
+        unpack_image_set(mutate(raw))
+
+
+# --------------------------------------------------------------------- #
+# ResultCache tier behavior
+# --------------------------------------------------------------------- #
+
+def test_put_stores_image_blobs(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    result = execute(spec)
+    assert [r for r in result.checkpoints if r.committed]
+    cache.put(spec, result)
+    assert cache.image_count() == 1
+    assert cache.has_images(spec, 0)
+    assert not cache.has_images(spec, 1)
+    assert cache.image_bytes() > 0
+    assert cache.stats.image_stores == 1
+    restored = cache.get_images(spec, 0)
+    assert restored is not None
+    assert set(restored) == set(result.checkpoints[-1].images)
+
+
+def test_uncheckpointed_put_stores_nothing(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec.create("comd", 2, app_kwargs={"niters": 3})
+    cache.put(spec, execute(spec))
+    assert cache.image_count() == 0
+
+
+def test_corrupt_or_legacy_blob_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    cache.put(spec, execute(spec))
+    path = cache.image_path_for(spec, 0)
+    path.write_bytes(b"LEGACY-FORMAT-NOT-AN-ARCHIVE")
+    assert cache.get_images(spec, 0) is None
+    # has_images may still say True (existence probe); execution falls
+    # back to re-simulating the parent, so the restart still works —
+    # and the failed load is NOT reported as tier reuse.
+    restart = _restart_spec(spec, checkpoint_fractions=())
+    engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    warm = engine.run(restart)
+    assert warm.ok
+    assert engine.last_stats.images_reused == 0
+
+
+def test_prune_and_clear_evict_blobs(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    cache.put(spec, execute(spec))
+    assert cache.image_count() == 1
+    assert cache.prune([spec]) == 1
+    assert cache.image_count() == 0
+
+    cache.put(spec, execute(spec))
+    cache.clear()
+    assert cache.image_count() == 0
+
+
+def test_prune_to_max_entries_takes_blobs_along(tmp_path):
+    cache = ResultCache(tmp_path)
+    old, new = _ckpt_spec(seed=0), _ckpt_spec(seed=1)
+    import os
+    import time as _time
+
+    cache.put(old, execute(old))
+    stamp = _time.time() - 3600
+    os.utime(cache.path_for(old), (stamp, stamp))
+    os.utime(cache.image_path_for(old, 0), (stamp, stamp))
+    cache.put(new, execute(new))
+    assert cache.prune_to_max_entries(1) == 1
+    assert not cache.path_for(old).exists()
+    assert not cache.has_images(old, 0)
+    assert cache.has_images(new, 0)
+
+
+def test_prune_older_than_ages_blobs_on_their_own_clock(tmp_path):
+    import os
+    import time as _time
+
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    cache.put(spec, execute(spec))
+    stamp = _time.time() - 7200
+    os.utime(cache.image_path_for(spec, 0), (stamp, stamp))
+    # The entry is fresh; only the blob is stale.
+    assert cache.prune_older_than(3600) == 0
+    assert cache.path_for(spec).exists()
+    assert cache.image_count() == 0
+
+
+def test_prune_images_to_max_bytes_evicts_oldest_first(tmp_path):
+    import os
+    import time as _time
+
+    cache = ResultCache(tmp_path)
+    old, new = _ckpt_spec(seed=0), _ckpt_spec(seed=1)
+    cache.put(old, execute(old))
+    stamp = _time.time() - 3600
+    os.utime(cache.image_path_for(old, 0), (stamp, stamp))
+    cache.put(new, execute(new))
+    total = cache.image_bytes()
+    new_size = cache.image_path_for(new, 0).stat().st_size
+    assert cache.prune_images_to_max_bytes(total - 1) == 1
+    assert not cache.has_images(old, 0)
+    assert cache.has_images(new, 0)
+    assert cache.prune_images_to_max_bytes(new_size) == 0
+    assert cache.prune_images_to_max_bytes(0) == 1
+    with pytest.raises(ValueError):
+        cache.prune_images_to_max_bytes(-1)
+
+
+# --------------------------------------------------------------------- #
+# Warm-restart fast path: differential and engine-level tests
+# --------------------------------------------------------------------- #
+
+def test_warm_restart_is_byte_identical_to_cold(tmp_path):
+    """A restart fed from the image tier must equal a cold recompute."""
+    parent = _ckpt_spec(app="minivasp", nprocs=4, ppn=2)
+    restart = _restart_spec(parent, ppn=2, checkpoint_fractions=())
+
+    # Cold: no cache anywhere; the parent is simulated inline.
+    cold = execute(restart)
+
+    # Warm: parent's result and images cached, restart executed fresh
+    # by a separate engine (fresh cache object, no in-memory deps).
+    ExperimentEngine(cache=ResultCache(tmp_path)).run(parent)
+    warm_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    warm = warm_engine.run(restart)
+    assert warm_engine.last_stats.executed == 1
+    assert warm_engine.last_stats.images_reused == 1
+
+    as_bytes = lambda r: json.dumps(run_result_to_dict(r), sort_keys=True)
+    assert as_bytes(cold) == as_bytes(warm)
+
+
+def test_warm_restart_chain_sweep_simulates_zero_parents(tmp_path):
+    sweep = Sweep(
+        "warm_restart",
+        axes={"protocol": ("2pc", "cc"), "restart": (False, True)},
+        base={
+            # comd blocks on every collective, so BOTH protocols commit
+            # a checkpoint (poisson would make the 2pc column NA).
+            "app": "comd",
+            "nprocs": 2,
+            "niters": 4,
+            "memory_bytes": 1 << 20,
+            "seed": 0,
+            "checkpoint_fractions": 0.5,
+            "storage": STORAGE,
+        },
+    )
+    restarts = [s for s in sweep.specs() if s.restart_of is not None]
+    assert len(restarts) == 2
+
+    cold_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    cold = cold_engine.run_sweep(sweep)
+    # ckpt cells + probes + restarts all simulate once, nothing reused.
+    assert cold_engine.last_stats.images_reused == 0
+
+    # A fully warm rerun executes nothing at all.
+    rerun_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    rerun_engine.run_sweep(sweep)
+    assert rerun_engine.last_stats.executed == 0
+
+    # Evict only the restart cells: the warm engine re-executes exactly
+    # those, as wave-0 work, with ZERO parent simulations.
+    assert ResultCache(tmp_path).prune(restarts) == len(restarts)
+    warm_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    warm = warm_engine.run_sweep(sweep)
+    stats = warm_engine.last_stats
+    assert stats.executed == len(restarts)
+    assert stats.images_reused == len(restarts)
+    assert f"{len(restarts)} restarts fed from image tier" in stats.summary()
+
+    for spec in restarts:
+        assert run_result_to_dict(warm[spec]) == run_result_to_dict(cold[spec])
+
+
+def test_short_circuit_skips_missing_parent_entirely(tmp_path):
+    """Even the parent's *result* is unnecessary: images alone feed the
+    restart, so a parent whose JSON entry was evicted (but whose blob
+    survived) is neither simulated nor required."""
+    parent = _ckpt_spec()
+    restart = _restart_spec(parent, checkpoint_fractions=())
+    cache = ResultCache(tmp_path)
+    ExperimentEngine(cache=cache).run(parent)
+    # Drop the parent's JSON entry but keep its image blob.
+    cache.path_for(parent).unlink()
+    assert cache.has_images(parent, 0)
+
+    engine = ExperimentEngine(cache=ResultCache(tmp_path))
+    result = engine.run(restart)
+    assert result.ok
+    assert engine.last_stats.executed == 1  # the restart alone
+    assert engine.last_stats.images_reused == 1
+
+
+def test_parallel_warm_restart_matches_serial(tmp_path):
+    parent_a = _ckpt_spec(seed=0)
+    parent_b = _ckpt_spec(seed=1)
+    restarts = [
+        _restart_spec(parent_a, checkpoint_fractions=()),
+        _restart_spec(parent_b, checkpoint_fractions=()),
+    ]
+    ExperimentEngine(cache=ResultCache(tmp_path)).run_batch(
+        [parent_a, parent_b]
+    )
+    ResultCache(tmp_path)  # warm tier on disk
+
+    serial_engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+    serial = serial_engine.run_batch(restarts)
+    ResultCache(tmp_path).prune(restarts)
+    parallel_engine = ExperimentEngine(jobs=2, cache=ResultCache(tmp_path))
+    parallel = parallel_engine.run_batch(restarts)
+    assert parallel_engine.last_stats.images_reused == 2
+    for spec in restarts:
+        assert run_result_to_dict(serial[spec]) == run_result_to_dict(
+            parallel[spec]
+        )
+
+
+def test_restart_ckpt_out_of_range_still_raises(tmp_path):
+    """A tier miss (index beyond what the parent committed) falls back
+    to the strict re-simulation path and its error message."""
+    from repro.harness.spec import SpecError
+
+    parent = _ckpt_spec()
+    bad = _restart_spec(parent, checkpoint_fractions=(), restart_ckpt=7)
+    cache = ResultCache(tmp_path)
+    ExperimentEngine(cache=cache).run(parent)
+    with pytest.raises(SpecError, match="out of range"):
+        ExperimentEngine(cache=ResultCache(tmp_path)).run(bad)
+
+
+def test_no_cache_engine_unchanged(tmp_path):
+    """Without a cache there is no tier: the chain still executes."""
+    parent = _ckpt_spec()
+    restart = _restart_spec(parent, checkpoint_fractions=())
+    engine = ExperimentEngine()
+    result = engine.run(restart)
+    assert result.ok
+    assert engine.last_stats.images_reused == 0
+    assert spec_hash(restart)  # smoke: hashing restart chains still works

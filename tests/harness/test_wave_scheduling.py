@@ -95,9 +95,9 @@ def test_wave_orders_longest_pole_first_by_heuristic(monkeypatch):
 
     real = engine_mod._execute_job
 
-    def spy(spec, deps, guard):
+    def spy(spec, deps, guard, *args):
         executed.append(spec)
-        return real(spec, deps, guard)
+        return real(spec, deps, guard, *args)
 
     monkeypatch.setattr(engine_mod, "_execute_job", spy)
     small = _spec(nprocs=2, niters=2, seed=5)
@@ -118,9 +118,9 @@ def test_wave_prefers_recorded_times_over_heuristic(tmp_path, monkeypatch):
 
     real = engine_mod._execute_job
 
-    def spy(spec, deps, guard):
+    def spy(spec, deps, guard, *args):
         executed.append(spec)
-        return real(spec, deps, guard)
+        return real(spec, deps, guard, *args)
 
     monkeypatch.setattr(engine_mod, "_execute_job", spy)
     # Heuristic says `big` is the long pole; recorded history says the
