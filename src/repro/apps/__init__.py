@@ -13,6 +13,7 @@ micro-benchmark kernels:
 
 from .base import AppContext, MpiApp
 from .comd import CoMD
+from .earlyexit import EarlyExit
 from .lammps_lj import LammpsLJ
 from .minivasp import MiniVasp
 from .osu import OSU_KINDS, OsuCollective, OsuOverlap
@@ -25,6 +26,7 @@ from .registry import (
     make_app_factory,
     resolve_app_name,
 )
+from .scheduled import ScheduledMix, build_schedule
 from .sw4 import SW4
 
 __all__ = [
@@ -37,6 +39,9 @@ __all__ = [
     "SW4",
     "OsuCollective",
     "OsuOverlap",
+    "EarlyExit",
+    "ScheduledMix",
+    "build_schedule",
     "OSU_KINDS",
     "APP_FACTORIES",
     "APP_ALIASES",

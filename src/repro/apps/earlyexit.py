@@ -1,0 +1,123 @@
+"""Early-exit workload: ranks complete at staggered times by design.
+
+The checkpoint protocols' hardest scenario class is a request racing
+rank completion: a rank that returns from the application before the
+intent reaches it can never park, and the coordinator must checkpoint
+*through* its completion (trivially-parked proxy, terminal image).
+This app opens that window on purpose:
+
+* a **shared phase** (steps ``0 .. shared-1``) where every rank joins a
+  world allreduce — so the "leaver" ranks' collective clocks are fully
+  caught up by everyone before anyone exits;
+* a **tail phase** where the first ``leavers`` ranks do nothing (they
+  sprint through their remaining step boundaries and finish), while the
+  survivors keep computing and reducing on a survivors-only
+  communicator — a live mid-program cut coexisting with terminal ranks;
+* optionally a **farewell message** from each leaver to each survivor,
+  sent in the leaver's last shared step and received at a staggered
+  later step — so a cut taken in between must drain a message whose
+  sender no longer exists.
+
+Results are pure state checksums (no wall-clock reads), so an
+uninterrupted run, a checkpointed run, and any restart chain must all
+report byte-identical per-rank values — the property the
+``rank-completion`` verification oracle pins across seeds.
+"""
+
+from __future__ import annotations
+
+from .base import AppContext, MpiApp
+
+__all__ = ["EarlyExit"]
+
+_FAREWELL_TAG = 77
+
+
+class EarlyExit(MpiApp):
+    """Staggered-completion app (see module docstring)."""
+
+    name = "earlyexit"
+
+    def __init__(
+        self,
+        niters: int = 12,
+        *,
+        shared: int = 4,
+        leavers: int = 1,
+        shared_compute: float = 2e-6,
+        tail_compute: float = 5e-6,
+        farewell: bool = True,
+        memory_bytes: int = 16 << 20,
+    ):
+        super().__init__(niters)
+        if not 1 <= shared < niters:
+            raise ValueError(
+                f"shared must be in [1, niters); got shared={shared}, "
+                f"niters={niters}"
+            )
+        if leavers < 1:
+            raise ValueError(f"leavers must be >= 1, got {leavers}")
+        self.shared = shared
+        self.leavers = leavers
+        self.shared_compute = shared_compute
+        self.tail_compute = tail_compute
+        self.farewell = farewell
+        self.memory_bytes = memory_bytes
+
+    # ------------------------------------------------------------------ #
+
+    def _is_leaver(self, ctx: AppContext) -> bool:
+        return ctx.rank < self.leavers
+
+    def setup(self, ctx: AppContext) -> None:
+        if self.leavers >= ctx.nprocs:
+            raise ValueError(
+                f"leavers={self.leavers} needs at least {self.leavers + 1} "
+                f"ranks (got {ctx.nprocs}): someone must survive"
+            )
+        ctx.declare_memory(self.memory_bytes)
+        # Survivors-only communicator for the tail phase.  Leavers pass
+        # color=None (they participate in the creation collective but
+        # own no handle), so nothing ties them to the tail traffic.
+        ctx.state["sub"] = ctx.world.split(
+            color=None if self._is_leaver(ctx) else 0, key=ctx.rank
+        )
+        ctx.state["acc"] = 0.0
+        ctx.state["notes"] = ()
+
+    def _pickup_step(self, ctx: AppContext) -> int:
+        """The staggered tail step at which a survivor collects farewells."""
+        window = self.niters - self.shared
+        return self.shared + (ctx.rank % window)
+
+    def step(self, ctx: AppContext, i: int) -> None:
+        if i < self.shared:
+            ctx.compute_jittered(self.shared_compute, i)
+            ctx.state["acc"] = ctx.state["acc"] + ctx.world.allreduce(
+                float(ctx.rank + i)
+            )
+            if self.farewell and i == self.shared - 1 and self._is_leaver(ctx):
+                for peer in range(self.leavers, ctx.nprocs):
+                    ctx.world.send(
+                        ("farewell", ctx.rank, i), dest=peer, tag=_FAREWELL_TAG
+                    )
+            return
+        if self._is_leaver(ctx):
+            # Communication-free: this rank races to completion while
+            # the survivors are still mid-program.
+            return
+        ctx.compute_jittered(self.tail_compute, i)
+        sub = ctx.state["sub"]
+        ctx.state["acc"] = ctx.state["acc"] + sub.allreduce(float(i))
+        if self.farewell and i == self._pickup_step(ctx):
+            notes = tuple(
+                ctx.world.recv(source=src, tag=_FAREWELL_TAG)
+                for src in range(self.leavers)
+            )
+            ctx.state["notes"] = ctx.state["notes"] + notes
+
+    def finalize(self, ctx: AppContext):
+        return {
+            "acc": round(ctx.state["acc"], 9),
+            "notes": ctx.state["notes"],
+        }

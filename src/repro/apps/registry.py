@@ -11,10 +11,12 @@ from typing import Callable
 
 from .base import MpiApp
 from .comd import CoMD
+from .earlyexit import EarlyExit
 from .lammps_lj import LammpsLJ
 from .minivasp import MiniVasp
 from .osu import OsuCollective, OsuOverlap
 from .poisson import PoissonCG
+from .scheduled import ScheduledMix
 from .sw4 import SW4
 
 __all__ = [
@@ -37,6 +39,10 @@ APP_FACTORIES: dict[str, Callable[..., MpiApp]] = {
     "sw4": SW4,
     "osu": OsuCollective,
     "osu_overlap": OsuOverlap,
+    # Verification workloads (see repro.harness.verify): staggered rank
+    # completion and the schedule-known safe-cut mix.
+    "earlyexit": EarlyExit,
+    "scheduled": ScheduledMix,
 }
 
 #: Accepted spellings for axis values and CLI arguments.  Canonical
@@ -51,6 +57,8 @@ APP_ALIASES: dict[str, str] = {
     "poisson-cg": "poisson",
     "osu-overlap": "osu_overlap",
     "overlap": "osu_overlap",
+    "early-exit": "earlyexit",
+    "early_exit": "earlyexit",
 }
 
 #: Apps that issue non-blocking collectives with their default

@@ -1,0 +1,129 @@
+"""Schedule-known workload for the safe-cut verification oracle.
+
+Executes a randomized (but seed-deterministic) per-step sequence of
+allreduces over a Figure-3-like overlapping group mix — world, parity
+groups, and halves — whose *global* collective schedule is known a
+priori.  Because the schedule is known, the online CC cut (the SEQ
+tables captured in a committed checkpoint's images) can be compared
+against the offline topological-sort fixpoint
+(:func:`repro.core.graph.compute_safe_cut`) computed from the
+request-time reports — the end-to-end tie between the implementation
+(Algorithms 1-3) and the paper's formal model (Section 4.2.2).
+
+Promoted from the ``tests/core`` online-vs-offline test into a
+first-class registry app so the ``safe-cut`` oracle (see
+:mod:`repro.harness.verify`) can build it from a :class:`RunSpec`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppContext, MpiApp
+
+__all__ = ["ScheduledMix", "build_schedule"]
+
+
+def build_schedule(nprocs: int, niters: int, seed: int):
+    """Per-step group schedule, identical on every rank (a legal program).
+
+    Groups: world, evens, odds, low half, high half.  Returns
+    ``(groups: name -> world ranks, steps: list of 3-name lists)``.
+    """
+    groups = {
+        "world": tuple(range(nprocs)),
+        "even": tuple(r for r in range(nprocs) if r % 2 == 0),
+        "odd": tuple(r for r in range(nprocs) if r % 2 == 1),
+        "low": tuple(range(nprocs // 2)),
+        "high": tuple(range(nprocs // 2, nprocs)),
+    }
+    rng = np.random.default_rng(seed)
+    steps = []
+    for _ in range(niters):
+        names = list(rng.choice(["world", "even", "odd", "low", "high"], size=3))
+        steps.append(names)
+    return groups, steps
+
+
+class ScheduledMix(MpiApp):
+    """Executes the precomputed schedule; each op is an allreduce on the
+    named group's communicator."""
+
+    name = "scheduled"
+
+    def __init__(self, niters: int = 10, *, nprocs: int = 4, schedule_seed: int = 0):
+        super().__init__(niters)
+        self.nprocs = nprocs
+        self.schedule_seed = schedule_seed
+        self.groups, self.steps = build_schedule(nprocs, niters, schedule_seed)
+
+    def setup(self, ctx: AppContext) -> None:
+        if ctx.nprocs != self.nprocs:
+            raise ValueError(
+                f"schedule was built for {self.nprocs} ranks, job has {ctx.nprocs}"
+            )
+        comms = {"world": ctx.world}
+        comms["even"] = ctx.world.split(color=ctx.rank % 2 == 0, key=ctx.rank)
+        comms["odd"] = comms["even"]  # each rank holds its own parity comm
+        comms["low"] = ctx.world.split(
+            color=0 if ctx.rank < ctx.nprocs // 2 else 1, key=ctx.rank
+        )
+        comms["high"] = comms["low"]
+        ctx.state["comms"] = comms
+        ctx.state["acc"] = 0.0
+
+    def _my_group(self, ctx: AppContext, name: str):
+        if name == "world":
+            return "world"
+        if name in ("even", "odd"):
+            mine = "even" if ctx.rank % 2 == 0 else "odd"
+            return mine if name == mine else None
+        mine = "low" if ctx.rank < ctx.nprocs // 2 else "high"
+        return mine if name == mine else None
+
+    def step(self, ctx: AppContext, i: int) -> None:
+        ctx.compute_jittered(2e-6 * (1 + ctx.rank % 3), i)
+        acc = 0.0
+        for name in self.steps[i]:
+            mine = self._my_group(ctx, name)
+            if mine is None:
+                continue
+            key = (
+                "world"
+                if name == "world"
+                else ("even" if name in ("even", "odd") else "low")
+            )
+            acc += ctx.state["comms"][key].allreduce(float(i))
+        ctx.state["acc"] = ctx.state["acc"] + acc
+
+    def finalize(self, ctx: AppContext):
+        return ctx.state["acc"]
+
+    # -- offline model ---------------------------------------------------- #
+
+    def offline_program(self):
+        """Project the global schedule onto per-rank op sequences.
+
+        Communicator-creation calls count as collectives on the parent
+        group (world) — the implementation counts them too.
+        """
+        from ..core import CollectiveProgram
+        from ..util.hashing import stable_hash_ranks
+
+        nprocs = len(self.groups["world"])
+        ggid = {
+            name: stable_hash_ranks(ranks) for name, ranks in self.groups.items()
+        }
+        ops = [[] for _ in range(nprocs)]
+        members = {ggid[name]: self.groups[name] for name in self.groups}
+        for r in range(nprocs):
+            # setup: two splits = two collectives on world.
+            ops[r].append(ggid["world"])
+            ops[r].append(ggid["world"])
+        for step_names in self.steps:
+            for name in step_names:
+                for r in self.groups[name]:
+                    ops[r].append(ggid[name])
+        return CollectiveProgram(
+            ops=tuple(tuple(o) for o in ops), members=members
+        )

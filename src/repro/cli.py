@@ -9,6 +9,8 @@ Usage::
     repro-mpi sweep --axis app=comd,minivasp --axis protocol=native,2pc,cc \
         --axis nprocs=4,8 --base niters=8 --pivot protocol --baseline native
     repro-mpi sweep --study scale_grid --jobs 4
+    repro-mpi verify --seeds 20
+    repro-mpi verify --oracle rank-completion --seeds 1 --base-seed 17
     repro-mpi cache stats
     repro-mpi cache prune --figure fig9
     repro-mpi cache prune --older-than 7d --max-entries 2000
@@ -44,6 +46,16 @@ a warm cache the engine feeds each restart its parent's committed
 images instead of re-simulating the parent (the stats line reports
 ``N restarts fed from image tier``).
 
+``verify`` sweeps the fault-injection oracle suite
+(``repro.harness.verify``): seeded :class:`FaultSchedule` draws perturb
+checkpoint-request timing (mid-run and completion-racing instants),
+rank-completion staggering, and restart depth, and each ``--oracle``
+compares two independent derivations of the same truth (online vs
+offline safe cut, interrupted vs uninterrupted fingerprint, serial vs
+parallel engine, cold vs warm image tier).  Cache-aware where the
+oracle permits; any mismatch exits 1 and writes a derandomized
+failing-seed artifact whose ``repro`` field replays exactly that check.
+
 ``--bench-json PATH`` appends one machine-readable record per
 invocation (figures run, engine stats, wall time) so performance
 trajectories can accumulate across runs.
@@ -58,12 +70,14 @@ import time
 
 from .harness import (
     MASKS,
+    ORACLES,
     PLANNERS,
     STUDIES,
     ExperimentEngine,
     ResultCache,
     Sweep,
     SweepError,
+    run_oracles,
     run_plans,
 )
 
@@ -123,6 +137,10 @@ def _byte_size(text: str) -> int:
         scale = units[text[-1].lower()]
         body = text[:-1]
     try:
+        # float() silently strips whitespace ("1 G" would read as 1G);
+        # a spaced size is a shell-quoting accident — reject it loudly.
+        if body != body.strip():
+            raise ValueError(body)
         value = float(body)
     except ValueError:
         raise argparse.ArgumentTypeError(
@@ -141,6 +159,9 @@ def _duration(text: str) -> float:
         scale = units[text[-1].lower()]
         body = text[:-1]
     try:
+        # See _byte_size: no whitespace-smuggled values.
+        if body != body.strip():
+            raise ValueError(body)
         value = float(body)
     except ValueError:
         raise argparse.ArgumentTypeError(
@@ -420,6 +441,111 @@ def _sweep_main(argv: list[str]) -> int:
     return 0
 
 
+def _verify_main(argv: list[str]) -> int:
+    """``repro-mpi verify`` — sweep fault-injection oracles over seeds.
+
+    Exit status 0 when every (oracle, seed) check passes; 1 on any
+    mismatch, in which case a derandomized failing-seed artifact (JSON
+    with per-failure reproduction commands) is written to ``--artifact``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi verify",
+        description="Differential-oracle verification under randomized "
+                    "fault schedules (checkpoint-request timing, rank "
+                    "completion races, restart depth)",
+    )
+    parser.add_argument("--seeds", type=_positive_int, default=5,
+                        help="fault-schedule seeds per oracle (default 5)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first seed (failing-seed artifacts replay with "
+                             "--seeds 1 --base-seed N)")
+    parser.add_argument("--oracle", choices=sorted(ORACLES), action="append",
+                        default=[],
+                        help="oracle to run (repeatable; default: all)")
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    parser.add_argument("--cache-dir", type=str, default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--artifact", type=str, default="verify-failures.json",
+                        metavar="PATH",
+                        help="failing-seed artifact path (written only on "
+                             "mismatch; default verify-failures.json)")
+    parser.add_argument("--bench-json", type=str, default=None,
+                        help="append a JSON record of this run's verdicts "
+                             "and wall time to PATH")
+    args = parser.parse_args(argv)
+
+    names = args.oracle or sorted(ORACLES)
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if cache is not None:
+        try:
+            cache.version_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"cannot use cache directory {cache.root}: {exc}")
+    engine = ExperimentEngine(jobs=args.jobs, cache=cache,
+                              progress=False)
+
+    def progress(report) -> None:
+        if not args.quiet:
+            verdict = "ok" if report.ok else "MISMATCH"
+            print(
+                f"[verify] {report.oracle} seed={report.seed}: {verdict}"
+                + ("" if report.ok else f" — {report.detail}"),
+                file=sys.stderr,
+                flush=True,
+            )
+
+    t0 = time.time()
+    reports = run_oracles(names, seeds, engine=engine, progress=progress)
+    elapsed = time.time() - t0
+
+    failures = [r for r in reports if not r.ok]
+    for name in names:
+        mine = [r for r in reports if r.oracle == name]
+        good = sum(1 for r in mine if r.ok)
+        print(f"oracle {name}: {good}/{len(mine)} seeds ok")
+    if failures:
+        print(f"\n{len(failures)} mismatch(es):")
+        for report in failures:
+            print(f"  {report.oracle} seed={report.seed}: {report.detail}")
+            print(f"    reproduce: {report.repro}")
+        with open(args.artifact, "w") as fh:
+            json.dump(
+                {"failures": [r.as_dict() for r in failures]}, fh, indent=2
+            )
+            fh.write("\n")
+        print(f"failing-seed artifact written to {args.artifact}")
+    stats = engine.last_stats
+    summary = f"[verify: {len(reports)} checks, {len(failures)} mismatches"
+    if stats is not None:
+        summary += f"; last batch: {stats.summary()}"
+    print(summary + f"; {elapsed:.1f}s total]")
+    if args.bench_json:
+        record_names = [f"verify:{name}" for name in names]
+        _append_bench_record(args.bench_json, record_names, stats, elapsed)
+        _amend_last_bench_record(
+            args.bench_json,
+            checks=len(reports),
+            mismatches=len(failures),
+            seeds=[seeds.start, seeds.stop],
+        )
+    return 1 if failures else 0
+
+
+def _amend_last_bench_record(path: str, **extra) -> None:
+    """Fold verify-specific fields into the record just appended."""
+    try:
+        with open(path) as fh:
+            records = json.load(fh)
+        records[-1].update(extra)
+    except (OSError, ValueError, IndexError, AttributeError):
+        return
+    with open(path, "w") as fh:
+        json.dump(records, fh, indent=2)
+        fh.write("\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -427,6 +553,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "verify":
+        return _verify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-mpi",
         description=(

@@ -25,8 +25,16 @@ rank -> coordinator        ``("seq_report", rank, {ggid: n})``,
                            ``("confirm", rank, still_parked, sent, recvd)``,
                            ``("nbc_done", rank, sent_counts)``,
                            ``("p2p_done", rank, nbytes)``,
-                           ``("written", rank, image)``
+                           ``("written", rank, image)``,
+                           ``("finished", rank)``
 ========================  =======================================================
+
+``("finished", rank)`` announces application completion.  A rank that
+knows of a pending intent parks (and participates in the commit)
+*before* announcing; one that exits unaware is taken over by the
+coordinator's trivially-parked proxy, which answers all of the above
+on its behalf so rounds commit through rank completion (see
+:class:`repro.mana.coordinator._FinishedRankProxy`).
 """
 
 from __future__ import annotations

@@ -11,17 +11,21 @@ checkpoint-image payloads (see ``spec.py``); on its own, a cached
 checkpointing run replays every *measurement* but cannot seed a
 restart.  The **image tier** closes that gap: whenever a stored result
 carries full checkpoint images, each committed checkpoint's image map
-is also written as a content-addressed sidecar blob under
-``v<SCHEMA>-images/<spec_hash>.c<committed_index>.img`` (compressed
-pickle with a SHA-256 digest; see
-:func:`repro.mana.image.pack_image_set`).  A warm restart then loads
-its parent's images straight from the tier instead of re-simulating
-the parent run.  Integrity failures, truncations, and blobs from older
-formats all read as misses (legacy caches simply have no image
-directory), so the tier can only ever make restarts faster, never
-wrong.  Image blobs are evicted together with their spec's entry by
-``clear``/``prune``, age out with ``prune_older_than``, and the tier's
-total footprint can be capped with :meth:`ResultCache.prune_images_to_max_bytes`.
+is packed (compressed pickle with a SHA-256 digest; see
+:func:`repro.mana.image.pack_image_set`) and stored *content-addressed*
+under ``v<SCHEMA>-images/blobs/<sha256>.blob``, with a tiny per-spec
+pointer file ``v<SCHEMA>-images/<spec_hash>.c<committed_index>.img``
+holding the digest — identical image sets reachable from several
+parent specs are stored once.  A warm restart then loads its parent's
+images straight from the tier instead of re-simulating the parent run.
+Integrity failures, truncations, dangling pointers, and blobs from
+older formats all read as misses (pointer files written before the
+dedupe hold the archive inline and are detected by magic, so legacy
+caches keep serving), and the tier can only ever make restarts faster,
+never wrong.  Pointers are evicted together with their spec's entry by
+``clear``/``prune`` (a blob falls when its last pointer does), payloads
+age out with ``prune_older_than``, and the tier's total footprint can
+be capped with :meth:`ResultCache.prune_images_to_max_bytes`.
 
 Alongside results, the cache records each spec's **execution wall
 time** — both inside the entry document (``"elapsed"``) and in a small
@@ -49,7 +53,13 @@ from pathlib import Path
 from typing import Iterable
 
 from ..mana import CheckpointImage
-from ..mana.image import ImageError, pack_image_set, unpack_image_set
+from ..mana.image import (
+    ARCHIVE_MAGIC,
+    ImageError,
+    image_set_digest,
+    pack_image_set,
+    unpack_image_set,
+)
 from .runner import RunResult
 from .spec import (
     SCHEMA_VERSION,
@@ -240,14 +250,24 @@ class ResultCache:
         self._write_timings()
 
     def drop_timings(self, hashes: Iterable[str]) -> int:
-        """Evict the given spec hashes from the timing sidecar."""
+        """Evict the given spec hashes from the timing sidecar.
+
+        Returns how many were present in this cache's own view.  The
+        sidecar is rewritten whenever anything was *requested*, not
+        only when the in-memory view held it: a concurrent writer may
+        have recorded the hash after this cache loaded its view, and
+        the merge-on-write (which excludes ``_dropped_timings``) is
+        what makes the eviction stick on disk.
+        """
         timings = self._load_timings()
         dropped = 0
+        requested = False
         for key in hashes:
+            requested = True
             self._dropped_timings.add(key)
             if timings.pop(key, None) is not None:
                 dropped += 1
-        if dropped:
+        if requested:
             self._write_timings()
         return dropped
 
@@ -256,10 +276,23 @@ class ResultCache:
 
     # ------------------------------------------------------------------ #
     # Image tier (full checkpoint images for warm restarts)
+    #
+    # Content-addressed with per-spec pointers: the packed image-set
+    # blob lives once under ``blobs/<sha256>.blob`` and each
+    # ``<spec_hash>.c<index>.img`` file is a tiny pointer holding that
+    # digest — so identical image sets reachable from several parents
+    # (the same committed state cached under different spec spellings,
+    # or several commits snapshotting the same terminal world) are
+    # stored once.  Pointer files written by older versions hold the
+    # archive inline; readers detect the archive magic and keep serving
+    # them, so legacy caches never break.
     # ------------------------------------------------------------------ #
 
-    def image_path_for(self, spec_or_hash: "RunSpec | str", index: int) -> Path:
-        """Blob path for a spec's ``index``-th *committed* checkpoint."""
+    @property
+    def blobs_dir(self) -> Path:
+        return self.images_dir / "blobs"
+
+    def _pointer_path(self, spec_or_hash: "RunSpec | str", index: int) -> Path:
         key = (
             spec_or_hash
             if isinstance(spec_or_hash, str)
@@ -267,33 +300,78 @@ class ResultCache:
         )
         return self.images_dir / f"{key}.c{int(index)}.img"
 
+    def _blob_path(self, digest: str) -> Path:
+        return self.blobs_dir / f"{digest}.blob"
+
+    @staticmethod
+    def _parse_pointer(raw: bytes) -> "str | None":
+        """The digest a pointer file references, or None for anything
+        else (legacy inline archive, corruption)."""
+        if len(raw) > 200 or raw.startswith(ARCHIVE_MAGIC):
+            return None
+        text = raw.decode("ascii", "replace").strip()
+        if len(text) == 64 and all(c in "0123456789abcdef" for c in text):
+            return text
+        return None
+
+    def image_path_for(self, spec_or_hash: "RunSpec | str", index: int) -> Path:
+        """Path of the stored image data for a spec's ``index``-th
+        *committed* checkpoint: the content-addressed blob when a
+        pointer exists, the file itself for legacy inline archives, or
+        the not-yet-written pointer location.  Note that with blob
+        dedupe this path may be shared by several specs."""
+        pointer = self._pointer_path(spec_or_hash, index)
+        try:
+            digest = self._parse_pointer(pointer.read_bytes())
+        except OSError:
+            return pointer
+        return pointer if digest is None else self._blob_path(digest)
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def put_images(self, spec: RunSpec, result: RunResult) -> int:
         """Store every committed checkpoint's full images for ``spec``.
 
         Records without full images (e.g. a result that already crossed
         the JSON boundary) are skipped silently; returns the number of
-        blobs written.  Writes are atomic for the same reason entry
-        writes are.
+        image sets stored (pointers written).  A blob whose digest is
+        already present is not rewritten — that's the cross-spec dedupe.
+        Writes are atomic for the same reason entry writes are.
         """
         committed = [r for r in result.checkpoints if r.committed]
         written = 0
         for index, record in enumerate(committed):
             if not record_has_full_images(record):
                 continue
-            path = self.image_path_for(spec, index)
-            path.parent.mkdir(parents=True, exist_ok=True)
             blob = pack_image_set(record.images)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, path)
-            except BaseException:
+            digest = image_set_digest(blob)
+            blob_path = self._blob_path(digest)
+            blob_path.parent.mkdir(parents=True, exist_ok=True)
+            if not blob_path.is_file():
+                self._atomic_write(blob_path, blob)
+            else:
+                # Dedupe hit: refresh the payload's age so a blob a
+                # fresh put just pointed at doesn't get age-evicted on
+                # its *original* store date.
                 try:
-                    os.unlink(tmp)
+                    os.utime(blob_path)
                 except OSError:
                     pass
-                raise
+            self._atomic_write(
+                self._pointer_path(spec, index), digest.encode() + b"\n"
+            )
             written += 1
             self.stats.image_stores += 1
         return written
@@ -303,14 +381,26 @@ class ResultCache:
     ) -> "dict[int, CheckpointImage] | None":
         """The stored image map for a committed checkpoint, or None.
 
-        Misses cover everything that could be wrong — no blob, a
-        truncated or digest-mismatching blob, a legacy/unknown format —
-        so callers can always fall back to re-simulating the parent.
+        Misses cover everything that could be wrong — no pointer, a
+        dangling or garbled pointer, a truncated or digest-mismatching
+        blob, a legacy/unknown format — so callers can always fall back
+        to re-simulating the parent.
         """
-        path = self.image_path_for(spec_or_hash, index)
         try:
-            images = unpack_image_set(path.read_bytes())
-        except (OSError, ImageError):
+            raw = self._pointer_path(spec_or_hash, index).read_bytes()
+        except OSError:
+            return None
+        if not raw.startswith(ARCHIVE_MAGIC):
+            digest = self._parse_pointer(raw)
+            if digest is None:
+                return None
+            try:
+                raw = self._blob_path(digest).read_bytes()
+            except OSError:
+                return None
+        try:
+            images = unpack_image_set(raw)
+        except ImageError:
             return None
         self.stats.image_hits += 1
         return images
@@ -318,73 +408,150 @@ class ResultCache:
     def has_images(self, spec_or_hash: "RunSpec | str", index: int) -> bool:
         """Cheap existence probe (no read/verify) used by wave planning.
 
-        A blob that exists but fails verification on the later
-        :meth:`get_images` degrades to parent re-simulation inside the
-        job, so planning on existence alone is safe.
+        A pointer that exists but dangles (or a blob that fails
+        verification on the later :meth:`get_images`) degrades to parent
+        re-simulation inside the job, so planning on existence alone is
+        safe.
         """
-        return self.image_path_for(spec_or_hash, index).is_file()
+        return self._pointer_path(spec_or_hash, index).is_file()
+
+    def _pointer_files(self) -> "list[Path]":
+        if not self.images_dir.is_dir():
+            return []
+        return list(self.images_dir.glob("*.img"))
+
+    def _referenced_digests(self) -> set[str]:
+        """Digests still referenced by at least one pointer file."""
+        referenced = set()
+        for pointer in self._pointer_files():
+            try:
+                digest = self._parse_pointer(pointer.read_bytes())
+            except OSError:
+                continue
+            if digest is not None:
+                referenced.add(digest)
+        return referenced
+
+    def _gc_blobs(self, candidates: Iterable[str]) -> int:
+        """Delete candidate blobs no pointer references any more."""
+        candidates = {d for d in candidates if d is not None}
+        if not candidates:
+            return 0
+        candidates -= self._referenced_digests()
+        removed = 0
+        for digest in candidates:
+            try:
+                self._blob_path(digest).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     def _drop_images(self, hashes: Iterable[str]) -> int:
-        """Delete every image blob belonging to the given spec hashes."""
+        """Delete the given spec hashes' pointers, then garbage-collect
+        any blobs that lost their last reference."""
         if not self.images_dir.is_dir():
             return 0
         removed = 0
+        candidates: set[str] = set()
         for key in hashes:
             for path in self.images_dir.glob(f"{key}.c*.img"):
+                try:
+                    digest = self._parse_pointer(path.read_bytes())
+                except OSError:
+                    digest = None
+                if digest is not None:
+                    candidates.add(digest)
                 try:
                     path.unlink()
                     removed += 1
                 except OSError:
                     pass
+        self._gc_blobs(candidates)
         return removed
 
+    def _legacy_inline_files(self) -> "list[Path]":
+        """Pointer-location files that hold a full archive inline
+        (written before blob dedupe)."""
+        inline = []
+        for path in self._pointer_files():
+            try:
+                with open(path, "rb") as fh:
+                    head = fh.read(len(ARCHIVE_MAGIC))
+            except OSError:
+                continue
+            if head == ARCHIVE_MAGIC:
+                inline.append(path)
+        return inline
+
+    def _blob_files(self) -> "list[Path]":
+        if not self.blobs_dir.is_dir():
+            return []
+        return list(self.blobs_dir.glob("*.blob"))
+
     def image_count(self) -> int:
-        if not self.images_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.images_dir.glob("*.img"))
+        """Stored image sets: unique blobs plus legacy inline archives."""
+        return len(self._blob_files()) + len(self._legacy_inline_files())
 
     def image_bytes(self) -> int:
-        """On-disk footprint of the image tier."""
-        if not self.images_dir.is_dir():
-            return 0
+        """On-disk footprint of the image tier's payload (blobs and
+        legacy inline archives; pointer files are noise-level)."""
         total = 0
-        for entry in self.images_dir.glob("*.img"):
+        for entry in self._blob_files() + self._legacy_inline_files():
             try:
                 total += entry.stat().st_size
             except OSError:
                 pass
         return total
 
-    def prune_images_older_than(self, max_age_seconds: float) -> int:
-        """Evict image blobs older (by mtime) than ``max_age_seconds``."""
-        if not self.images_dir.is_dir():
-            return 0
-        cutoff = time.time() - max_age_seconds
-        removed = 0
-        for entry in self.images_dir.glob("*.img"):
+    def _drop_blob_and_pointers(self, blob: Path) -> bool:
+        """Unlink one payload file and every pointer referencing it.
+        Returns True iff the payload actually came off disk (callers
+        only account evicted bytes/counts for real removals)."""
+        digest = blob.name[: -len(".blob")] if blob.suffix == ".blob" else None
+        try:
+            blob.unlink()
+        except OSError:
+            return False
+        if digest is None:
+            return True  # legacy inline: the file was its own (only) pointer
+        for pointer in self._pointer_files():
             try:
-                if entry.stat().st_mtime < cutoff:
-                    entry.unlink()
-                    removed += 1
+                if self._parse_pointer(pointer.read_bytes()) == digest:
+                    pointer.unlink()
             except OSError:
                 pass
+        return True
+
+    def prune_images_older_than(self, max_age_seconds: float) -> int:
+        """Evict image payloads older (by mtime) than ``max_age_seconds``,
+        along with the pointers that reference them."""
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for entry in self._blob_files() + self._legacy_inline_files():
+            try:
+                stale = entry.stat().st_mtime < cutoff
+            except OSError:
+                continue
+            if stale and self._drop_blob_and_pointers(entry):
+                removed += 1
         return removed
 
     def prune_images_to_max_bytes(self, max_bytes: int) -> int:
-        """Evict oldest image blobs until the tier is at most ``max_bytes``.
+        """Evict oldest image payloads until the tier is at most
+        ``max_bytes``.
 
         The size knob applies to the image tier alone: blobs dominate the
         cache's footprint by orders of magnitude, and evicting one only
         costs a future warm restart its fast path (the JSON results —
-        every *measurement* — stay intact).
+        every *measurement* — stay intact).  A deduped blob's eviction
+        drops every spec pointer that referenced it.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
-        if not self.images_dir.is_dir():
-            return 0
         aged = []
         total = 0
-        for entry in self.images_dir.glob("*.img"):
+        for entry in self._blob_files() + self._legacy_inline_files():
             try:
                 st = entry.stat()
             except OSError:
@@ -396,12 +563,9 @@ class ResultCache:
         for _, _, size, entry in aged:
             if total <= max_bytes:
                 break
-            try:
-                entry.unlink()
-            except OSError:
-                continue
-            total -= size
-            removed += 1
+            if self._drop_blob_and_pointers(entry):
+                total -= size
+                removed += 1
         return removed
 
     def put(
@@ -464,7 +628,7 @@ class ResultCache:
                 except OSError:
                     pass
         if self.images_dir.is_dir():
-            for blob in self.images_dir.glob("*.img"):
+            for blob in self._pointer_files() + self._blob_files():
                 try:
                     blob.unlink()
                 except OSError:
@@ -475,19 +639,25 @@ class ResultCache:
         """Delete the entries for ``specs`` (misses ignored); returns the
         number removed.  Unlike :meth:`clear`, prune targets specific
         cells, so their recorded execution times are evicted too — a
-        pruned cell's next run re-records its cost."""
+        pruned cell's next run re-records its cost.  The timing falls
+        even when the entry file is already gone (a cell can have a
+        recorded time with no stored result, e.g. after a concurrent
+        writer's record survived this cache's earlier eviction)."""
         removed = 0
-        evicted_hashes = []
+        requested_hashes = []
         for spec in specs:
             key = spec_hash(spec)
-            self._drop_images([key])
+            requested_hashes.append(key)
             try:
                 self.path_for(spec).unlink()
                 removed += 1
             except OSError:
                 continue
-            evicted_hashes.append(key)
-        self.drop_timings(evicted_hashes)
+        # One batched image drop: _drop_images ends in a full pointer
+        # scan for blob GC, so per-spec calls would cost O(specs ×
+        # pointers) file reads.
+        self._drop_images(requested_hashes)
+        self.drop_timings(requested_hashes)
         return removed
 
     def _prune_paths(self, paths: "Iterable[Path]") -> int:

@@ -43,6 +43,11 @@ class RunResult:
     #: Restart-only: virtual time at which the last rank finished
     #: rebuilding its lower half (the paper's "restart time").
     restart_ready_time: float = 0.0
+    #: Virtual time each rank's application returned (index = rank).
+    #: ``min()`` is the earliest completion — the instant the
+    #: request-races-completion window opens (see
+    #: ``RunSpec.checkpoint_completion_fracs``).
+    rank_finish_times: list[float] = field(default_factory=list)
     sim_events: int = 0
     #: Non-empty when the protocol could not wrap the application (the
     #: paper's NA cells): the UnsupportedOperationError message.  Such a
@@ -150,6 +155,7 @@ def launch_run(
         procs = {}
         apps = {rank: app_factory() for rank in range(nprocs)}
         ready_times: list[float] = []
+        finish_times: dict[int, float] = {}
 
         def make_body(rank: int) -> Callable[[], Any]:
             def body() -> Any:
@@ -164,10 +170,30 @@ def launch_run(
                         sess.rebuild_lower()
                         sess.prepare_protocol()
                         ready_times.append(sim.now())
+                        if sess.finished:
+                            # Checkpointed through rank completion: the
+                            # rank was finished at the cut and stays
+                            # finished.  It still rebuilt its lower half
+                            # above — communicator creation is collective,
+                            # so surviving ranks replaying shared comms
+                            # need this rank in the allgather — then it
+                            # re-announces completion (arming the new
+                            # coordinator's proxy for future rounds) and
+                            # reports the restored terminal result.
+                            finish_times[rank] = sim.now()
+                            sess.on_app_finished()
+                            return sess.final_result
                     else:
                         sess.prepare_protocol()
                     ctx = AppContext(sess, seed=seed)
                     result = apps[rank].run(ctx)
+                    # Stash the terminal result *before* announcing
+                    # completion: a checkpoint racing this rank's exit
+                    # snapshots it into the finished image.  The finish
+                    # instant is the application's return time — not the
+                    # exit of any checkpoint the announcement parks into.
+                    sess.final_result = result
+                    finish_times[rank] = sim.now()
                     sess.on_app_finished()
                     return result
 
@@ -197,6 +223,7 @@ def launch_run(
             checkpoints=list(coordinator.records) if coordinator else [],
             restart_read_time=restart_read_time,
             restart_ready_time=max(ready_times) if ready_times else 0.0,
+            rank_finish_times=[finish_times[r] for r in range(nprocs)],
             sim_events=sim.event_count,
         )
     finally:

@@ -14,6 +14,10 @@ Dependent phases are part of the spec language:
   job's own uncheckpointed ("probe") runtime.  The probe is itself a
   plain spec (:meth:`RunSpec.probe_spec`), so it participates in
   dedup/caching like any other job (Figure 9 used to run it inline).
+* ``checkpoint_completion_fracs`` — request checkpoints at fractions of
+  the probe's *earliest rank finish time* (fault injection: fractions
+  near or past 1.0 race rank completion, the scenario class the
+  coordinator must checkpoint *through*; see ``repro.harness.verify``).
 * ``restart_of`` — restart from the Nth committed checkpoint of another
   spec's run (a fresh lower half adopting the images, as in MANA).
 
@@ -88,11 +92,19 @@ SPEC_POINT_FIELDS = (
     "seed",
     "checkpoint_at",
     "checkpoint_fractions",
+    "checkpoint_completion_fracs",
     "storage",
     "params",
     "max_events",
     "restart",
     "restart_ckpt",
+)
+
+#: The schedule-shaped point fields (scalars promoted to 1-tuples).
+_SCHEDULE_FIELDS = (
+    "checkpoint_at",
+    "checkpoint_fractions",
+    "checkpoint_completion_fracs",
 )
 
 #: Sentinel key marking a deserialized image whose payload was dropped.
@@ -145,6 +157,13 @@ class RunSpec:
     checkpoint_at: tuple[float, ...] = ()
     #: Checkpoint requests at fractions of the probe run's runtime.
     checkpoint_fractions: tuple[float, ...] = ()
+    #: Checkpoint requests at fractions of the probe run's *earliest
+    #: rank completion* — the fault-injection knob for the
+    #: request-races-completion scenario class.  Fractions near (or
+    #: past) 1.0 land requests in the window where some ranks have
+    #: finished while others are mid-program; the coordinator must
+    #: checkpoint through the completed ranks instead of aborting.
+    checkpoint_completion_fracs: tuple[float, ...] = ()
     storage: StorageModel | None = None
     params: ModelParams | None = None
     max_events: int | None = None
@@ -165,6 +184,7 @@ class RunSpec:
         seed: int = 0,
         checkpoint_at: tuple[float, ...] | list[float] = (),
         checkpoint_fractions: tuple[float, ...] | list[float] = (),
+        checkpoint_completion_fracs: tuple[float, ...] | list[float] = (),
         storage: StorageModel | None = None,
         params: ModelParams | None = None,
         max_events: int | None = None,
@@ -183,6 +203,9 @@ class RunSpec:
             seed=int(seed),
             checkpoint_at=tuple(float(t) for t in checkpoint_at),
             checkpoint_fractions=tuple(float(f) for f in checkpoint_fractions),
+            checkpoint_completion_fracs=tuple(
+                float(f) for f in checkpoint_completion_fracs
+            ),
             storage=storage,
             params=params,
             max_events=max_events,
@@ -217,7 +240,7 @@ class RunSpec:
             for name in SPEC_POINT_FIELDS
             if name in point
         }
-        for schedule in ("checkpoint_at", "checkpoint_fractions"):
+        for schedule in _SCHEDULE_FIELDS:
             value = fields.get(schedule)
             if isinstance(value, (int, float)):
                 fields[schedule] = (float(value),)
@@ -226,13 +249,14 @@ class RunSpec:
         app_kwargs = point  # whatever is left belongs to the application
         if not restart:
             return cls.create(app, nprocs, app_kwargs=app_kwargs, **fields)
-        if not fields.get("checkpoint_at") and not fields.get("checkpoint_fractions"):
+        if not any(fields.get(schedule) for schedule in _SCHEDULE_FIELDS):
             raise SpecError(
-                "restart=True needs a checkpoint schedule (checkpoint_at "
-                "or checkpoint_fractions) for the parent run to commit"
+                "restart=True needs a checkpoint schedule (checkpoint_at, "
+                "checkpoint_fractions, or checkpoint_completion_fracs) for "
+                "the parent run to commit"
             )
         parent = cls.create(app, nprocs, app_kwargs=app_kwargs, **fields)
-        for schedule in ("checkpoint_at", "checkpoint_fractions"):
+        for schedule in _SCHEDULE_FIELDS:
             fields.pop(schedule, None)
         return cls.create(
             app,
@@ -248,14 +272,19 @@ class RunSpec:
             raise SpecError(f"nprocs must be >= 1, got {self.nprocs}")
         if self.protocol not in ("native", "2pc", "cc"):
             raise SpecError(f"unknown protocol {self.protocol!r}")
-        wants_ckpt = bool(self.checkpoint_at or self.checkpoint_fractions)
+        wants_ckpt = bool(
+            self.checkpoint_at
+            or self.checkpoint_fractions
+            or self.checkpoint_completion_fracs
+        )
         if wants_ckpt and self.protocol == "native":
             raise SpecError("native runs cannot be checkpointed")
         if self.restart_of is not None:
-            if self.checkpoint_fractions:
+            if self.checkpoint_fractions or self.checkpoint_completion_fracs:
                 raise SpecError(
-                    "restart specs cannot also use checkpoint_fractions; "
-                    "schedule further checkpoints with absolute checkpoint_at"
+                    "restart specs cannot also use probe-relative checkpoint "
+                    "fractions; schedule further checkpoints with absolute "
+                    "checkpoint_at"
                 )
             if self.restart_of.protocol != self.protocol:
                 raise SpecError(
@@ -266,14 +295,21 @@ class RunSpec:
                 raise SpecError("restart must use the parent's process count")
         if any(f <= 0 for f in self.checkpoint_fractions):
             raise SpecError("checkpoint fractions must be positive")
+        if any(f <= 0 for f in self.checkpoint_completion_fracs):
+            raise SpecError("checkpoint completion fractions must be positive")
 
     # -- structure ------------------------------------------------------ #
 
     def probe_spec(self) -> "RunSpec | None":
         """The uncheckpointed probe this spec's fractions are relative to."""
-        if not self.checkpoint_fractions:
+        if not self.checkpoint_fractions and not self.checkpoint_completion_fracs:
             return None
-        return replace(self, checkpoint_at=(), checkpoint_fractions=())
+        return replace(
+            self,
+            checkpoint_at=(),
+            checkpoint_fractions=(),
+            checkpoint_completion_fracs=(),
+        )
 
     def parents(self) -> "tuple[RunSpec, ...]":
         """Specs whose results this spec's execution depends on."""
@@ -316,7 +352,11 @@ class RunSpec:
                 niters = float(value)
                 break
         cost = float(self.nprocs) * niters
-        n_ckpt = len(self.checkpoint_at) + len(self.checkpoint_fractions)
+        n_ckpt = (
+            len(self.checkpoint_at)
+            + len(self.checkpoint_fractions)
+            + len(self.checkpoint_completion_fracs)
+        )
         if n_ckpt:
             # Checkpoint phases add drain/commit rounds on top of the
             # app's own traffic.
@@ -362,7 +402,11 @@ class RunSpec:
         tag = f"{self.app}/{self.protocol} p={self.nprocs}"
         if self.restart_of is not None:
             tag += " (restart)"
-        elif self.checkpoint_fractions or self.checkpoint_at:
+        elif (
+            self.checkpoint_fractions
+            or self.checkpoint_at
+            or self.checkpoint_completion_fracs
+        ):
             tag += " (ckpt)"
         return tag
 
@@ -425,13 +469,28 @@ def _execute(
     probe = spec.probe_spec()
     if probe is not None:
         probe_result = _resolve_parent(
-            probe, deps, guard=guard, images=images, need_images=False
+            probe,
+            deps,
+            guard=guard,
+            images=images,
+            need_images=False,
+            # Completion fractions anchor on per-rank finish instants; a
+            # probe result cached before that field existed is unusable
+            # and gets re-simulated (the fresh result then overwrites the
+            # stale cache entry), so the derived schedule is a function
+            # of the spec alone, never of cache vintage.
+            need_finish_times=bool(spec.checkpoint_completion_fracs),
         )
         if probe_result.na_reason:
             return _na_result(spec, probe_result.na_reason)
         checkpoint_at = checkpoint_at + tuple(
             f * probe_result.runtime for f in spec.checkpoint_fractions
         )
+        if spec.checkpoint_completion_fracs:
+            first_finish = min(probe_result.rank_finish_times)
+            checkpoint_at = checkpoint_at + tuple(
+                f * first_finish for f in spec.checkpoint_completion_fracs
+            )
 
     restore_images = None
     if spec.restart_of is not None:
@@ -500,13 +559,15 @@ def _resolve_parent(
     guard: int | None,
     images: "Callable[[RunSpec, int], dict | None] | None",
     need_images: bool,
+    need_finish_times: bool = False,
 ) -> RunResult:
     known = deps.get(parent)
-    if known is not None and (
-        not need_images
-        or known.na_reason
-        or result_has_full_images(known)
-    ):
+    if known is not None and not known.na_reason:
+        if need_images and not result_has_full_images(known):
+            known = None
+        elif need_finish_times and not known.rank_finish_times:
+            known = None
+    if known is not None:
         return known
     fresh = _execute(parent, deps, guard=guard, images=images)
     deps[parent] = fresh
@@ -547,7 +608,7 @@ def _canonical_value(value: Any) -> Any:
 
 def spec_to_dict(spec: RunSpec) -> dict:
     """JSON-representable form of a spec (recursive over restart chains)."""
-    return {
+    out = {
         "app": spec.app,
         "nprocs": spec.nprocs,
         "app_kwargs": [[k, v] for k, v in spec.app_kwargs],
@@ -562,6 +623,11 @@ def spec_to_dict(spec: RunSpec) -> dict:
         "restart_of": None if spec.restart_of is None else spec_to_dict(spec.restart_of),
         "restart_ckpt": spec.restart_ckpt,
     }
+    # Fault-schedule fields enter the content hash only when set, so
+    # every pre-existing spec keeps its hash (and its cache entry).
+    if spec.checkpoint_completion_fracs:
+        out["checkpoint_completion_fracs"] = list(spec.checkpoint_completion_fracs)
+    return out
 
 
 def spec_from_dict(data: Mapping[str, Any]) -> RunSpec:
@@ -585,6 +651,9 @@ def spec_from_dict(data: Mapping[str, Any]) -> RunSpec:
         seed=data.get("seed", 0),
         checkpoint_at=tuple(data.get("checkpoint_at", ())),
         checkpoint_fractions=tuple(data.get("checkpoint_fractions", ())),
+        checkpoint_completion_fracs=tuple(
+            data.get("checkpoint_completion_fracs", ())
+        ),
         storage=None if storage is None else StorageModel(**storage),
         params=params,
         max_events=data.get("max_events"),
@@ -611,18 +680,31 @@ _IMAGE_DROPPED = ("app_state", "seq_table", "creation_log", "call_log", "drained
 
 def _image_to_dict(image: CheckpointImage) -> dict:
     out = {name: getattr(image, name) for name in _IMAGE_SCALARS}
+    # ``final_result`` travels with the payload (it can be arbitrary app
+    # data): a stripped image cannot seed a restart anyway, so dropping
+    # it costs nothing the JSON form could have used.
+    out["finished"] = image.finished
     out["ggid_peers"] = {
         str(g): list(peers) for g, peers in image.ggid_peers.items()
     }
     out["pending_recvs"] = list(image.pending_recvs)
     out["stats"] = _canonical_value(image.stats)
-    out["dropped"] = {name: len(getattr(image, name)) for name in _IMAGE_DROPPED}
+    if image_is_stripped(image):
+        # Re-serializing a deserialized image must be idempotent: report
+        # the original payload's element counts (preserved in the
+        # stripped marker), not the marker's own shape.
+        out["dropped"] = dict(image.app_state[_STRIPPED_KEY])
+    else:
+        out["dropped"] = {
+            name: len(getattr(image, name)) for name in _IMAGE_DROPPED
+        }
     return out
 
 
 def _image_from_dict(data: Mapping[str, Any]) -> CheckpointImage:
     image = CheckpointImage(
         **{name: data[name] for name in _IMAGE_SCALARS},
+        finished=bool(data.get("finished", False)),
         app_state={_STRIPPED_KEY: dict(data.get("dropped", {}))},
         ggid_peers={int(g): list(p) for g, p in data.get("ggid_peers", {}).items()},
         pending_recvs=list(data.get("pending_recvs", ())),
@@ -712,6 +794,7 @@ def run_result_to_dict(result: RunResult) -> dict:
         "checkpoints": [checkpoint_record_to_dict(r) for r in result.checkpoints],
         "restart_read_time": result.restart_read_time,
         "restart_ready_time": result.restart_ready_time,
+        "rank_finish_times": list(result.rank_finish_times),
         "sim_events": result.sim_events,
         "na_reason": result.na_reason,
     }
@@ -737,6 +820,7 @@ def run_result_from_dict(data: Mapping[str, Any]) -> RunResult:
         ],
         restart_read_time=data.get("restart_read_time", 0.0),
         restart_ready_time=data.get("restart_ready_time", 0.0),
+        rank_finish_times=list(data.get("rank_finish_times", ())),
         sim_events=data.get("sim_events", 0),
         na_reason=data.get("na_reason", ""),
     )

@@ -1,0 +1,588 @@
+"""Fault-injection + differential-oracle verification subsystem.
+
+The paper's central claim — a topological sort over collective
+dependencies yields a *safe cut* under any interleaving of checkpoint
+requests and application progress — is the kind of property that only
+systematic adversarial validation keeps true as the system grows.  This
+module turns the repo's ad-hoc oracles (the online-vs-offline cut test,
+the serial-vs-parallel engine comparisons, the cold-vs-warm image-tier
+differentials) into one reusable subsystem:
+
+* :class:`FaultSchedule` — a seed-deterministic draw of the adversarial
+  knobs: checkpoint-request timing (mid-run fractions *and*
+  completion-window fractions that race rank exits), rank-completion
+  staggering (the ``earlyexit`` app's shape), and restart depth.  The
+  schedule's perturbations reach simulation through declarative
+  :class:`RunSpec` fields (``checkpoint_fractions``,
+  ``checkpoint_completion_fracs``, app kwargs), so they enter the spec
+  content hash and the result cache just like any figure cell.
+* :class:`Oracle` — one check: run the scenario a fault schedule
+  describes and compare two independent derivations of the same truth
+  (online vs offline cut, interrupted vs uninterrupted fingerprint,
+  serial vs parallel engine, cold vs warm tier).
+* :func:`run_oracles` — sweep oracles over seeds; every failure carries
+  a *derandomized reproduction command* (``repro-mpi verify --oracle X
+  --seeds 1 --base-seed N``) so a nightly CI hit replays locally in one
+  paste.
+
+``repro-mpi verify`` is the CLI face (cache-aware where an oracle
+permits, ``--bench-json``, failing-seed artifact on mismatch).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..util.hashing import stable_json_hash
+from .cache import ResultCache
+from .engine import ExperimentEngine
+from .runner import RunResult
+from .spec import (
+    RunSpec,
+    _canonical_value,
+    execute,
+    run_result_to_dict,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "Oracle",
+    "OracleMismatch",
+    "OracleReport",
+    "ORACLES",
+    "program_position_for",
+    "result_fingerprint",
+    "run_oracles",
+]
+
+
+class OracleMismatch(AssertionError):
+    """An oracle's two derivations of the same truth disagreed."""
+
+
+def result_fingerprint(result: RunResult) -> str:
+    """Determinism fingerprint of a run's application-visible outcome.
+
+    Per-rank results only: virtual times, event counts, and checkpoint
+    phase timings legitimately differ between an uninterrupted run and
+    a restart — what must be byte-identical is what the application
+    computed.
+    """
+    return stable_json_hash(_canonical_value(result.per_rank))
+
+
+def program_position_for(program, rank: int, counts: dict) -> int:
+    """Program position matching a rank's per-group executed counts.
+
+    The inverse projection the safe-cut oracle needs: SEQ tables count
+    per-group executions, positions index the rank's op sequence.
+    """
+    remaining = dict(counts)
+    pos = 0
+    for g in program.ops[rank]:
+        if all(v <= 0 for v in remaining.values()):
+            break
+        if remaining.get(g, 0) > 0:
+            remaining[g] -= 1
+            pos += 1
+        else:
+            if any(v > 0 for v in remaining.values()):
+                raise OracleMismatch(
+                    f"rank {rank}: counts {counts} unreachable in program"
+                )
+            break
+    if any(v != 0 for v in remaining.values()):
+        raise OracleMismatch(
+            f"rank {rank}: counts {counts} leave remainder {remaining}"
+        )
+    return pos
+
+
+# --------------------------------------------------------------------- #
+# Fault schedules
+# --------------------------------------------------------------------- #
+
+#: Modest storage so checkpoint phases stay fast at verification scale.
+def _storage():
+    from ..netmodel import StorageModel
+
+    return StorageModel(base_latency=1e-4)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One seed's adversarial scenario, fully declarative.
+
+    Everything here flows into :class:`RunSpec` fields or app kwargs,
+    so equal schedules build equal (content-hashed, cacheable) specs.
+    """
+
+    seed: int
+    protocol: str = "cc"
+    nprocs: int = 4
+    niters: int = 12
+    shared: int = 4
+    leavers: int = 1
+    #: Request instants as fractions of the probe's earliest rank
+    #: finish — the completion-race window (may exceed 1.0: requests
+    #: landing after ranks exited).
+    completion_fracs: tuple[float, ...] = (0.99,)
+    #: Additional mid-run request instants (fractions of probe runtime).
+    mid_fracs: tuple[float, ...] = ()
+    #: How many restart legs to chain from the committed images.
+    restart_depth: int = 1
+    #: Which committed checkpoint the first restart adopts.
+    restart_ckpt: int = 0
+
+    @classmethod
+    def draw(
+        cls, seed: int, *, protocols: Sequence[str] = ("cc", "2pc")
+    ) -> "FaultSchedule":
+        """Deterministically derive a schedule from ``seed``.
+
+        The draw covers the scenario axes the coordinator historically
+        got wrong: requests just before/at/after the first rank exit,
+        requests stacked so some defer behind an in-flight round, both
+        protocols, and single/chained restarts.
+        """
+        rng = np.random.default_rng(np.random.SeedSequence([0x5EED, seed]))
+        nprocs = int(rng.integers(3, 6))
+        niters = int(rng.integers(10, 15))
+        shared = int(rng.integers(3, min(6, niters)))
+        leavers = int(rng.integers(1, max(2, nprocs - 1)))
+        n_completion = int(rng.integers(1, 3))
+        completion_fracs = tuple(
+            round(float(f), 6) for f in rng.uniform(0.85, 1.15, n_completion)
+        )
+        mid_fracs = (
+            (round(float(rng.uniform(0.2, 0.7)), 6),)
+            if rng.random() < 0.5
+            else ()
+        )
+        n_commits = n_completion + len(mid_fracs)
+        return cls(
+            seed=seed,
+            protocol=str(rng.choice(list(protocols))),
+            nprocs=nprocs,
+            niters=niters,
+            shared=shared,
+            leavers=leavers,
+            completion_fracs=completion_fracs,
+            mid_fracs=mid_fracs,
+            restart_depth=int(rng.integers(1, 3)),
+            restart_ckpt=int(rng.integers(0, n_commits)),
+        )
+
+    # -- spec builders ------------------------------------------------- #
+
+    def _app_kwargs(self) -> dict:
+        return {
+            "niters": self.niters,
+            "shared": self.shared,
+            "leavers": self.leavers,
+            "memory_bytes": 1 << 20,
+        }
+
+    def uninterrupted_spec(self) -> RunSpec:
+        """The baseline run (identical to the checkpoint spec's probe,
+        so the engine dedupes the two)."""
+        return RunSpec.create(
+            "earlyexit",
+            self.nprocs,
+            app_kwargs=self._app_kwargs(),
+            protocol=self.protocol,
+            seed=self.seed,
+            storage=_storage(),
+        )
+
+    def checkpoint_spec(self) -> RunSpec:
+        """The perturbed run: requests racing rank completion (plus any
+        mid-run requests)."""
+        return RunSpec.create(
+            "earlyexit",
+            self.nprocs,
+            app_kwargs=self._app_kwargs(),
+            protocol=self.protocol,
+            seed=self.seed,
+            checkpoint_fractions=self.mid_fracs,
+            checkpoint_completion_fracs=self.completion_fracs,
+            storage=_storage(),
+        )
+
+    def restart_chain(self, base_runtime: float) -> "list[RunSpec]":
+        """``restart_depth`` chained restart specs from the checkpoint
+        run's commits.
+
+        Intermediate legs carry their own absolute-time request so the
+        next leg has an image set to adopt; the request instant is a
+        pure function of the (deterministic) base runtime, so the chain
+        specs are cache-stable.
+        """
+        chain: list[RunSpec] = []
+        parent = self.checkpoint_spec()
+        ckpt_index = self.restart_ckpt
+        for depth in range(self.restart_depth):
+            last = depth == self.restart_depth - 1
+            chain.append(
+                RunSpec.create(
+                    "earlyexit",
+                    self.nprocs,
+                    app_kwargs=self._app_kwargs(),
+                    protocol=self.protocol,
+                    seed=self.seed,
+                    storage=_storage(),
+                    restart_of=parent,
+                    restart_ckpt=ckpt_index,
+                    # Intermediate legs re-checkpoint (possibly past
+                    # their own completion: a terminal snapshot is a
+                    # legal parent now) so the chain can keep going.
+                    checkpoint_at=() if last else (base_runtime * 1.5,),
+                )
+            )
+            parent = chain[-1]
+            ckpt_index = 0
+        return chain
+
+
+# --------------------------------------------------------------------- #
+# Oracles
+# --------------------------------------------------------------------- #
+
+@dataclass
+class OracleReport:
+    """One oracle × seed outcome."""
+
+    oracle: str
+    seed: int
+    ok: bool
+    detail: str = ""
+    #: Derandomized one-paste reproduction command.
+    repro: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "seed": self.seed,
+            "ok": self.ok,
+            "detail": self.detail,
+            "repro": self.repro,
+        }
+
+
+class Oracle(ABC):
+    """One differential check, sweepable over fault-schedule seeds."""
+
+    #: Registry key and ``--oracle`` spelling.
+    name: str = "abstract"
+    #: One-line catalog entry (README / ``--help``).
+    description: str = ""
+    #: Whether the check can serve (and warm) the shared result cache.
+    cache_aware: bool = False
+
+    def check(self, seed: int, engine: "ExperimentEngine | None" = None) -> OracleReport:
+        """Run the check for one seed; never raises.
+
+        A mismatch is the oracle's verdict; any *other* exception — a
+        ProtocolError, a simulated deadlock, a spec error — is exactly
+        the kind of fault the sweep exists to surface, so it becomes a
+        failing report too (with the same derandomized repro command)
+        instead of crashing the remaining seeds and losing the artifact.
+        """
+        if engine is None or not self.cache_aware:
+            engine = ExperimentEngine()
+        try:
+            detail = self.verify(FaultSchedule.draw(seed), engine)
+            ok = True
+        except OracleMismatch as exc:
+            detail = str(exc)
+            ok = False
+        except Exception as exc:  # noqa: BLE001 - reported, never swallowed
+            detail = f"oracle crashed: {type(exc).__name__}: {exc}"
+            ok = False
+        return OracleReport(
+            oracle=self.name,
+            seed=seed,
+            ok=ok,
+            detail=detail,
+            repro=f"repro-mpi verify --oracle {self.name} --seeds 1 --base-seed {seed}",
+        )
+
+    @abstractmethod
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        """Perform the check; return a human-readable detail line or
+        raise :class:`OracleMismatch`."""
+
+    @staticmethod
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise OracleMismatch(message)
+
+
+class RankCompletionOracle(Oracle):
+    """Checkpoint-through-rank-completion, end to end.
+
+    A round racing rank completion must COMMIT (no ``abort_reason``),
+    the interrupted run must finish with the uninterrupted run's
+    per-rank results, and restarting from the committed images — to the
+    schedule's chained depth — must reproduce the same determinism
+    fingerprint.
+    """
+
+    name = "rank-completion"
+    description = (
+        "requests racing rank exits commit, and restart chains from the "
+        "committed images reproduce the uninterrupted fingerprint"
+    )
+    cache_aware = True
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        base = schedule.uninterrupted_spec()
+        ckpt = schedule.checkpoint_spec()
+        results = engine.run_batch([base, ckpt])
+        base_res, ckpt_res = results[base], results[ckpt]
+        self._require(not base_res.na_reason, f"baseline NA: {base_res.na_reason}")
+        self._require(not ckpt_res.na_reason, f"ckpt run NA: {ckpt_res.na_reason}")
+
+        n_requests = len(schedule.completion_fracs) + len(schedule.mid_fracs)
+        self._require(
+            len(ckpt_res.checkpoints) == n_requests,
+            f"{n_requests} requests produced {len(ckpt_res.checkpoints)} records",
+        )
+        aborted = [r for r in ckpt_res.checkpoints if r.aborted or r.abort_reason]
+        self._require(
+            not aborted,
+            "round(s) aborted instead of committing through completion: "
+            + "; ".join(r.abort_reason or "<no reason>" for r in aborted),
+        )
+        self._require(
+            all(r.committed for r in ckpt_res.checkpoints),
+            "not every record committed",
+        )
+
+        want = result_fingerprint(base_res)
+        got = result_fingerprint(ckpt_res)
+        self._require(
+            got == want,
+            f"interrupted run fingerprint {got} != uninterrupted {want}",
+        )
+
+        chain = schedule.restart_chain(base_res.runtime)
+        chain_res = engine.run_batch(chain)
+        final = chain_res[chain[-1]]
+        self._require(not final.na_reason, f"restart NA: {final.na_reason}")
+        got = result_fingerprint(final)
+        self._require(
+            got == want,
+            f"depth-{schedule.restart_depth} restart fingerprint {got} != "
+            f"uninterrupted {want}",
+        )
+        finished_images = sum(
+            1
+            for rec in ckpt_res.checkpoints
+            for im in rec.images.values()
+            if getattr(im, "finished", False)
+        )
+        return (
+            f"{n_requests} commit(s), {finished_images} finished-rank "
+            f"image(s), depth-{schedule.restart_depth} restart fingerprint ok"
+        )
+
+
+class SafeCutOracle(Oracle):
+    """Online CC cut vs the offline topological-sort fixpoint.
+
+    Runs the schedule-known ``scheduled`` app, checkpoints it at a
+    seed-drawn instant, and verifies the per-group SEQ values frozen in
+    the images equal :func:`repro.core.graph.compute_safe_cut` applied
+    to the request-time reports (paper Section 4.2.2).  Executes fresh
+    (never from cache): the comparison needs the full images' SEQ
+    tables, which never cross the JSON boundary.
+    """
+
+    name = "safe-cut"
+    description = (
+        "committed SEQ tables equal the offline topological-sort fixpoint "
+        "of the request-time reports"
+    )
+    cache_aware = False
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        from ..apps.scheduled import ScheduledMix
+        from ..core import compute_safe_cut
+
+        rng = np.random.default_rng(np.random.SeedSequence([0xC0DE, schedule.seed]))
+        nprocs = int(rng.choice([4, 6]))
+        niters = int(rng.integers(8, 13))
+        frac = float(rng.uniform(0.15, 1.05))
+        app_kwargs = {
+            "niters": niters,
+            "nprocs": nprocs,
+            "schedule_seed": schedule.seed,
+        }
+        spec = RunSpec.create(
+            "scheduled",
+            nprocs,
+            app_kwargs=app_kwargs,
+            protocol="cc",
+            seed=2,
+            checkpoint_fractions=(frac,),
+            storage=_storage(),
+        )
+        result = execute(spec)
+        self._require(not result.na_reason, f"run NA: {result.na_reason}")
+        committed = [r for r in result.checkpoints if r.committed]
+        self._require(bool(committed), "request did not commit")
+
+        program = ScheduledMix(**app_kwargs).offline_program()
+        checked = 0
+        for rec in committed:
+            start = tuple(
+                program_position_for(program, r, rec.seq_reports.get(r, {}))
+                for r in range(nprocs)
+            )
+            cut = compute_safe_cut(program, start)
+            for g, target in cut.targets.items():
+                for r in program.members[g]:
+                    snap = rec.images[r].seq_table["seq"].get(g, 0)
+                    self._require(
+                        snap == target,
+                        f"group {g:#x}: rank {r} snapshot seq {snap} != "
+                        f"oracle target {target}",
+                    )
+                    checked += 1
+        return f"{len(committed)} cut(s), {checked} (group, rank) targets match"
+
+
+class EngineEquivalenceOracle(Oracle):
+    """Serial vs parallel engine execution of one deduplicated batch.
+
+    The same specs — probe, checkpointed run, restart — through
+    ``jobs=1`` and ``jobs=2`` engines (both cache-less, so both actually
+    simulate) must serialize to byte-identical results.
+    """
+
+    name = "engine"
+    description = (
+        "a probe/checkpoint/restart batch is byte-identical between "
+        "serial and parallel engine execution"
+    )
+    cache_aware = False
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        base = schedule.uninterrupted_spec()
+        ckpt = schedule.checkpoint_spec()
+        restart = RunSpec.create(
+            "earlyexit",
+            schedule.nprocs,
+            app_kwargs=schedule._app_kwargs(),
+            protocol=schedule.protocol,
+            seed=schedule.seed,
+            storage=_storage(),
+            restart_of=ckpt,
+        )
+        specs = [base, ckpt, restart]
+        serial = ExperimentEngine(jobs=1).run_batch(specs)
+        parallel = ExperimentEngine(jobs=2).run_batch(specs)
+        for spec in specs:
+            a = stable_json_hash(run_result_to_dict(serial[spec]))
+            b = stable_json_hash(run_result_to_dict(parallel[spec]))
+            self._require(
+                a == b,
+                f"{spec.label()}: serial result {a} != parallel {b}",
+            )
+        return f"{len(specs)} specs byte-identical across jobs=1 and jobs=2"
+
+
+class ImageTierOracle(Oracle):
+    """Cold vs warm restart: the image tier must be invisible in results.
+
+    A restart whose parent is re-simulated inline (cold) and the same
+    restart fed the parent's committed images from a freshly-populated
+    cache tier (warm) must serialize identically — and the warm run
+    must actually have used the tier.
+    """
+
+    name = "image-tier"
+    description = (
+        "a tier-fed warm restart is byte-identical to a cold recompute "
+        "and simulates zero parents"
+    )
+    cache_aware = False
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        parent = schedule.checkpoint_spec()
+        restart = RunSpec.create(
+            "earlyexit",
+            schedule.nprocs,
+            app_kwargs=schedule._app_kwargs(),
+            protocol=schedule.protocol,
+            seed=schedule.seed,
+            storage=_storage(),
+            restart_of=parent,
+            restart_ckpt=schedule.restart_ckpt,
+        )
+        cold = execute(restart)
+        self._require(not cold.na_reason, f"cold restart NA: {cold.na_reason}")
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            ExperimentEngine(cache=ResultCache(tmp)).run(parent)
+            warm_engine = ExperimentEngine(cache=ResultCache(tmp))
+            warm = warm_engine.run(restart)
+            stats = warm_engine.last_stats
+            self._require(
+                stats is not None and stats.images_reused == 1,
+                "warm restart did not load its parent from the image tier",
+            )
+            self._require(
+                stats.executed == 1,
+                f"warm restart simulated {stats.executed} jobs (expected 1: "
+                "the restart alone)",
+            )
+        a = stable_json_hash(run_result_to_dict(cold))
+        b = stable_json_hash(run_result_to_dict(warm))
+        self._require(a == b, f"cold restart {a} != warm tier-fed restart {b}")
+        return "cold == warm, parent served from tier"
+
+
+#: Oracle catalog, ``--oracle`` spelling -> instance.
+ORACLES: "dict[str, Oracle]" = {
+    oracle.name: oracle
+    for oracle in (
+        RankCompletionOracle(),
+        SafeCutOracle(),
+        EngineEquivalenceOracle(),
+        ImageTierOracle(),
+    )
+}
+
+
+def run_oracles(
+    names: Iterable[str],
+    seeds: Iterable[int],
+    *,
+    engine: "ExperimentEngine | None" = None,
+    progress=None,
+) -> "list[OracleReport]":
+    """Sweep the named oracles over ``seeds``; returns every report.
+
+    ``progress``, if given, is called with each report as it lands.
+    Unknown oracle names raise ``KeyError`` with the catalog spelled out.
+    """
+    reports = []
+    for name in names:
+        try:
+            oracle = ORACLES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown oracle {name!r}; expected one of {sorted(ORACLES)}"
+            ) from None
+        for seed in seeds:
+            report = oracle.check(seed, engine)
+            reports.append(report)
+            if progress is not None:
+                progress(report)
+    return reports

@@ -9,7 +9,12 @@
 
 from .coordinator import CheckpointCoordinator, CheckpointRecord
 from .image import CheckpointImage, ImageError, read_image_file, write_image_file
-from .restart import load_checkpoint_set, save_checkpoint_set
+from .restart import (
+    finished_ranks,
+    load_checkpoint_set,
+    save_checkpoint_set,
+    set_is_terminal,
+)
 from .session import Session
 from .splitproc import (
     SplitView,
@@ -34,6 +39,8 @@ __all__ = [
     "write_image_file",
     "save_checkpoint_set",
     "load_checkpoint_set",
+    "finished_ranks",
+    "set_is_terminal",
     "SplitView",
     "split_view",
     "upper_half_of",

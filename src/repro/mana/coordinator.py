@@ -12,6 +12,22 @@ latency), and it drives the checkpoint state machine:
             counts; drain in-flight p2p; write images)
          -> idle
 
+A rank whose application has already returned participates through a
+:class:`_FinishedRankProxy` — the checkpoint-thread analog for a rank
+whose main thread is gone.  The proxy services the dead rank's control
+mailbox and reports it as *trivially parked*: the rank sits at its
+terminal program position with empty in-flight sets, so the round
+commits straight through rank completion (the coordinator used to
+abort these rounds; see ``tests/verify``).
+
+Control-plane broadcasts (intent / targets / confirm / commit / drain /
+snapshot / resume) are *batched*: one fan-out enters the event queue as
+a single :meth:`~repro.des.kernel.Simulator.defer_batch_at` entry that
+counts as one logical event per rank delivery, so the queue carries one
+entry per phase instead of ~2 per rank while event counts — and thus
+determinism fingerprints — stay byte-identical to the per-rank
+schedule.
+
 Checkpoint timing (request-to-written, phase breakdown) is recorded per
 checkpoint — the measurement behind Figure 9.
 """
@@ -74,6 +90,172 @@ class CheckpointRecord:
         return self.t_drained - self.t_request
 
 
+class _FinishedRankProxy:
+    """Coordinator-side stand-in for a rank whose process has exited.
+
+    A rank that returns from its application before it learns of a
+    checkpoint intent can never park — its main thread is gone — and
+    the round used to deadlock (then, after PR 3, abort).  The proxy is
+    the DMTCP checkpoint-thread analog for that rank: it taps the dead
+    rank's control mailbox and answers every coordinator message the
+    way a *trivially parked* rank would:
+
+    * ``intent``       -> report parked (terminal position, nothing to
+      drain: every collective this rank ever joined completed, so every
+      other member has already executed it too);
+    * ``targets``      -> verify no target exceeds the terminal SEQ
+      table (impossible for a legal program — a higher target would
+      mean a peer executed a collective this rank never joined);
+    * ``target_update``-> count it received and re-report park state so
+      Mattern's control-message sums still balance;
+    * ``confirm?``     -> vote still-parked;
+    * ``commit``/``drain_p2p``/``snapshot``/``resume`` -> run the
+      rank-side commit sequence against the (still live) session
+      object: report sent counts, verify nothing is left in flight for
+      this rank, build and "write" the image with the same modelled
+      storage delay a live rank pays.
+
+    All replies pay the same control latency a live rank's would, so
+    proxied rounds stay deterministic and timing-faithful.
+    """
+
+    def __init__(self, coordinator: "CheckpointCoordinator", rank: int):
+        self.coord = coordinator
+        self.rank = rank
+        self.sess = coordinator.sessions[rank]
+        self.sim = coordinator.sim
+        #: True between intent and resume/abort; messages arriving
+        #: outside an active round are absorbed without reports (e.g. a
+        #: straggling target update delivered after the round ended).
+        self.active = False
+
+    def install(self) -> None:
+        """Start servicing the rank's control mailbox.
+
+        Anything delivered between process exit and proxy installation
+        is sitting in the mailbox queue; drain it first, then tap every
+        future delivery.
+        """
+        self.sess.control.add_tap(self._drain)
+        self._drain()
+
+    # -- mailbox servicing --------------------------------------------- #
+
+    def _drain(self) -> None:
+        while True:
+            ok, msg = self.sess.control.try_get()
+            if not ok:
+                return
+            self._handle(msg)
+
+    def _send(self, msg: tuple) -> None:
+        coord = self.coord
+        latency = self.sess.overheads.control_latency
+        self.sim.call_after(latency, lambda: coord.deliver(msg))
+
+    def _report_parked(self) -> None:
+        proto = self.sess.protocol
+        proto._park_generation += 1
+        self._send(
+            (
+                "parked",
+                self.rank,
+                proto._park_generation,
+                self.sess.ctrl_sent,
+                self.sess.ctrl_received,
+            )
+        )
+
+    # -- message handling ---------------------------------------------- #
+
+    def _handle(self, msg: tuple) -> None:
+        kind = msg[0]
+        sess = self.sess
+        if kind == "intent":
+            self.active = True
+            sess.protocol.ckpt_id = msg[1]
+            self._report_parked()
+        elif kind == "targets":
+            self._check_targets(msg[1])
+        elif kind == "target_update":
+            # Nothing to chase (terminal position), but the receive must
+            # be counted and re-reported or the coordinator's quiescence
+            # sums never balance.
+            sess.ctrl_received += 1
+            self._check_targets({msg[1]: msg[2]})
+            if self.active:
+                self._report_parked()
+        elif kind == "confirm?":
+            if self.active:
+                self._send(
+                    ("confirm", self.rank, True, sess.ctrl_sent, sess.ctrl_received)
+                )
+        elif kind == "commit":
+            self._commit()
+        elif kind == "drain_p2p":
+            self._verify_drained(msg[1])
+            self._send(("p2p_done", self.rank, sess.declared_bytes))
+        elif kind == "snapshot":
+            image = sess.build_image()
+            image.stats["drained_nbc"] = 0
+            image.stats["drained_p2p"] = 0
+            # The live-rank timing: image written after the modelled
+            # storage delay, then one control latency back.
+            self.sim.call_after(
+                msg[1], lambda: self._send(("written", self.rank, image))
+            )
+        elif kind == "resume":
+            self.active = False
+            sess.protocol.ckpt_id = None
+            sess._reset_after_checkpoint()
+        elif kind == "abort":
+            self.active = False
+            sess.protocol.ckpt_id = None
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(
+                f"finished rank {self.rank}: proxy cannot handle {msg!r}"
+            )
+
+    def _check_targets(self, targets: dict[int, int]) -> None:
+        sess = self.sess
+        for ggid, target in targets.items():
+            if ggid in sess.ggids and target > sess.seq.seq.get(ggid, 0):
+                raise ProtocolError(
+                    f"finished rank {self.rank}: target {target} on group "
+                    f"{ggid:#x} exceeds its terminal SEQ "
+                    f"{sess.seq.seq.get(ggid, 0)} — a peer executed a "
+                    "collective this rank never joined"
+                )
+
+    def _commit(self) -> None:
+        sess = self.sess
+        dangling = [
+            vr for vr in sess.live_requests() if vr.is_collective and not vr.done
+        ]
+        if dangling:
+            raise ProtocolError(
+                f"finished rank {self.rank}: exited with incomplete "
+                f"non-blocking collectives {dangling!r}"
+            )
+        self._send(("nbc_done", self.rank, dict(sess.sent_to)))
+
+    def _verify_drained(self, expected: dict[tuple, int]) -> None:
+        """A finished rank drained everything by running to completion:
+        every message ever addressed to it was received before it
+        exited.  Anything still owed means a peer sent to a rank that
+        no longer receives — an application bug, not a protocol race.
+        """
+        sess = self.sess
+        for key, n in expected.items():
+            have = sess.recv_done.get(key, 0)
+            if have != n:
+                raise ProtocolError(
+                    f"finished rank {self.rank}: peer sent {n} message(s) "
+                    f"for {key} but only {have} were ever received — "
+                    "message addressed to a finished rank"
+                )
+
+
 class CheckpointCoordinator:
     """Protocol-agnostic coordinator; protocol specifics via CoordinatorLogic."""
 
@@ -97,6 +279,7 @@ class CheckpointCoordinator:
         self.procs: dict[int, "SimProcess"] = {}
         self.records: list[CheckpointRecord] = []
         self.finished_ranks: set[int] = set()
+        self._proxies: dict[int, _FinishedRankProxy] = {}
         self._state = "idle"
         self._next_ckpt_id = 0
         self._deferred_requests = 0
@@ -135,8 +318,56 @@ class CheckpointCoordinator:
             self.sim.call_after(latency, lambda: proc.alive and proc.interrupt())
 
     def _broadcast(self, msg: tuple) -> None:
-        for rank in self.sessions:
+        self._broadcast_each({rank: msg for rank in self.sessions})
+
+    def _broadcast_unbatched(self, msgs: "dict[int, tuple]") -> None:
+        """Reference fan-out: one ``defer`` + one interrupt timer per
+        rank.  Kept as the differential baseline the batched path is
+        pinned against (``tests/mana/test_broadcast_batching.py``) and
+        as the fallback for degenerate latency configurations."""
+        for rank, msg in msgs.items():
             self._send_to_rank(rank, msg)
+
+    def _broadcast_each(self, msgs: "dict[int, tuple]") -> None:
+        """Deliver a per-rank message map as ONE batched queue entry.
+
+        The per-rank sends of a control-plane fan-out are issued
+        back-to-back with nothing in between, so their queue entries
+        draw consecutive sequence numbers and fire in rank order with
+        no possible interleaving — which means running all the delivery
+        bodies inside a single :meth:`Simulator.defer_batch_at` entry
+        preserves the global dispatch order exactly.  The entry counts
+        as one logical event per delivery (plus one per interrupt
+        nudge), keeping event counts — and determinism fingerprints —
+        byte-identical to the unbatched schedule.
+        """
+        sessions = self.sessions
+        latencies = {sessions[rank].overheads.control_latency for rank in msgs}
+        if len(latencies) != 1 or next(iter(latencies)) <= 0.0:
+            # Zero latency delivers synchronously inside put() (no queue
+            # entry at all), and mixed latencies have no single batch
+            # instant: both take the reference path.
+            self._broadcast_unbatched(msgs)
+            return
+        latency = latencies.pop()
+        plan: list[tuple[int, tuple, bool]] = []
+        count = 0
+        for rank, msg in msgs.items():
+            proc = self.procs.get(rank)
+            nudge = proc is not None and proc.alive
+            plan.append((rank, msg, nudge))
+            count += 2 if nudge else 1
+
+        def fire() -> None:
+            procs = self.procs
+            for rank, msg, nudge in plan:
+                sessions[rank].control.put(msg)
+                if nudge:
+                    proc = procs[rank]
+                    if proc.alive:
+                        proc.interrupt()
+
+        self.sim.defer_batch_at(self.sim.now() + latency, fire, count)
 
     # ------------------------------------------------------------------ #
     # Checkpoint request entry point
@@ -162,16 +393,11 @@ class CheckpointCoordinator:
             t_request=self.sim.now(),
         )
         self.records.append(self._record)
-        if self.finished_ranks:
-            self._record.aborted = True
-            self._record.abort_reason = (
-                f"ranks {sorted(self.finished_ranks)} already finished"
-            )
-            self._record = None
-            # Any requests deferred behind this one must still be
-            # accounted for (each gets its own aborted record).
-            self._pump_deferred()
-            return
+        # Ranks that already finished are checkpointed *through*: their
+        # proxies answer the intent with a trivially-parked report and
+        # the round commits a terminal image for them.
+        for rank in sorted(self.finished_ranks):
+            self._install_proxy(rank)
         self._tracker = QuiescenceTracker(nprocs=self.nprocs)
         self._seq_reports.clear()
         self._nbc_reports.clear()
@@ -207,15 +433,14 @@ class CheckpointCoordinator:
     def deliver(self, msg: tuple) -> None:
         kind = msg[0]
         if kind == "finished":
+            # The rank's application returned.  If it had a pending
+            # intent it already parked and participated before sending
+            # this; if not (the intent is still in flight, or a later
+            # round starts), its proxy takes over its control mailbox —
+            # the round commits through rank completion instead of
+            # aborting (or, before PR 3, deadlocking).
             self.finished_ranks.add(msg[1])
-            if self._state in ("collecting", "draining", "confirming"):
-                # A rank exited before quiescing: the round can never
-                # complete (the quiescence tracker waits for a park that
-                # will not come).  Abort instead of deadlocking every
-                # still-parked rank.
-                self._abort_round(
-                    f"rank {msg[1]} finished before the cut quiesced"
-                )
+            self._install_proxy(msg[1])
             return
         if self._state == "idle":
             if self._aborted_rounds and kind in self._STALE_OK:
@@ -226,9 +451,27 @@ class CheckpointCoordinator:
             raise ProtocolError(f"coordinator cannot handle {msg!r}")
         handler(msg)
 
+    def _install_proxy(self, rank: int) -> None:
+        """Hand the finished rank's control plane to its proxy (idempotent).
+
+        A completion noted before sessions are attached (coordinator
+        still being wired) is only recorded; the proxy installs when the
+        next checkpoint request finds the rank in ``finished_ranks``.
+        """
+        if rank not in self._proxies and rank in self.sessions:
+            proxy = _FinishedRankProxy(self, rank)
+            self._proxies[rank] = proxy
+            proxy.install()
+
     def _abort_round(self, reason: str) -> None:
         """Abandon the in-flight (pre-commit) round: record why, release
-        every parked rank, and return to idle."""
+        every parked rank, and return to idle.
+
+        No longer reached by the normal state machine — a rank finishing
+        mid-round is proxied through the commit instead — but retained
+        as the safety valve fault-injection scenarios and future
+        coordinator features can abort into.
+        """
         assert self._record is not None
         self._record.aborted = True
         self._record.abort_reason = reason
@@ -244,10 +487,9 @@ class CheckpointCoordinator:
     def _pump_deferred(self) -> None:
         """Schedule the next deferred checkpoint request, if any.
 
-        Called whenever a round ends (commit or abort) *and* from the
-        immediate-abort path of :meth:`request_checkpoint`, so a queue
-        of deferred requests drains one aborted/committed record each
-        instead of silently losing everything after the first.
+        Called whenever a round ends (commit or abort), so a queue of
+        deferred requests drains one record each instead of silently
+        losing everything after the first.
         """
         if self._deferred_requests > 0:
             self._deferred_requests -= 1
@@ -330,8 +572,11 @@ class CheckpointCoordinator:
                     key = (ckey, sender)
                     bucket[key] = bucket.get(key, 0) + n
             self._state = "commit_p2p"
-            for rank in self.sessions:
-                self._send_to_rank(rank, ("drain_p2p", expected[rank]))
+            # Per-rank payloads, one batched fan-out (the drain kick-off
+            # used to wake ranks one `defer` at a time).
+            self._broadcast_each(
+                {rank: ("drain_p2p", expected[rank]) for rank in self.sessions}
+            )
 
     def _on_p2p_done(self, msg: tuple) -> None:
         _kind, rank, nbytes = msg

@@ -43,6 +43,7 @@ __all__ = [
     "read_image_file",
     "pack_image_set",
     "unpack_image_set",
+    "image_set_digest",
 ]
 
 MAGIC = b"MANAPY01"
@@ -89,6 +90,15 @@ class CheckpointImage:
     remaining_compute: float = 0.0
     #: Modelled upper-half memory (drives Fig. 9 write/read durations).
     declared_bytes: int = 0
+    #: True when the rank's application had already returned at the cut
+    #: (checkpoint-through-rank-completion): the rank is at its terminal
+    #: program position with empty in-flight sets, and a restart keeps
+    #: it finished instead of replaying anything.
+    finished: bool = False
+    #: The application's return value (``finalize``'s result), captured
+    #: for finished ranks so a restarted world reports the same per-rank
+    #: results as the uninterrupted run.
+    final_result: Any = None
     #: Number of MPI calls issued before the snapshot (diagnostics).
     stats: dict = field(default_factory=dict)
 
@@ -142,6 +152,24 @@ def pack_image_set(images: "dict[int, CheckpointImage]") -> bytes:
         _ARCHIVE_HEADER.pack(ARCHIVE_MAGIC, ARCHIVE_VERSION, len(payload), digest)
         + payload
     )
+
+
+def image_set_digest(blob: bytes) -> str:
+    """The hex SHA-256 digest embedded in a :func:`pack_image_set` blob.
+
+    This is the content address the result cache's image tier dedupes
+    on: two parents committing byte-identical image sets produce the
+    same digest, so the blob is stored once.  Raises :class:`ImageError`
+    for anything that is not a well-formed archive header.
+    """
+    if len(blob) < _ARCHIVE_HEADER.size:
+        raise ImageError("image-set blob: truncated header")
+    magic, version, _length, digest = _ARCHIVE_HEADER.unpack_from(blob)
+    if magic != ARCHIVE_MAGIC:
+        raise ImageError(f"image-set blob: bad magic {magic!r}")
+    if version != ARCHIVE_VERSION:
+        raise ImageError(f"image-set blob: unsupported version {version}")
+    return digest.hex()
 
 
 def unpack_image_set(raw: bytes) -> "dict[int, CheckpointImage]":

@@ -115,6 +115,10 @@ class Session:
         self.declared_bytes = 64 << 20
         self._in_compute_remaining = 0.0
         self.finished = False
+        #: The app's return value, set by the runner just before
+        #: :meth:`on_app_finished` so a checkpoint taken at (or after)
+        #: completion snapshots the terminal result.
+        self.final_result: Any = None
         self.checkpoints_taken = 0
 
         # COMM_WORLD is vcid 0, never in the creation log.
@@ -841,6 +845,8 @@ class Session:
             pending_recvs=pending_recvs,
             remaining_compute=self._in_compute_remaining,
             declared_bytes=self.declared_bytes,
+            finished=self.finished,
+            final_result=self.final_result,
             stats={"next_vrid": self._next_vrid, "next_vcid": self._next_vcid},
         )
         return pickle.loads(pickle.dumps(image, protocol=pickle.HIGHEST_PROTOCOL))
@@ -887,6 +893,11 @@ class Session:
         sess.creation_log = list(image.creation_log)
         sess.drain_buffer = list(image.drained)
         sess.declared_bytes = image.declared_bytes
+        # A rank that was finished at the cut stays finished: the runner
+        # never re-enters the application, and the restored final result
+        # is what the restarted job reports for this rank.
+        sess.finished = image.finished
+        sess.final_result = image.final_result
         sess.boundary_index = image.boundary_index
         sess.call_index = image.boundary_index
         sess._replay_entries = list(image.call_log)

@@ -1,143 +1,29 @@
 """The online CC protocol must stop at the offline topological-sort cut.
 
 We run an application whose per-rank collective-call schedule is known a
-priori, checkpoint it at random times, and verify that the per-group
-sequence numbers in the snapshot equal the fixpoint computed by the
-offline oracle (`repro.core.graph.compute_safe_cut`) from the
+priori (:class:`repro.apps.ScheduledMix`, shared with the ``safe-cut``
+verification oracle), checkpoint it at random times, and verify that the
+per-group sequence numbers in the snapshot equal the fixpoint computed
+by the offline oracle (`repro.core.graph.compute_safe_cut`) from the
 request-time SEQ reports.  This ties the implementation (Algorithms 1-3)
 to the paper's formal model (Section 4.2.2) end to end.
+
+The reusable pieces (the app, the counts→position inversion, the
+seeded-sweep driver) live in :mod:`repro.apps.scheduled` and
+:mod:`repro.harness.verify`; this file keeps the hypothesis property
+form plus a fast smoke case.
 """
 
-import numpy as np
-import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.apps.base import MpiApp
-from repro.core import CollectiveProgram, compute_safe_cut
+from repro.apps.scheduled import ScheduledMix
+from repro.core import compute_safe_cut
 from repro.harness.runner import launch_run
+from repro.harness.verify import ORACLES, program_position_for
 from repro.netmodel import StorageModel
-from repro.util.hashing import stable_hash_ranks
 
 STORAGE = StorageModel(base_latency=1e-4)
-
-
-def build_schedule(nprocs: int, niters: int, seed: int):
-    """Per-step group schedule, identical on every rank (a legal program).
-
-    Groups: world, evens, odds, low half, high half — a Figure-3-like
-    overlapping mix.  Returns (groups dict name->ranks, per-step op list).
-    """
-    groups = {
-        "world": tuple(range(nprocs)),
-        "even": tuple(r for r in range(nprocs) if r % 2 == 0),
-        "odd": tuple(r for r in range(nprocs) if r % 2 == 1),
-        "low": tuple(range(nprocs // 2)),
-        "high": tuple(range(nprocs // 2, nprocs)),
-    }
-    rng = np.random.default_rng(seed)
-    steps = []
-    for _ in range(niters):
-        names = list(rng.choice(["world", "even", "odd", "low", "high"], size=3))
-        steps.append(names)
-    return groups, steps
-
-
-class ScheduledApp(MpiApp):
-    """Executes the precomputed schedule; each op is an allreduce on the
-    named group's communicator."""
-
-    name = "scheduled"
-
-    def __init__(self, niters, nprocs, seed):
-        super().__init__(niters)
-        self.groups, self.steps = build_schedule(nprocs, niters, seed)
-
-    def setup(self, ctx):
-        comms = {"world": ctx.world}
-        comms["even"] = ctx.world.split(color=ctx.rank % 2 == 0, key=ctx.rank)
-        comms["odd"] = comms["even"]  # each rank holds its own parity comm
-        comms["low"] = ctx.world.split(
-            color=0 if ctx.rank < ctx.nprocs // 2 else 1, key=ctx.rank
-        )
-        comms["high"] = comms["low"]
-        ctx.state["comms"] = comms
-        ctx.state["acc"] = 0.0
-
-    def _my_group(self, ctx, name):
-        if name == "world":
-            return "world"
-        if name in ("even", "odd"):
-            mine = "even" if ctx.rank % 2 == 0 else "odd"
-            return mine if name == mine else None
-        mine = "low" if ctx.rank < ctx.nprocs // 2 else "high"
-        return mine if name == mine else None
-
-    def step(self, ctx, i):
-        ctx.compute_jittered(2e-6 * (1 + ctx.rank % 3), i)
-        acc = 0.0
-        for name in self.steps[i]:
-            mine = self._my_group(ctx, name)
-            if mine is None:
-                continue
-            key = "world" if name == "world" else ("even" if name in ("even", "odd") else "low")
-            acc += ctx.state["comms"][key].allreduce(float(i))
-        ctx.state["acc"] = ctx.state["acc"] + acc
-
-    def finalize(self, ctx):
-        return ctx.state["acc"]
-
-    # -- offline model ---------------------------------------------------- #
-
-    def offline_program(self) -> CollectiveProgram:
-        """Project the global schedule onto per-rank op sequences.
-
-        Communicator-creation calls count as collectives on the parent
-        group (world) — the implementation counts them too.
-        """
-        nprocs = len(self.groups["world"])
-        ggid = {name: stable_hash_ranks(ranks) for name, ranks in self.groups.items()}
-        ops = [[] for _ in range(nprocs)]
-        members = {ggid[name]: self.groups[name] for name in self.groups}
-        for r in range(nprocs):
-            # setup: two splits = two collectives on world.
-            ops[r].append(ggid["world"])
-            ops[r].append(ggid["world"])
-        for step_names in self.steps:
-            for name in step_names:
-                for r in self.groups[name]:
-                    ops[r].append(ggid[name])
-        return CollectiveProgram(
-            ops=tuple(tuple(o) for o in ops), members=members
-        )
-
-
-def positions_from_counts(program: CollectiveProgram, counts: dict) -> int:
-    """Find the program position matching the per-group executed counts."""
-    raise NotImplementedError  # replaced by per-rank helper below
-
-
-def position_for(program, rank, counts):
-    remaining = dict(counts)
-    pos = 0
-    for g in program.ops[rank]:
-        if all(v <= 0 for v in remaining.values()):
-            break
-        if remaining.get(g, 0) > 0:
-            remaining[g] -= 1
-            pos += 1
-        else:
-            # The next op is on a group whose count is exhausted: the
-            # rank stopped before it.
-            if any(v > 0 for v in remaining.values()):
-                # counts not yet satisfied but next op doesn't match —
-                # impossible for counts taken from a legal execution.
-                raise AssertionError(
-                    f"rank {rank}: counts {counts} unreachable in program"
-                )
-            break
-    assert all(v == 0 for v in remaining.values()), (rank, counts, remaining)
-    return pos
 
 
 @settings(
@@ -151,24 +37,23 @@ def position_for(program, rank, counts):
 )
 def test_online_cut_matches_offline_oracle(schedule_seed, frac):
     nprocs, niters = 6, 10
-    factory = lambda: ScheduledApp(niters, nprocs, schedule_seed)
+    factory = lambda: ScheduledMix(niters, nprocs=nprocs, schedule_seed=schedule_seed)
     native = launch_run(factory, nprocs, protocol="native", seed=2)
     ck = launch_run(
         factory, nprocs, protocol="cc", seed=2,
         checkpoint_at=[native.runtime * frac], storage=STORAGE,
     )
-    # A late request can race job completion: a rank may finish before
-    # the cut quiesces, and the coordinator (correctly) aborts the round.
-    # The oracle comparison is only meaningful for committed checkpoints.
+    # Every request commits — a round racing job completion checkpoints
+    # *through* the finished ranks rather than aborting.
     committed = [c for c in ck.checkpoints if c.committed]
-    assume(committed)
+    assert len(committed) == 1
     rec = committed[0]
-    app = factory()
-    program = app.offline_program()
+    program = factory().offline_program()
 
     # Request-time positions from the out-of-band SEQ reports.
     start = tuple(
-        position_for(program, r, rec.seq_reports.get(r, {})) for r in range(nprocs)
+        program_position_for(program, r, rec.seq_reports.get(r, {}))
+        for r in range(nprocs)
     )
     cut = compute_safe_cut(program, start)
 
@@ -187,7 +72,7 @@ def test_online_cut_matches_offline_oracle(schedule_seed, frac):
 def test_oracle_comparison_smoke():
     """Non-hypothesis single case, for fast failure diagnosis."""
     nprocs, niters = 4, 8
-    factory = lambda: ScheduledApp(niters, nprocs, seed=5)
+    factory = lambda: ScheduledMix(niters, nprocs=nprocs, schedule_seed=5)
     native = launch_run(factory, nprocs, protocol="native", seed=2)
     ck = launch_run(
         factory, nprocs, protocol="cc", seed=2,
@@ -198,3 +83,10 @@ def test_oracle_comparison_smoke():
     # Targets are per-ggid maxima of the reports.
     for g, t in rec.initial_targets.items():
         assert t == max(rep.get(g, 0) for rep in rec.seq_reports.values())
+
+
+def test_safe_cut_oracle_subsystem_agrees():
+    """The packaged oracle (used by `repro-mpi verify`) runs the same
+    comparison; one seed here keeps the wiring honest."""
+    report = ORACLES["safe-cut"].check(3)
+    assert report.ok, report.detail

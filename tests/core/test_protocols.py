@@ -140,13 +140,24 @@ class TestCheckpointSafety:
         assert len(committed) == 2
         assert r.per_rank == native_result.per_rank
 
-    def test_checkpoint_after_finish_aborts(self, native_result):
+    def test_checkpoint_after_finish_commits_terminal_snapshot(self, native_result):
+        """A request landing after every rank returned commits through
+        rank completion: every image is a terminal (finished) one and a
+        restart reproduces the completed job's results without running
+        a single application step."""
         r = launch_run(
             lambda: CollectiveMix(niters=30), 6, protocol="cc", seed=2,
             checkpoint_at=[native_result.runtime * 50],  # way past the end
             storage=FAST_STORAGE,
         )
-        assert r.checkpoints[0].aborted
+        rec = r.checkpoints[0]
+        assert rec.committed and not rec.aborted
+        assert all(im.finished for im in rec.images.values())
+        rs = restart_run(
+            lambda: CollectiveMix(niters=30), rec.images, seed=2,
+            storage=FAST_STORAGE,
+        )
+        assert rs.per_rank == native_result.per_rank
 
 
 class TestRestartEquivalence:

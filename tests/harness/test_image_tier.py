@@ -271,6 +271,94 @@ def test_prune_images_to_max_bytes_evicts_oldest_first(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# Cross-spec blob dedupe (content-addressed tier + per-spec pointers)
+# --------------------------------------------------------------------- #
+
+def _same_cut_specs():
+    """Two *different* specs whose simulations are identical — same app,
+    seed, and effective checkpoint instant, one scheduled as a fraction
+    and one as the equivalent absolute time — so their committed image
+    sets are byte-identical."""
+    frac_spec = _ckpt_spec()
+    probe = execute(frac_spec.probe_spec())
+    abs_spec = _ckpt_spec(
+        checkpoint_fractions=(), checkpoint_at=(probe.runtime * 0.5,)
+    )
+    assert spec_hash(frac_spec) != spec_hash(abs_spec)
+    return frac_spec, abs_spec
+
+
+def test_identical_image_sets_share_one_blob(tmp_path):
+    cache = ResultCache(tmp_path)
+    frac_spec, abs_spec = _same_cut_specs()
+    cache.put(frac_spec, execute(frac_spec))
+    bytes_after_first = cache.image_bytes()
+    cache.put(abs_spec, execute(abs_spec))
+    # Two pointers, ONE payload: the second put added ~nothing.
+    assert cache.image_count() == 1
+    assert cache.image_bytes() == bytes_after_first
+    assert cache.has_images(frac_spec, 0) and cache.has_images(abs_spec, 0)
+    assert cache.image_path_for(frac_spec, 0) == cache.image_path_for(abs_spec, 0)
+    a = cache.get_images(frac_spec, 0)
+    b = cache.get_images(abs_spec, 0)
+    assert a is not None and set(a) == set(b)
+
+
+def test_pruning_one_referrer_keeps_the_shared_blob(tmp_path):
+    cache = ResultCache(tmp_path)
+    frac_spec, abs_spec = _same_cut_specs()
+    cache.put(frac_spec, execute(frac_spec))
+    cache.put(abs_spec, execute(abs_spec))
+    assert cache.prune([frac_spec]) == 1
+    # The survivor still resolves; the blob only falls with its LAST ref.
+    assert not cache.has_images(frac_spec, 0)
+    assert cache.get_images(abs_spec, 0) is not None
+    assert cache.image_count() == 1
+    assert cache.prune([abs_spec]) == 1
+    assert cache.image_count() == 0
+    assert not list((tmp_path / cache.images_dir.name).rglob("*.blob"))
+
+
+def test_size_eviction_of_shared_blob_drops_every_pointer(tmp_path):
+    cache = ResultCache(tmp_path)
+    frac_spec, abs_spec = _same_cut_specs()
+    cache.put(frac_spec, execute(frac_spec))
+    cache.put(abs_spec, execute(abs_spec))
+    assert cache.prune_images_to_max_bytes(0) == 1  # one payload existed
+    assert not cache.has_images(frac_spec, 0)
+    assert not cache.has_images(abs_spec, 0)
+
+
+def test_legacy_inline_blob_still_served_and_counted(tmp_path):
+    """Pointer-location files written before the dedupe hold the archive
+    inline; they read, count, and age exactly as before."""
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    result = execute(spec)
+    record = [r for r in result.checkpoints if r.committed][0]
+    legacy = cache._pointer_path(spec, 0)
+    legacy.parent.mkdir(parents=True, exist_ok=True)
+    legacy.write_bytes(pack_image_set(record.images))
+    assert cache.has_images(spec, 0)
+    assert cache.image_count() == 1
+    assert cache.image_bytes() == legacy.stat().st_size
+    served = cache.get_images(spec, 0)
+    assert served is not None and set(served) == set(record.images)
+    assert cache.prune_images_to_max_bytes(0) == 1
+    assert not legacy.exists()
+
+
+def test_dangling_pointer_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    cache.put(spec, execute(spec))
+    # Delete the payload out from under the pointer.
+    cache.image_path_for(spec, 0).unlink()
+    assert cache.has_images(spec, 0)  # existence probe: pointer remains
+    assert cache.get_images(spec, 0) is None  # load degrades to a miss
+
+
+# --------------------------------------------------------------------- #
 # Warm-restart fast path: differential and engine-level tests
 # --------------------------------------------------------------------- #
 

@@ -173,17 +173,18 @@ class UnevenTail(MpiApp):
         return ctx.now()
 
 
-class TestFinishedMidRoundAbort:
-    """A rank exiting before the cut quiesces must abort the round, not
-    deadlock every still-parked rank (regression: DeadlockError with all
-    surviving ranks blocked on their control mailboxes)."""
+class TestCheckpointThroughCompletion:
+    """A rank exiting before the cut quiesces is checkpointed *through*:
+    its proxy reports it trivially parked and the round commits a
+    terminal image for it (the round used to abort — and before that,
+    deadlock every surviving rank on its control mailbox)."""
 
     def _finish_times(self, protocol):
         r = launch_run(lambda: UnevenTail(), 4, protocol=protocol, seed=3)
-        return r, list(r.per_rank)
+        return r, list(r.rank_finish_times)
 
     @pytest.mark.parametrize("protocol", ["cc", "2pc"])
-    def test_request_racing_first_finisher_aborts(self, protocol):
+    def test_request_racing_first_finisher_commits(self, protocol):
         base, finish = self._finish_times(protocol)
         t_first = min(finish)
         # Request just before rank 0 exits: the intent is still in flight
@@ -195,9 +196,9 @@ class TestFinishedMidRoundAbort:
         )
         assert len(r.checkpoints) == 1
         rec = r.checkpoints[0]
-        assert not rec.committed
-        assert rec.aborted
-        assert "finished" in rec.abort_reason
+        assert rec.committed
+        assert not rec.aborted and not rec.abort_reason
+        assert rec.images[0].finished  # the early finisher's terminal image
         # The survivors resumed and the job completed every iteration.
         assert r.per_rank  # finalize ran on every rank
 
@@ -208,16 +209,49 @@ class TestFinishedMidRoundAbort:
             checkpoint_at=[min(finish) * 0.5], storage=STORAGE,
         )
         assert [c.committed for c in r.checkpoints] == [True]
+        assert not any(im.finished for im in r.checkpoints[0].images.values())
 
-    def test_deferred_requests_behind_aborted_round_are_accounted(self):
-        """Every deferred request drains to its own aborted record, even
-        when the re-issued request itself aborts immediately."""
+    def test_deferred_requests_behind_completion_round_all_commit(self):
+        """Every deferred request drains to its own committed record,
+        each snapshotting a (progressively more) finished world."""
         base, finish = self._finish_times("cc")
         t_req = min(finish) - 1e-6
         r = launch_run(
             lambda: UnevenTail(), 4, protocol="cc", seed=3,
             checkpoint_at=[t_req, t_req + 1e-7, t_req + 2e-7], storage=STORAGE,
         )
-        # All three attempts exist; none deadlocked; all carry reasons.
+        # All three attempts exist; none deadlocked; all committed.
         assert len(r.checkpoints) == 3
-        assert all(c.aborted and c.abort_reason for c in r.checkpoints)
+        assert all(c.committed and not c.abort_reason for c in r.checkpoints)
+        assert all(c.images[0].finished for c in r.checkpoints)
+
+    def test_request_after_all_finished_commits_terminal_set(self):
+        from repro.mana import set_is_terminal
+
+        base, finish = self._finish_times("cc")
+        r = launch_run(
+            lambda: UnevenTail(), 4, protocol="cc", seed=3,
+            checkpoint_at=[max(finish) + 1e-4], storage=STORAGE,
+        )
+        rec = r.checkpoints[0]
+        assert rec.committed
+        assert set_is_terminal(rec.images)
+
+    def test_abort_round_still_releases_parked_ranks(self):
+        """The abort path is no longer reached by the state machine but
+        stays wired as a safety valve: drive it directly and check the
+        record + release semantics survive."""
+        from repro.des import Simulator
+        from repro.mana import CheckpointCoordinator
+
+        with Simulator() as sim:
+            coord = CheckpointCoordinator(sim, "cc")
+            coord.sessions = {}  # no ranks: exercise the bookkeeping only
+            coord._record = rec = __import__(
+                "repro.mana.coordinator", fromlist=["CheckpointRecord"]
+            ).CheckpointRecord(ckpt_id=0, protocol="cc", t_request=0.0)
+            coord.records.append(rec)
+            coord._state = "draining"
+            coord._abort_round("injected fault")
+            assert rec.aborted and rec.abort_reason == "injected fault"
+            assert coord.state == "idle"

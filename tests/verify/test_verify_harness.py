@@ -1,0 +1,160 @@
+"""The verification subsystem itself: schedules, oracle API, catalog."""
+
+import pytest
+
+from repro.harness import ExperimentEngine, FaultSchedule, ResultCache
+from repro.harness.spec import RunSpec, spec_hash
+from repro.harness.verify import (
+    ORACLES,
+    OracleMismatch,
+    program_position_for,
+    result_fingerprint,
+    run_oracles,
+)
+
+
+class TestFaultSchedule:
+    def test_draw_is_deterministic(self):
+        assert FaultSchedule.draw(11) == FaultSchedule.draw(11)
+        assert FaultSchedule.draw(11) != FaultSchedule.draw(12)
+
+    def test_draw_covers_both_protocols_and_depths(self):
+        drawn = [FaultSchedule.draw(s) for s in range(40)]
+        assert {d.protocol for d in drawn} == {"cc", "2pc"}
+        assert {d.restart_depth for d in drawn} == {1, 2}
+        assert any(d.mid_fracs for d in drawn)
+        assert any(not d.mid_fracs for d in drawn)
+        # The racing window is actually sampled on both sides of 1.0.
+        fracs = [f for d in drawn for f in d.completion_fracs]
+        assert min(fracs) < 1.0 < max(fracs)
+
+    def test_specs_are_valid_and_deduplicable(self):
+        schedule = FaultSchedule.draw(3)
+        base = schedule.uninterrupted_spec()
+        ckpt = schedule.checkpoint_spec()
+        # The checkpoint run's probe IS the baseline: one simulation.
+        assert ckpt.probe_spec() == base
+        chain = schedule.restart_chain(base_runtime=1.0)
+        assert len(chain) == schedule.restart_depth
+        assert chain[0].restart_of == ckpt
+
+    def test_fault_fields_enter_the_content_hash(self):
+        """Perturbing only the completion-race instants must change the
+        spec hash (cache cells are per fault schedule), while a spec
+        without the field keeps its pre-existing hash shape."""
+        plain = RunSpec.create("earlyexit", 4, protocol="cc", seed=0)
+        a = RunSpec.create(
+            "earlyexit", 4, protocol="cc", seed=0,
+            checkpoint_completion_fracs=(0.99,),
+        )
+        b = RunSpec.create(
+            "earlyexit", 4, protocol="cc", seed=0,
+            checkpoint_completion_fracs=(1.01,),
+        )
+        assert len({spec_hash(plain), spec_hash(a), spec_hash(b)}) == 3
+
+    def test_completion_fracs_validated(self):
+        from repro.harness.spec import SpecError
+
+        with pytest.raises(SpecError, match="positive"):
+            RunSpec.create(
+                "earlyexit", 4, protocol="cc",
+                checkpoint_completion_fracs=(-0.5,),
+            )
+        with pytest.raises(SpecError, match="native"):
+            RunSpec.create(
+                "earlyexit", 4, checkpoint_completion_fracs=(0.9,)
+            )
+
+
+class TestOracleCatalog:
+    def test_catalog_names_and_descriptions(self):
+        assert set(ORACLES) == {
+            "rank-completion",
+            "safe-cut",
+            "engine",
+            "image-tier",
+        }
+        for name, oracle in ORACLES.items():
+            assert oracle.name == name
+            assert oracle.description
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(KeyError, match="unknown oracle"):
+            run_oracles(["no-such-oracle"], [0])
+
+    @pytest.mark.parametrize("name", ["safe-cut", "image-tier"])
+    def test_single_seed_check_passes(self, name):
+        report = ORACLES[name].check(1)
+        assert report.ok, report.detail
+        assert report.detail
+
+    def test_engine_oracle_single_seed(self):
+        report = ORACLES["engine"].check(0)
+        assert report.ok, report.detail
+
+    def test_run_oracles_progress_and_order(self):
+        seen = []
+        reports = run_oracles(
+            ["safe-cut"], [0, 1], progress=lambda r: seen.append(r.seed)
+        )
+        assert seen == [0, 1]
+        assert all(r.ok for r in reports)
+
+    def test_oracle_crash_becomes_a_failing_report(self):
+        """A simulator-level fault (ProtocolError, deadlock, spec error)
+        must surface as a failing report with its repro command — not
+        crash the sweep and lose the remaining seeds + artifact."""
+        from repro.core.protocol import ProtocolError
+        from repro.harness.verify import Oracle
+
+        class Crashes(Oracle):
+            name = "crashes"
+            description = "stub"
+
+            def verify(self, schedule, engine):
+                raise ProtocolError("rank 2 wedged")
+
+        report = Crashes().check(9)
+        assert not report.ok
+        assert "oracle crashed: ProtocolError: rank 2 wedged" in report.detail
+        assert "--base-seed 9" in report.repro
+
+    def test_cache_aware_oracle_serves_warm_reruns(self, tmp_path):
+        cold_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        assert ORACLES["rank-completion"].check(2, cold_engine).ok
+        warm_engine = ExperimentEngine(cache=ResultCache(tmp_path))
+        assert ORACLES["rank-completion"].check(2, warm_engine).ok
+        assert warm_engine.last_stats.executed == 0
+
+
+class TestHelpers:
+    def test_position_inversion_round_trip(self):
+        from repro.apps.scheduled import ScheduledMix
+
+        app = ScheduledMix(niters=6, nprocs=4, schedule_seed=9)
+        program = app.offline_program()
+        for rank in range(4):
+            for pos in range(len(program.ops[rank]) + 1):
+                counts = program.counts_at(rank, pos)
+                assert program_position_for(program, rank, counts) == pos
+
+    def test_unreachable_counts_raise(self):
+        from repro.apps.scheduled import ScheduledMix
+
+        program = ScheduledMix(niters=4, nprocs=4, schedule_seed=0).offline_program()
+        with pytest.raises(OracleMismatch):
+            program_position_for(program, 0, {0xDEAD: 3})
+
+    def test_result_fingerprint_ignores_timing(self):
+        from repro.harness.runner import RunResult
+
+        a = RunResult(app="x", protocol="cc", nprocs=2, nnodes=1,
+                      runtime=1.0, per_rank=[1.5, 2.5], coll_calls=10,
+                      p2p_calls=0, sim_events=100)
+        b = RunResult(app="x", protocol="cc", nprocs=2, nnodes=1,
+                      runtime=9.0, per_rank=[1.5, 2.5], coll_calls=99,
+                      p2p_calls=5, sim_events=7)
+        assert result_fingerprint(a) == result_fingerprint(b)
+        b.per_rank = [1.5, 2.50001]
+        assert result_fingerprint(a) != result_fingerprint(b)
