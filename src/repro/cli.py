@@ -68,6 +68,7 @@ import json
 import sys
 import time
 
+from .des.backends import BACKENDS
 from .harness import (
     MASKS,
     ORACLES,
@@ -112,6 +113,21 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return value
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--backend`` execution-backend selector."""
+    parser.add_argument(
+        "--backend", choices=("auto",) + BACKENDS, default=None,
+        help="simulation execution backend (default: auto — greenlet when "
+             "importable, else threads; or $REPRO_SIM_BACKEND)",
+    )
+
+
+def _chosen_backend(args: argparse.Namespace) -> str | None:
+    """Map the CLI flag to an engine backend override (``auto`` == unset)."""
+    backend = getattr(args, "backend", None)
+    return None if backend == "auto" else backend
 
 
 def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
@@ -327,6 +343,7 @@ def _sweep_main(argv: list[str]) -> int:
     parser.add_argument("--nprocs", type=_positive_int, default=None,
                         help="process count for --study ckpt_freq/restart_chain")
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    _add_backend_arg(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -424,7 +441,8 @@ def _sweep_main(argv: list[str]) -> int:
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
     engine = ExperimentEngine(jobs=args.jobs, cache=cache,
-                              progress=not args.quiet)
+                              progress=not args.quiet,
+                              backend=_chosen_backend(args))
     t0 = time.time()
     results = run_plans([plan], engine)
     for result in results:
@@ -463,6 +481,7 @@ def _verify_main(argv: list[str]) -> int:
                         default=[],
                         help="oracle to run (repeatable; default: all)")
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    _add_backend_arg(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -484,7 +503,8 @@ def _verify_main(argv: list[str]) -> int:
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
     engine = ExperimentEngine(jobs=args.jobs, cache=cache,
-                              progress=False)
+                              progress=False,
+                              backend=_chosen_backend(args))
 
     def progress(report) -> None:
         if not args.quiet:
@@ -582,6 +602,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="ranks per node (table1/fig7/fig8/fig9)")
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
                         help="parallel simulation worker processes (default 1)")
+    _add_backend_arg(parser)
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result cache directory "
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
@@ -601,7 +622,8 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
     engine = ExperimentEngine(
-        jobs=args.jobs, cache=cache, progress=not args.quiet
+        jobs=args.jobs, cache=cache, progress=not args.quiet,
+        backend=_chosen_backend(args),
     )
 
     names = sorted(PLANNERS) if args.experiment == "all" else [args.experiment]

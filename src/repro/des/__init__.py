@@ -3,12 +3,22 @@
 Public surface:
 
 * :class:`Simulator` — the event loop / virtual clock.
-* :class:`SimProcess` — a thread-backed simulated process.
+* :class:`SimProcess` — a suspendable simulated process.
+* :mod:`repro.des.backends` — execution-backend selection
+  (``threads``/``greenlet``/``inline``; :func:`resolve_backend`,
+  :func:`set_default_backend`, ``REPRO_SIM_BACKEND``).
 * :mod:`repro.des.sync` — :class:`Waiter`, :class:`SimEvent`,
   :class:`Mailbox`, :class:`Gate` primitives.
 * :mod:`repro.des.errors` — kernel exception types.
 """
 
+from .backends import (
+    available_backends,
+    get_default_backend,
+    greenlet_available,
+    resolve_backend,
+    set_default_backend,
+)
 from .errors import (
     DeadlockError,
     NotInProcessError,
@@ -42,4 +52,9 @@ __all__ = [
     "SimClosedError",
     "NotInProcessError",
     "SchedulingError",
+    "available_backends",
+    "greenlet_available",
+    "resolve_backend",
+    "set_default_backend",
+    "get_default_backend",
 ]

@@ -1,0 +1,133 @@
+"""Execution-backend selection for the simulation kernel.
+
+The kernel runs ordinary blocking-style Python code under a virtual
+clock, which requires *suspending* a simulated process mid-call-stack.
+Three mechanisms implement that suspension:
+
+* ``threads`` — one OS thread per process, raw-``Lock`` handoff pairs.
+  This is the seed implementation and remains the differential
+  reference: every other backend must reproduce its event schedule
+  byte-for-byte (``Simulator.event_count`` is the fingerprint).
+* ``greenlet`` — one greenlet per process, scheduler and processes
+  share a single OS thread.  Control transfer is a userspace stack
+  switch (no locks, no kernel involvement), and a large world stops
+  costing one OS thread per rank.  Requires the optional ``greenlet``
+  package; auto-selected when importable.
+* ``inline`` — pure-stdlib same-thread-style scheduling: processes
+  keep carrier threads, but the scheduler loop *migrates onto the
+  blocked process's thread* (a baton protocol).  A process whose own
+  wake event is next in virtual time resumes inline with **zero** lock
+  operations and zero OS context switches; a cross-process transfer
+  costs one lock handoff instead of two.  This is the fast backend on
+  interpreters without greenlet.
+
+Selection precedence (first match wins):
+
+1. explicit ``Simulator(backend=...)`` argument;
+2. process-wide default installed via :func:`set_default_backend`
+   (the ``--backend`` CLI flag lands here, and the experiment engine
+   forwards the *resolved* name to spawned workers so parallel runs
+   agree with serial);
+3. the ``REPRO_SIM_BACKEND`` environment variable;
+4. ``auto``: ``greenlet`` when importable, else ``threads``.
+
+Every step accepts ``auto`` and the concrete names below; asking for
+``greenlet`` explicitly when the package is missing is a loud error,
+never a silent fallback.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "BACKENDS",
+    "ENV_VAR",
+    "available_backends",
+    "greenlet_available",
+    "resolve_backend",
+    "set_default_backend",
+    "get_default_backend",
+]
+
+#: Concrete backend names, in documentation order.
+BACKENDS = ("threads", "greenlet", "inline")
+
+#: Environment variable consulted when no explicit choice was made.
+ENV_VAR = "REPRO_SIM_BACKEND"
+
+_default_backend: str | None = None
+
+
+def greenlet_available() -> bool:
+    """True when the optional ``greenlet`` package is importable."""
+    try:
+        import greenlet  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The concrete backends usable in this interpreter."""
+    if greenlet_available():
+        return BACKENDS
+    return tuple(b for b in BACKENDS if b != "greenlet")
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install a process-wide default backend (``None`` clears it).
+
+    ``name`` may be ``auto`` or any concrete backend; it is validated
+    (and, for ``auto``, resolved) lazily at :func:`resolve_backend`
+    time so that installing a default never imports greenlet eagerly.
+    """
+    global _default_backend
+    if name is not None:
+        _check_name(name)
+    _default_backend = name
+
+
+def get_default_backend() -> str | None:
+    """The process-wide default installed via :func:`set_default_backend`."""
+    return _default_backend
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a backend request to a concrete, validated name.
+
+    Args:
+        name: explicit request (``auto``/``threads``/``greenlet``/
+            ``inline``) or ``None`` to fall through the precedence
+            chain documented in the module docstring.
+
+    Returns:
+        One of :data:`BACKENDS`.
+
+    Raises:
+        ValueError: unknown backend name.
+        ImportError: ``greenlet`` requested explicitly but not
+            importable.
+    """
+    if name is None:
+        name = _default_backend
+    if name is None:
+        name = os.environ.get(ENV_VAR) or None
+    if name is None or name == "auto":
+        return "greenlet" if greenlet_available() else "threads"
+    _check_name(name)
+    if name == "greenlet" and not greenlet_available():
+        raise ImportError(
+            "execution backend 'greenlet' was requested but the greenlet "
+            "package is not installed; install greenlet or select "
+            "'threads'/'inline' (REPRO_SIM_BACKEND / --backend)"
+        )
+    return name
+
+
+def _check_name(name: str) -> None:
+    if name != "auto" and name not in BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {name!r}; expected 'auto' or one of "
+            + ", ".join(repr(b) for b in BACKENDS)
+        )

@@ -1,22 +1,33 @@
-"""Deterministic discrete-event simulation kernel with thread-backed processes.
+"""Deterministic discrete-event simulation kernel with pluggable backends.
 
 The kernel lets ordinary *blocking-style* Python code (such as an MPI
 application calling ``comm.recv(...)``) run under a virtual clock.  Each
-simulated process is a real OS thread, but **exactly one thread runs at a
-time**: the scheduler hands a token to the process whose wake-up event is
-next in virtual time, and the process hands the token back whenever it
-performs a kernel call (``sleep``, blocking on a primitive, exiting).
-Because every hand-off is mediated by the event queue, and entries are
-ordered by ``(time, sequence_number)``, execution is fully deterministic
-for a fixed program — no dependence on OS thread scheduling.
+simulated process owns a real call stack, but **exactly one process runs
+at a time**: the scheduler transfers control to the process whose
+wake-up event is next in virtual time, and the process hands control
+back whenever it performs a kernel call (``sleep``, blocking on a
+primitive, exiting).  Because every hand-off is mediated by the event
+queue, and entries are ordered by ``(time, sequence_number)``, execution
+is fully deterministic for a fixed program — no dependence on OS thread
+scheduling.
+
+*How* a process suspends is an execution-backend concern (see
+:mod:`repro.des.backends`): the ``threads`` backend parks one OS thread
+per process on a raw ``Lock`` pair (the seed design, kept as the
+differential reference), the ``greenlet`` backend stack-switches inside
+a single OS thread, and the ``inline`` backend keeps carrier threads but
+migrates the scheduler loop onto the blocked process's thread so that a
+process whose own wake event is next resumes with zero lock operations.
+All backends replay the *same* event schedule — ``event_count`` is the
+byte-identical determinism fingerprint across them.
 
 Hot-path design (every simulated second is millions of these):
 
 * **Pure-callback events run inline** in the scheduler loop — timers,
-  request completions, and coordinator callbacks never touch a thread.
-  Only resuming a simulated *process* costs a thread handoff, and that
-  handoff uses raw ``threading.Lock`` pairs (C-level acquire/release)
-  rather than the Python-implemented ``Semaphore``.
+  request completions, and coordinator callbacks never touch a process.
+  Only resuming a simulated *process* costs a control transfer, and the
+  threads/inline transfer uses raw ``threading.Lock`` pairs (C-level
+  acquire/release) rather than the Python-implemented ``Semaphore``.
 * **Zero-delay events bypass the heap.**  Events scheduled at the
   current instant (process resumes, completion wakeups, mailbox
   deliveries) go to a FIFO *now-queue*; the run loop merges the two
@@ -55,11 +66,13 @@ from __future__ import annotations
 import itertools
 import threading
 from collections import deque
+from functools import partial as _partial
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Iterable
 
 import numpy as np
 
+from . import backends as _backends
 from .errors import (
     DeadlockError,
     NotInProcessError,
@@ -83,10 +96,26 @@ _DONE = "done"
 _FAILED = "failed"
 _KILLED = "killed"
 
+#: States in which a process still owns a runnable stack (hot-path
+#: membership test shared by ``SimProcess.alive`` and the schedulers).
+_ALIVE_STATES = (_NEW, _READY, _RUNNING, _BLOCKED)
+
 #: Default stack size for simulated process threads.  Simulated ranks are
 #: shallow (application loop + wrapper + kernel), so a small stack keeps
 #: memory bounded when simulating hundreds of ranks.
 _STACK_SIZE = 512 * 1024
+
+#: Lazily imported ``greenlet`` module (optional dependency).
+_greenlet = None
+
+
+def _load_greenlet():
+    global _greenlet
+    if _greenlet is None:
+        import greenlet as _mod
+
+        _greenlet = _mod
+    return _greenlet
 
 
 class Interrupted:
@@ -127,9 +156,16 @@ class Timer:
 
 
 class SimProcess:
-    """A simulated process: a thread that runs only when scheduled.
+    """A simulated process: a suspendable call stack run only when scheduled.
 
-    Do not instantiate directly; use :meth:`Simulator.spawn`.
+    Do not instantiate directly; use :meth:`Simulator.spawn`, which picks
+    the concrete subclass for the simulator's execution backend.  The
+    backend seam is four methods every subclass implements:
+
+    * ``_start`` — post-spawn setup (start a carrier thread, or nothing);
+    * ``_transfer_in`` — scheduler-side control transfer into the process;
+    * ``_yield_and_wait`` — process-side suspension back to the scheduler;
+    * ``_kill`` / ``_join`` — shutdown delivery and reclamation.
     """
 
     __slots__ = (
@@ -145,10 +181,8 @@ class SimProcess:
         "_sleep_timer",
         "_interrupted",
         "_killed",
-        "_resume",
         "_joiners",
         "_waiters_on_exit",
-        "_thread",
         "_resume_at",
         "_resume_action",
         "_wake_action",
@@ -176,19 +210,109 @@ class SimProcess:
         self._sleep_timer: Timer | None = None
         self._interrupted = False
         self._killed = False
-        # Raw Lock (not Semaphore): acquire/release are C-level, and the
-        # kernel's strict one-runner-at-a-time handoff never needs counts.
-        self._resume = threading.Lock()
-        self._resume.acquire()
         self._joiners: list[SimProcess] = []
         self._waiters_on_exit: list[Callable[[], None]] = []
         #: Virtual time of the pending resume event (-1.0 when none),
         #: for same-time coalescing.
         self._resume_at = -1.0
-        # Preallocated hot-path callbacks: one closure per process for
-        # its lifetime instead of one per resume/sleep.
-        self._resume_action = lambda: sim._resume_process(self)
-        self._wake_action = lambda: sim._make_ready(self)
+        # Preallocated hot-path callbacks: one per process for its
+        # lifetime instead of one per resume/sleep.  partial() beats a
+        # lambda here — the dispatch stays in C, no closure frame.
+        self._resume_action = _partial(sim._resume_process, self)
+        self._wake_action = _partial(sim._make_ready, self)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alive(self) -> bool:
+        """True while the process has not finished, failed, or been killed."""
+        return self.state in _ALIVE_STATES
+
+    @property
+    def done(self) -> bool:
+        return self.state == _DONE
+
+    @property
+    def failed(self) -> bool:
+        return self.state == _FAILED
+
+    def __repr__(self) -> str:
+        return f"<SimProcess {self.name} state={self.state}>"
+
+    # ------------------------------------------------------------------ #
+    # Backend seam (implemented by concrete subclasses)
+    # ------------------------------------------------------------------ #
+
+    def _start(self) -> None:
+        raise NotImplementedError
+
+    def _transfer_in(self) -> None:
+        """Transfer control into this process (scheduler context)."""
+        raise NotImplementedError
+
+    def _yield_and_wait(self) -> None:
+        """Give control back to the scheduler and wait to be resumed
+        (called from inside the process)."""
+        raise NotImplementedError
+
+    def _kill(self) -> None:
+        """Deliver :class:`ProcessKilled` and run the stack to completion
+        (called from :meth:`Simulator.close`)."""
+        raise NotImplementedError
+
+    def _join(self) -> None:
+        """Reclaim backend resources after :meth:`_kill`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Cross-process operations (must run while holding control, i.e.
+    # from another process, a timer callback, or the scheduler itself)
+    # ------------------------------------------------------------------ #
+
+    def interrupt(self) -> bool:
+        """Interrupt this process's interruptible sleep, if any.
+
+        Returns True if the process was sleeping interruptibly and has been
+        scheduled to wake immediately; False otherwise (no-op).
+        """
+        if self._sleep_timer is not None and not self._sleep_timer.cancelled:
+            self._sleep_timer.cancel()
+            self._interrupted = True
+            self.sim._make_ready(self)
+            self.sim._trace_emit("interrupt", self.name, "")
+            return True
+        return False
+
+    def on_exit(self, waker: Callable[[], None]) -> None:
+        """Register a callback invoked (in scheduler context) when this
+        process terminates for any reason.  If already terminated the
+        callback runs immediately."""
+        if not self.alive:
+            waker()
+        else:
+            self._waiters_on_exit.append(waker)
+
+
+class _ThreadBackedProcess(SimProcess):
+    """Shared machinery for backends that give each process an OS thread."""
+
+    __slots__ = ("_resume", "_thread")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+    ):
+        super().__init__(sim, fn, args, kwargs, name)
+        # Raw Lock (not Semaphore): acquire/release are C-level, and the
+        # kernel's strict one-runner-at-a-time handoff never needs counts.
+        self._resume = threading.Lock()
+        self._resume.acquire()
         old = threading.stack_size()
         try:
             threading.stack_size(_STACK_SIZE)
@@ -204,29 +328,31 @@ class SimProcess:
             except (ValueError, RuntimeError):  # pragma: no cover
                 pass
 
-    # ------------------------------------------------------------------ #
-    # Introspection
-    # ------------------------------------------------------------------ #
+    def _bootstrap(self) -> None:
+        raise NotImplementedError
 
-    @property
-    def alive(self) -> bool:
-        """True while the process has not finished, failed, or been killed."""
-        return self.state in (_NEW, _READY, _RUNNING, _BLOCKED)
+    def _start(self) -> None:
+        self._thread.start()
 
-    @property
-    def done(self) -> bool:
-        return self.state == _DONE
+    def _kill(self) -> None:
+        if self.alive and self._thread.is_alive():
+            self._killed = True
+            self.sim._trace_emit("kill", self.name, "")
+            self._resume.release()
+            self.sim._token.acquire()
 
-    @property
-    def failed(self) -> bool:
-        return self.state == _FAILED
+    def _join(self) -> None:
+        if self._thread.is_alive():
+            self._thread.join(timeout=5.0)
 
-    def __repr__(self) -> str:
-        return f"<SimProcess {self.name} state={self.state}>"
 
-    # ------------------------------------------------------------------ #
-    # Thread body
-    # ------------------------------------------------------------------ #
+class _ThreadProcess(_ThreadBackedProcess):
+    """``threads`` backend: the scheduler stays on the run() thread and
+    each transfer is a ``_resume``/``_token`` lock handoff (two OS
+    context switches per resume).  Seed semantics; differential
+    reference for the other backends."""
+
+    __slots__ = ()
 
     def _bootstrap(self) -> None:
         _tls.proc = self
@@ -255,6 +381,14 @@ class SimProcess:
         self._waiters_on_exit.clear()
         self.sim._token.release()
 
+    def _transfer_in(self) -> None:
+        sim = self.sim
+        previous = sim._current
+        sim._current = self
+        self._resume.release()
+        sim._token.acquire()
+        sim._current = previous
+
     # Called from *inside* the process thread to give control back to the
     # scheduler and wait to be resumed.
     def _yield_and_wait(self) -> None:
@@ -264,33 +398,215 @@ class SimProcess:
             raise ProcessKilled()
         self.state = _RUNNING
 
-    # ------------------------------------------------------------------ #
-    # Cross-process operations (must run while holding the token, i.e.
-    # from another process, a timer callback, or the scheduler itself)
-    # ------------------------------------------------------------------ #
 
-    def interrupt(self) -> bool:
-        """Interrupt this process's interruptible sleep, if any.
+class _InlineProcess(_ThreadBackedProcess):
+    """``inline`` backend: carrier threads plus a migrating scheduler.
 
-        Returns True if the process was sleeping interruptibly and has been
-        scheduled to wake immediately; False otherwise (no-op).
-        """
-        if self._sleep_timer is not None and not self._sleep_timer.cancelled:
-            self._sleep_timer.cancel()
-            self._interrupted = True
-            self.sim._make_ready(self)
-            self.sim._trace_emit("interrupt", self.name, "")
-            return True
-        return False
+    Instead of bouncing control back to a dedicated scheduler thread on
+    every suspension, the *blocking process itself* becomes the
+    scheduler (:meth:`Simulator._inline_core`) and keeps dispatching
+    events on its own thread.  When the next process to run is the
+    driver itself — the overwhelmingly common case for compute/sleep
+    loops — the "transfer" is a plain function return: zero lock
+    operations and zero OS context switches.  A cross-process transfer
+    releases the target's ``_resume`` lock and parks the driver, one
+    lock handoff instead of the threads backend's two.  The thread
+    parked in :meth:`Simulator.run` only wakes when the event loop
+    reaches a terminal state (queue exhausted, ``until`` cutoff, or an
+    error to raise).
+    """
 
-    def on_exit(self, waker: Callable[[], None]) -> None:
-        """Register a callback invoked (in scheduler context) when this
-        process terminates for any reason.  If already terminated the
-        callback runs immediately."""
-        if not self.alive:
-            waker()
+    __slots__ = ()
+
+    def _bootstrap(self) -> None:
+        sim = self.sim
+        _tls.proc = self
+        self._resume.acquire()
+        if self._killed:
+            self.state = _KILLED
+            sim._token.release()
+            return
+        sim._current = self
+        self.state = _RUNNING
+        try:
+            self.result = self.fn(*self.args, **self.kwargs)
+        except ProcessKilled:
+            self.state = _KILLED
+            sim._token.release()
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported to scheduler
+            self.state = _FAILED
+            self.exception = exc
+            sim._failed.append(self)
+            sim._trace_emit("fail", self.name, repr(exc))
         else:
-            self._waiters_on_exit.append(waker)
+            self.state = _DONE
+            sim._trace_emit("exit", self.name, "")
+        for waker in self._waiters_on_exit:
+            waker()
+        self._waiters_on_exit.clear()
+        _tls.proc = None
+        sim._current = None
+        if sim._closed:
+            # Killed during close() but the body caught ProcessKilled (or
+            # finished racing it): hand control straight back to close()
+            # instead of driving the event loop during teardown.
+            sim._token.release()
+            return
+        # This thread still holds the baton: keep dispatching events
+        # until control can be handed to the next process (or the
+        # terminal result delivered to the thread parked in run()),
+        # then let the carrier thread exit.
+        kind, payload = sim._inline_core(None, sim._inline_until)
+        sim._inline_handoff(kind, payload)
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        # One resume event fires per suspend; fold the generic
+        # _resume_process -> _transfer_in pair into a single bound
+        # method so the hottest path in this backend is one call.
+        self._resume_action = self._resume_inline
+
+    def _resume_inline(self) -> None:
+        # Mirrors Simulator._resume_process + _transfer_in exactly.
+        if self.state not in _ALIVE_STATES:
+            return
+        self._resume_at = -1.0
+        sim = self.sim
+        if sim._tracer is not None:
+            sim._trace_emit(
+                "start" if self.state == _READY else "wake", self.name, ""
+            )
+        sim._switch = self
+
+    def _transfer_in(self) -> None:
+        # Scheduler context *is* some carrier (or the run() caller's)
+        # thread; record the winner and let the drive loop do the baton
+        # pass after the current event's action returns.
+        self.sim._switch = self
+
+    def _yield_and_wait(self) -> None:
+        # This blocked process becomes the scheduler: _inline_core runs
+        # right here on its carrier thread.  Returning "resume" means
+        # our own wake event came up while driving — the transfer back
+        # is this plain function return, no locks touched.  Otherwise
+        # pass the baton (wake the next carrier, or deliver a terminal
+        # result to the thread parked in run()) and park until resumed.
+        sim = self.sim
+        _tls.proc = None
+        sim._current = None
+        kind, payload = sim._inline_core(self, sim._inline_until)
+        if kind != "resume":
+            sim._inline_handoff(kind, payload)
+            self._resume.acquire()
+        _tls.proc = self
+        sim._current = self
+        if self._killed:
+            raise ProcessKilled()
+        self.state = _RUNNING
+
+
+class _GreenletProcess(SimProcess):
+    """``greenlet`` backend: one greenlet per process, single OS thread.
+
+    Control transfer is a userspace stack switch — no locks, no kernel
+    scheduler — and a simulated world stops costing one OS thread per
+    rank.  Greenlets are created lazily at first resume, and the parent
+    link is re-pointed at the current scheduler greenlet on every
+    transfer so a finishing process always falls back into the
+    scheduler that resumed it.
+    """
+
+    __slots__ = ("_glet",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+    ):
+        super().__init__(sim, fn, args, kwargs, name)
+        self._glet = None
+
+    def _start(self) -> None:
+        pass  # the greenlet is created lazily at first resume
+
+    def _bootstrap(self) -> None:
+        sim = self.sim
+        if self._killed:
+            self.state = _KILLED
+            return
+        self.state = _RUNNING
+        try:
+            self.result = self.fn(*self.args, **self.kwargs)
+        except ProcessKilled:
+            self.state = _KILLED
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported to scheduler
+            self.state = _FAILED
+            self.exception = exc
+            sim._failed.append(self)
+            sim._trace_emit("fail", self.name, repr(exc))
+        else:
+            self.state = _DONE
+            sim._trace_emit("exit", self.name, "")
+        for waker in self._waiters_on_exit:
+            waker()
+        self._waiters_on_exit.clear()
+        # Falling off ends the greenlet; control returns to the parent
+        # (the scheduler greenlet recorded at the last transfer).
+
+    def _transfer_in(self) -> None:
+        sim = self.sim
+        glet = self._glet
+        if glet is None:
+            glet = self._glet = _greenlet.greenlet(self._bootstrap)
+        here = _greenlet.getcurrent()
+        glet.parent = here
+        sim._sched_glet = here
+        previous = sim._current
+        prev_proc = getattr(_tls, "proc", None)
+        sim._current = self
+        # _tls is shared with the scheduler on this backend (same OS
+        # thread), so the current-process marker must swap per switch.
+        _tls.proc = self
+        glet.switch()
+        _tls.proc = prev_proc
+        sim._current = previous
+
+    def _yield_and_wait(self) -> None:
+        self.sim._sched_glet.switch()
+        if self._killed:
+            raise ProcessKilled()
+        self.state = _RUNNING
+
+    def _kill(self) -> None:
+        if not self.alive:
+            return
+        self._killed = True
+        self.sim._trace_emit("kill", self.name, "")
+        glet = self._glet
+        if glet is None or glet.dead:
+            # Never started (or already unwound): nothing to deliver.
+            self.state = _KILLED
+            return
+        glet.parent = _greenlet.getcurrent()
+        prev_proc = getattr(_tls, "proc", None)
+        _tls.proc = self
+        glet.switch()  # resumes in _yield_and_wait -> raises ProcessKilled
+        _tls.proc = prev_proc
+
+    def _join(self) -> None:
+        pass
+
+
+_PROCESS_CLASSES: dict[str, type[SimProcess]] = {
+    "threads": _ThreadProcess,
+    "greenlet": _GreenletProcess,
+    "inline": _InlineProcess,
+}
 
 
 class Simulator:
@@ -304,6 +620,11 @@ class Simulator:
         max_events: safety valve — :meth:`run` raises ``SchedulingError``
             after this many events (guards against runaway protocol loops
             in tests).
+        backend: execution backend (``"threads"``, ``"greenlet"``,
+            ``"inline"`` or ``"auto"``); ``None`` falls through the
+            precedence chain in :mod:`repro.des.backends`
+            (process default, ``REPRO_SIM_BACKEND``, auto-detect).
+            All backends produce byte-identical event schedules.
     """
 
     def __init__(
@@ -312,7 +633,13 @@ class Simulator:
         seed: int = 0,
         tracer: Tracer | None = None,
         max_events: int | None = None,
+        backend: str | None = None,
     ):
+        self._backend = _backends.resolve_backend(backend)
+        if self._backend == "greenlet":
+            _load_greenlet()
+        self._process_cls = _PROCESS_CLASSES[self._backend]
+        self._inline = self._backend == "inline"
         #: Future events: ``(time, seq, timer_or_None, action)`` tuples
         #: so heap sifting compares in C without calling back into
         #: Python; the Timer slot is None for non-cancellable events.
@@ -333,7 +660,8 @@ class Simulator:
         self._processes: list[SimProcess] = []
         self._failed: list[SimProcess] = []
         self._current: SimProcess | None = None
-        # Scheduler-side half of the handoff pair; see SimProcess._resume.
+        # Scheduler-side half of the handoff pair (threads/inline
+        # backends); see _ThreadBackedProcess._resume.
         self._token = threading.Lock()
         self._token.acquire()
         self._running = False
@@ -347,6 +675,18 @@ class Simulator:
         #: Logical events carried by batch entries beyond the entries
         #: themselves (see :meth:`defer_batch_at`).
         self._extra_events = 0
+        #: inline backend: process chosen by the last resume action,
+        #: consumed by the drive loop right after the action returns.
+        self._switch: SimProcess | None = None
+        #: inline backend: ``until`` of the active run(), re-read by every
+        #: drive loop entered while that run is in flight.
+        self._inline_until: float | None = None
+        #: inline backend: terminal result/exception handed from whichever
+        #: thread finished driving back to the thread parked in run().
+        self._inline_result: Any = None
+        self._inline_exc: BaseException | None = None
+        #: greenlet backend: the scheduler greenlet to switch back to.
+        self._sched_glet = None
 
     # ------------------------------------------------------------------ #
     # Clock and RNG
@@ -359,6 +699,11 @@ class Simulator:
     @property
     def seed(self) -> int:
         return self._seed
+
+    @property
+    def backend(self) -> str:
+        """Concrete execution backend name (``threads``/``greenlet``/``inline``)."""
+        return self._backend
 
     def rng(self, name: str) -> np.random.Generator:
         """A named, deterministic random stream derived from the master seed.
@@ -540,8 +885,9 @@ class Simulator:
         """Create a simulated process and schedule it to start.
 
         Args:
-            fn: the process body; runs in its own thread under the virtual
-                clock.  Its return value is stored on ``proc.result``.
+            fn: the process body; runs as a suspendable call stack under
+                the virtual clock.  Its return value is stored on
+                ``proc.result``.
             name: diagnostic name (auto-generated if omitted).
             start_at: virtual time at which the process begins (default:
                 now).
@@ -549,7 +895,7 @@ class Simulator:
         self._check_open()
         if name is None:
             name = f"proc-{len(self._processes)}"
-        proc = SimProcess(self, fn, args, kwargs, name)
+        proc = self._process_cls(self, fn, args, kwargs, name)
         self._processes.append(proc)
         proc.state = _READY
         start = self._now if start_at is None else start_at
@@ -557,7 +903,7 @@ class Simulator:
         self.defer_at(start, proc._resume_action)
         if self._tracer is not None:
             self._trace_emit("spawn", name, "start_at=%g", start)
-        proc._thread.start()
+        proc._start()
         return proc
 
     # ------------------------------------------------------------------ #
@@ -591,18 +937,40 @@ class Simulator:
         if interruptible:
             proc._sleep_timer = self.call_after(delay, proc._wake_action)
         else:
-            # Fire-and-forget wake: no Timer handle, no closure.
-            self.defer(delay, proc._wake_action)
+            # Fire-and-forget wake, with defer()'s insert inlined:
+            # sleep is the hottest call in the kernel and the guards
+            # above already ran.
+            if self._closed:
+                raise SimClosedError("simulator is closed")
+            wake = proc._wake_action
+            seq = self._next_seq()
+            if delay == 0.0:
+                self._nowq.append((self._now, seq, None, wake))
+            else:
+                time = self._now + delay
+                front = self._front
+                if front is None:
+                    heap = self._heap
+                    if heap and heap[0][0] <= time:
+                        _heappush(heap, (time, seq, None, wake))
+                    else:
+                        self._front = (time, seq, None, wake)
+                elif time < front[0]:
+                    _heappush(self._heap, front)
+                    self._front = (time, seq, None, wake)
+                else:
+                    _heappush(self._heap, (time, seq, None, wake))
         proc.state = _BLOCKED
         proc.blocked_on = "sleep"
         if self._tracer is not None:
             self._trace_emit("sleep", proc.name, "%g", delay)
         proc._yield_and_wait()
-        proc._sleep_timer = None
         proc.blocked_on = ""
-        if proc._interrupted:
-            proc._interrupted = False
-            return INTERRUPTED
+        if interruptible:
+            proc._sleep_timer = None
+            if proc._interrupted:
+                proc._interrupted = False
+                return INTERRUPTED
         return None
 
     def block(self, reason: str = "blocked") -> None:
@@ -648,6 +1016,17 @@ class Simulator:
         if self._running:
             raise SchedulingError("run() is not reentrant")
         self._running = True
+        try:
+            if self._inline:
+                return self._run_inline(until)
+            return self._run_events(until)
+        finally:
+            self._running = False
+
+    def _run_events(self, until: float | None) -> float:
+        """Scheduler-thread event loop (threads and greenlet backends):
+        a process resume (`_resume_process` action) transfers control
+        synchronously and returns once the process suspends again."""
         heap = self._heap
         nowq = self._nowq
         heappop = _heappop
@@ -657,83 +1036,221 @@ class Simulator:
             limit = float("inf")
         count = self._event_count
         failed = self._failed
-        try:
-            while True:
-                # Merge the three event sources by (time, seq): identical
-                # global order to a single-heap kernel, but zero-delay
-                # events (the overwhelming majority in message-heavy
-                # runs) cost a deque append/popleft, and lone future
-                # events sit in the front slot without heap traffic.
-                # Future entries are never earlier than the current
-                # instant, so they preempt the now-queue only on an
-                # equal-time, smaller-seq head.
-                if nowq:
-                    entry = nowq[0]
-                    front = self._front
-                    if front is not None:
-                        if front[0] > entry[0] or front[1] > entry[1]:
-                            popleft()
-                        else:
-                            self._front = None
-                            entry = front
-                    elif heap:
-                        head = heap[0]
-                        if head[0] > entry[0] or head[1] > entry[1]:
-                            popleft()
-                        else:
-                            entry = heappop(heap)
-                    else:
+        while True:
+            # Merge the three event sources by (time, seq): identical
+            # global order to a single-heap kernel, but zero-delay
+            # events (the overwhelming majority in message-heavy
+            # runs) cost a deque append/popleft, and lone future
+            # events sit in the front slot without heap traffic.
+            # Future entries are never earlier than the current
+            # instant, so they preempt the now-queue only on an
+            # equal-time, smaller-seq head.
+            if nowq:
+                entry = nowq[0]
+                front = self._front
+                if front is not None:
+                    if front[0] > entry[0] or front[1] > entry[1]:
                         popleft()
-                else:
-                    entry = self._front
-                    if entry is not None:
+                    else:
                         self._front = None
-                    elif heap:
+                        entry = front
+                elif heap:
+                    head = heap[0]
+                    if head[0] > entry[0] or head[1] > entry[1]:
+                        popleft()
+                    else:
                         entry = heappop(heap)
+                else:
+                    popleft()
+            else:
+                entry = self._front
+                if entry is not None:
+                    self._front = None
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    break
+            time, _seq, timer, action = entry
+            if timer is not None and timer.cancelled:
+                # Lazy drop: cancelled entries are discarded when
+                # reached, never by rebuilding the heap.
+                continue
+            if until is not None and time > until:
+                # Push the entry back preserving the front-slot
+                # invariant (it usually was the global minimum, so
+                # the vacated front slot is the right place).
+                front = self._front
+                if front is None:
+                    self._front = entry
+                elif time < front[0] or (
+                    time == front[0] and entry[1] < front[1]
+                ):
+                    self._front = entry
+                    _heappush(heap, front)
+                else:
+                    _heappush(heap, entry)
+                self._now = until
+                return until
+            count += 1
+            self._event_count = count
+            if count > limit:
+                raise SchedulingError(
+                    f"exceeded max_events={self._max_events}; "
+                    "possible runaway protocol loop"
+                )
+            self._now = time
+            action()
+            if failed:
+                self._raise_if_failed()
+        blocked = [p for p in self._processes if p.alive]
+        if blocked:
+            lines = ", ".join(f"{p.name}<-[{p.blocked_on or p.state}]" for p in blocked)
+            raise DeadlockError(
+                f"no pending events at t={self._now:g} but "
+                f"{len(blocked)} process(es) blocked: {lines}"
+            )
+        return self._now
+
+    def _run_inline(self, until: float | None) -> float:
+        """run() entry for the inline backend.
+
+        Drives the loop on the calling thread until the first process
+        transfer, then parks; carrier threads keep the baton moving
+        among themselves and only wake this thread at a terminal state.
+        """
+        self._inline_until = until
+        kind, payload = self._inline_core(None, until)
+        if kind == "switch":
+            payload._resume.release()
+            self._token.acquire()
+            exc = self._inline_exc
+            if exc is not None:
+                self._inline_exc = None
+                self._inline_result = None
+                raise exc
+            return self._inline_result
+        if kind == "error":
+            raise payload
+        return payload
+
+    def _inline_core(
+        self, me: SimProcess | None, until: float | None
+    ) -> tuple[str, Any]:
+        """Inline-backend event loop body, runnable on any thread.
+
+        Dispatches events exactly like :meth:`_run_events` (same
+        three-source merge, same counting — the determinism fingerprint
+        is shared) until control must leave this thread.  Returns:
+
+        * ``("resume", None)`` — the next runner is ``me``: the caller
+          simply returns into the process body.  No locks touched.
+        * ``("switch", proc)`` — transfer to another process's carrier.
+        * ``("done", time)`` — queue exhausted or ``until`` reached.
+        * ``("error", exc)`` — terminal exception for run()'s caller.
+        """
+        failed = self._failed
+        if failed:
+            try:
+                self._raise_if_failed()
+            except BaseException as exc:  # noqa: BLE001 - ferried to run()
+                return ("error", exc)
+        heap = self._heap
+        nowq = self._nowq
+        heappop = _heappop
+        popleft = nowq.popleft
+        limit = self._max_events
+        if limit is None:
+            limit = float("inf")
+        # Float sentinel so the per-event cutoff test is one compare.
+        cutoff = float("inf") if until is None else until
+        count = self._event_count
+        while True:
+            # Entry selection: byte-for-byte the merge in _run_events.
+            if nowq:
+                entry = nowq[0]
+                front = self._front
+                if front is not None:
+                    if front[0] > entry[0] or front[1] > entry[1]:
+                        popleft()
                     else:
-                        break
-                time, _seq, timer, action = entry
-                if timer is not None and timer.cancelled:
-                    # Lazy drop: cancelled entries are discarded when
-                    # reached, never by rebuilding the heap.
-                    continue
-                if until is not None and time > until:
-                    # Push the entry back preserving the front-slot
-                    # invariant (it usually was the global minimum, so
-                    # the vacated front slot is the right place).
-                    front = self._front
-                    if front is None:
-                        self._front = entry
-                    elif time < front[0] or (
-                        time == front[0] and entry[1] < front[1]
-                    ):
-                        self._front = entry
-                        _heappush(heap, front)
+                        self._front = None
+                        entry = front
+                elif heap:
+                    head = heap[0]
+                    if head[0] > entry[0] or head[1] > entry[1]:
+                        popleft()
                     else:
-                        _heappush(heap, entry)
-                    self._now = until
-                    return until
-                count += 1
-                self._event_count = count
-                if count > limit:
-                    raise SchedulingError(
+                        entry = heappop(heap)
+                else:
+                    popleft()
+            else:
+                entry = self._front
+                if entry is not None:
+                    self._front = None
+                elif heap:
+                    entry = heappop(heap)
+                else:
+                    break
+            time, _seq, timer, action = entry
+            if timer is not None and timer.cancelled:
+                continue
+            if time > cutoff:
+                front = self._front
+                if front is None:
+                    self._front = entry
+                elif time < front[0] or (
+                    time == front[0] and entry[1] < front[1]
+                ):
+                    self._front = entry
+                    _heappush(heap, front)
+                else:
+                    _heappush(heap, entry)
+                self._now = until
+                return ("done", until)
+            count += 1
+            self._event_count = count
+            if count > limit:
+                return (
+                    "error",
+                    SchedulingError(
                         f"exceeded max_events={self._max_events}; "
                         "possible runaway protocol loop"
-                    )
-                self._now = time
-                action()
-                if failed:
-                    self._raise_if_failed()
-            blocked = [p for p in self._processes if p.alive]
-            if blocked:
-                lines = ", ".join(f"{p.name}<-[{p.blocked_on or p.state}]" for p in blocked)
-                raise DeadlockError(
+                    ),
+                )
+            self._now = time
+            action()
+            switch = self._switch
+            if switch is not None:
+                self._switch = None
+                if switch is me:
+                    return ("resume", None)
+                return ("switch", switch)
+        blocked = [p for p in self._processes if p.alive]
+        if blocked:
+            lines = ", ".join(f"{p.name}<-[{p.blocked_on or p.state}]" for p in blocked)
+            return (
+                "error",
+                DeadlockError(
                     f"no pending events at t={self._now:g} but "
                     f"{len(blocked)} process(es) blocked: {lines}"
-                )
-            return self._now
-        finally:
-            self._running = False
+                ),
+            )
+        return ("done", self._now)
+
+    def _inline_handoff(self, kind: str, payload: Any) -> None:
+        """Pass the baton after :meth:`_inline_core` stopped: wake the
+        next process's carrier, or deliver the terminal result to the
+        thread parked in :meth:`_run_inline`."""
+        if kind == "switch":
+            payload._resume.release()
+            return
+        if kind == "error":
+            self._inline_exc = payload
+            self._inline_result = None
+        else:
+            self._inline_exc = None
+            self._inline_result = payload
+        self._token.release()
 
     def _raise_if_failed(self) -> None:
         if self._failed:
@@ -748,19 +1265,15 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def _resume_process(self, proc: SimProcess) -> None:
-        if not proc.alive:
+        if proc.state not in _ALIVE_STATES:
             return
         proc._resume_at = -1.0
-        previous = self._current
-        self._current = proc
         if self._tracer is not None:
             self._trace_emit("start" if proc.state == _READY else "wake", proc.name, "")
-        proc._resume.release()
-        self._token.acquire()
-        self._current = previous
+        proc._transfer_in()
 
     def _make_ready(self, proc: SimProcess, *, detail: str = "") -> None:
-        if not proc.alive:
+        if proc.state not in _ALIVE_STATES:
             raise SchedulingError(f"cannot wake non-live process {proc!r}")
         now = self._now
         if proc.state == _READY and proc._resume_at == now:
@@ -778,19 +1291,14 @@ class Simulator:
     # ------------------------------------------------------------------ #
 
     def close(self) -> None:
-        """Kill all live processes and join their threads.  Idempotent."""
+        """Kill all live processes and reclaim their stacks.  Idempotent."""
         if self._closed:
             return
         self._closed = True
         for proc in self._processes:
-            if proc.alive and proc._thread.is_alive():
-                proc._killed = True
-                self._trace_emit("kill", proc.name, "")
-                proc._resume.release()
-                self._token.acquire()
+            proc._kill()
         for proc in self._processes:
-            if proc._thread.is_alive():
-                proc._thread.join(timeout=5.0)
+            proc._join()
 
     def __enter__(self) -> "Simulator":
         return self

@@ -35,7 +35,7 @@ class Waiter:
     requests (each pending receive/collective-exit owns a Waiter).
     """
 
-    __slots__ = ("sim", "_proc", "_value", "_fired", "_timer", "label")
+    __slots__ = ("sim", "_proc", "_value", "_fired", "_timer", "label", "on_expire")
 
     def __init__(self, sim: Simulator, label: str = "waiter"):
         self.sim = sim
@@ -44,6 +44,14 @@ class Waiter:
         self._value: Any = None
         self._fired = False
         self._timer: Timer | None = None
+        #: Optional hook invoked (in scheduler context, with this waiter)
+        #: the moment a timed wait expires — *before* the waiting process
+        #: resumes.  Containers holding the waiter in a fire-queue use it
+        #: to deregister immediately: between the timeout event and the
+        #: process's resume event, other same-instant events can run, and
+        #: a ``fire`` landing in that window would complete a waiter
+        #: whose owner has already given up.
+        self.on_expire = None
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "fired" if self._fired else "pending"
@@ -98,6 +106,8 @@ class Waiter:
         if self._fired or self._proc is None:
             return
         proc, self._proc = self._proc, None
+        if self.on_expire is not None:
+            self.on_expire(self)
         self.sim.wake(proc)
 
 
@@ -210,14 +220,27 @@ class Mailbox:
         if self._items:
             return self._items.popleft()
         w = Waiter(self.sim, label=self._getter_label)
+        if timeout is not None:
+            # Deregister at the expiry *event*, not when the getter's
+            # resume runs: a delivery in between must re-queue the item
+            # for the next taker, not complete a timed-out waiter.
+            w.on_expire = self._expire_getter
         self._getters.append(w)
         value = w.wait(timeout=timeout)
         if value is TIMEOUT:
+            # Belt-and-braces for spurious wakeups; on_expire has
+            # normally removed the waiter already.
             try:
                 self._getters.remove(w)
-            except ValueError:  # pragma: no cover - already consumed
+            except ValueError:
                 pass
         return value
+
+    def _expire_getter(self, w: Waiter) -> None:
+        try:
+            self._getters.remove(w)
+        except ValueError:  # pragma: no cover - already consumed
+            pass
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking take: ``(True, item)`` or ``(False, None)``."""

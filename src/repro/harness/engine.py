@@ -43,6 +43,11 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Iterable, Mapping, Sequence
 
+from ..des.backends import (
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from .cache import ResultCache
 from .runner import RunResult
 from .spec import RunSpec, execute
@@ -120,17 +125,23 @@ def _execute_job(
     deps: dict[RunSpec, RunResult],
     guard: int | None,
     cache_dir=None,
+    backend: str | None = None,
 ) -> tuple[RunResult, float, int]:
     """Top-level worker entry point (must be picklable by name for spawn).
 
     ``cache_dir`` (a path, not a live cache — workers are spawned) roots
     a local :class:`ResultCache` whose image tier feeds restart parents
-    without re-simulation.  Returns ``(result, elapsed_seconds,
-    images_served)`` — the wall time is measured in the worker so pool
-    queueing delays never pollute the cost model, and ``images_served``
-    counts the parent image maps the tier *actually* delivered (a blob
-    that exists at planning time but fails verification here degrades
-    to re-simulation, and must not be reported as reuse).
+    without re-simulation.  ``backend`` is the *resolved* execution
+    backend forwarded from the parent engine: spawned workers start from
+    a fresh interpreter where a parent-side ``set_default_backend`` (the
+    ``--backend`` flag) would otherwise be lost, and parallel runs must
+    agree with serial byte-for-byte.  Returns ``(result,
+    elapsed_seconds, images_served)`` — the wall time is measured in the
+    worker so pool queueing delays never pollute the cost model, and
+    ``images_served`` counts the parent image maps the tier *actually*
+    delivered (a blob that exists at planning time but fails
+    verification here degrades to re-simulation, and must not be
+    reported as reuse).
     """
     served = 0
     images = None
@@ -144,9 +155,16 @@ def _execute_job(
                 served += 1
             return found
 
-    t0 = time.perf_counter()
-    result = execute(spec, deps, max_events_guard=guard, images=images)
-    return result, time.perf_counter() - t0, served
+    previous_backend = get_default_backend()
+    if backend is not None:
+        set_default_backend(backend)
+    try:
+        t0 = time.perf_counter()
+        result = execute(spec, deps, max_events_guard=guard, images=images)
+        return result, time.perf_counter() - t0, served
+    finally:
+        if backend is not None:
+            set_default_backend(previous_backend)
 
 
 class ExperimentEngine:
@@ -157,6 +175,11 @@ class ExperimentEngine:
         cache: optional :class:`ResultCache`; hits skip simulation.
         max_events: per-job event guard for specs without their own.
         progress: emit one line per executed job on stderr.
+        backend: kernel execution backend for every job (``None`` =
+            the process default / ``REPRO_SIM_BACKEND`` / auto).  The
+            name is resolved to a concrete backend *here* and forwarded
+            to spawned workers, so serial and parallel execution always
+            run the same backend.
     """
 
     def __init__(
@@ -166,11 +189,13 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         max_events: int | None = DEFAULT_MAX_EVENTS,
         progress: bool = False,
+        backend: str | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.max_events = max_events
         self.progress = progress
+        self.backend = resolve_backend(backend)
         self.last_stats: EngineStats | None = None
 
     # ----------------------------------------------------------------- #
@@ -329,7 +354,7 @@ class ExperimentEngine:
             for spec in pending:
                 result, elapsed, served = _execute_job(
                     spec, self._deps_for(spec, resolved), self.max_events,
-                    cache_dir,
+                    cache_dir, self.backend,
                 )
                 yield spec, result, elapsed, served
             return
@@ -347,6 +372,7 @@ class ExperimentEngine:
                     self._deps_for(spec, resolved),
                     self.max_events,
                     cache_dir,
+                    self.backend,
                 ): spec
                 for spec in pending
             }

@@ -20,19 +20,25 @@ link parameters.
 Matching is **indexed**, not scanned: unexpected envelopes and posted
 receives are bucketed into per-``(source, tag)`` deques, so the common
 concrete-pattern receive is an O(1) dict lookup + ``popleft`` instead of
-a linear walk over every in-flight message.  Wildcard patterns fall back
-to comparing the *heads* of the candidate buckets — for an incoming
-envelope at most the four patterns ``(src, tag)``, ``(src, ANY)``,
-``(ANY, tag)``, ``(ANY, ANY)`` can match, and for a wildcard receive
-each bucket head is its earliest envelope — taking the minimum sequence
-number across heads, which is exactly the earliest match a full scan
-would have found.  Buckets are deleted when they empty, so the fallback
-never visits stale keys.
+a linear walk over every in-flight message.  For an incoming envelope at
+most the four patterns ``(src, tag)``, ``(src, ANY)``, ``(ANY, tag)``,
+``(ANY, ANY)`` can match, so delivery against posted receives is O(4).
+
+Wildcard *receives* get their own index (:class:`_WildIndex`): the first
+wildcard operation on a destination builds seq-ordered views (global
+order, per-source, per-tag) over that destination's unexpected
+envelopes, maintained incrementally afterwards.  An ``ANY_SOURCE`` /
+``ANY_TAG`` flood then costs O(1) amortized per receive — the head of
+the right view *is* the earliest match — instead of a min-seq scan over
+every ``(src, tag)`` bucket head per operation.  Envelopes taken through
+a concrete pattern are tombstoned (``Envelope.consumed``) and drained
+from the views lazily, with periodic compaction when stale entries
+dominate; destinations that never see a wildcard never pay for the
+index at all.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass
@@ -73,6 +79,9 @@ class Envelope:
     available_at: float  # physical arrival time at dst
     rendezvous: bool = False
     send_request: Request | None = None
+    #: Tombstone: set when the envelope leaves its ``(src, tag)`` bucket;
+    #: stale references in wildcard-index views skip it lazily.
+    consumed: bool = False
 
     def matches(self, source: int, tag: int) -> bool:
         return (source == ANY_SOURCE or source == self.src) and (
@@ -88,6 +97,125 @@ class _PostedRecv:
     tag: int
     request: Request
     posted_at: float
+
+
+class _WildIndex:
+    """Seq-ordered views over one destination's unexpected envelopes.
+
+    Built lazily on the first wildcard operation for a destination and
+    maintained incrementally from then on:
+
+    * ``order`` — every envelope in send order (serves ``(ANY, ANY)``);
+    * ``by_src[s]`` — envelopes from source ``s`` (serves ``(s, ANY)``);
+    * ``by_tag[t]`` — envelopes with tag ``t`` (serves ``(ANY, t)``).
+
+    Each view's first non-consumed entry is the earliest match for its
+    pattern, so wildcard peek/take are O(1) amortized.  Removals through
+    *concrete* patterns only tombstone (``Envelope.consumed``); views
+    drop tombstones lazily at their heads and compact wholesale when
+    stale entries outnumber live ones 4:1.
+    """
+
+    __slots__ = ("order", "by_src", "by_tag", "live")
+
+    #: Compaction floor: below this many entries the lazy head-drain is
+    #: already cheap and rebuild bookkeeping would dominate.
+    _COMPACT_MIN = 64
+
+    def __init__(self, buckets: dict[tuple[int, int], deque[Envelope]]):
+        envs = sorted(
+            (env for bucket in buckets.values() for env in bucket), key=_by_seq
+        )
+        self.order: deque[Envelope] = deque(envs)
+        self.by_src: dict[int, deque[Envelope]] = {}
+        self.by_tag: dict[int, deque[Envelope]] = {}
+        self.live = len(envs)
+        for env in envs:
+            self._append_views(env)
+
+    def _append_views(self, env: Envelope) -> None:
+        by_src = self.by_src.get(env.src)
+        if by_src is None:
+            self.by_src[env.src] = deque((env,))
+        else:
+            by_src.append(env)
+        by_tag = self.by_tag.get(env.tag)
+        if by_tag is None:
+            self.by_tag[env.tag] = deque((env,))
+        else:
+            by_tag.append(env)
+
+    def add(self, env: Envelope) -> None:
+        """A new unexpected envelope arrived (already appended to its bucket)."""
+        self.order.append(env)
+        self._append_views(env)
+        self.live += 1
+
+    def discard(self, env: Envelope) -> None:
+        """``env`` left its bucket through a concrete-pattern take."""
+        env.consumed = True
+        self.live -= 1
+        if (
+            len(self.order) > self._COMPACT_MIN
+            and len(self.order) > 4 * (self.live + 1)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        envs = [env for env in self.order if not env.consumed]
+        self.order = deque(envs)
+        self.by_src = {}
+        self.by_tag = {}
+        for env in envs:
+            self._append_views(env)
+
+    def _view(self, source: int, tag: int) -> deque[Envelope] | None:
+        if source == ANY_SOURCE:
+            if tag == ANY_TAG:
+                return self.order
+            return self.by_tag.get(tag)
+        return self.by_src.get(source)
+
+    def head(self, source: int, tag: int) -> Envelope | None:
+        """Earliest live envelope matching a wildcard pattern, or None."""
+        view = self._view(source, tag)
+        if view is None:
+            return None
+        while view:
+            env = view[0]
+            if env.consumed:
+                view.popleft()
+                continue
+            return env
+        return None
+
+    def pop(self, source: int, tag: int) -> Envelope | None:
+        """Take the earliest live envelope matching a wildcard pattern.
+
+        Tombstones the envelope (the caller still removes it from its
+        concrete bucket) and pops it from the view it was found in; the
+        other views drop their stale references lazily.
+        """
+        view = self._view(source, tag)
+        if view is None:
+            return None
+        while view:
+            env = view.popleft()
+            if env.consumed:
+                continue
+            env.consumed = True
+            self.live -= 1
+            return env
+        return None
+
+    def iter_live(self, source: int, tag: int) -> Iterator[Envelope]:
+        """Live matching envelopes in global send order."""
+        view = self._view(source, tag)
+        if view is None:
+            return
+        for env in view:
+            if not env.consumed:
+                yield env
 
 
 @dataclass(slots=True)
@@ -125,6 +253,9 @@ class MatchingEngine:
         self._posted: dict[int, dict[tuple[int, int], deque[_PostedRecv]]] = {}
         #: Blocking probes waiting for a matching arrival.
         self._probes: dict[int, list[_ProbeWait]] = {}
+        #: Lazy per-destination wildcard views over ``_unexpected``;
+        #: created on the first wildcard operation for a destination.
+        self._wild: dict[int, _WildIndex] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection (used by the checkpoint drain and by tests)
@@ -201,6 +332,9 @@ class MatchingEngine:
                 buckets[(src, tag)] = deque((env,))
             else:
                 bucket.append(env)
+            wild = self._wild.get(dst)
+            if wild is not None:
+                wild.add(env)
             self._notify_probes(env)
         return send_req
 
@@ -269,6 +403,14 @@ class MatchingEngine:
     # Indexed lookup internals
     # ------------------------------------------------------------------ #
 
+    def _wild_index(
+        self, dst: int, buckets: dict[tuple[int, int], deque[Envelope]]
+    ) -> _WildIndex:
+        wild = self._wild.get(dst)
+        if wild is None:
+            wild = self._wild[dst] = _WildIndex(buckets)
+        return wild
+
     def _peek_unexpected(
         self, dst: int, source: int, tag: int
     ) -> Envelope | None:
@@ -279,18 +421,10 @@ class MatchingEngine:
         if source != ANY_SOURCE and tag != ANY_TAG:
             bucket = buckets.get((source, tag))
             return bucket[0] if bucket else None
-        # Wildcard fallback: every bucket head is that bucket's earliest
-        # envelope, so the global earliest match is the min-seq head
-        # among pattern-compatible buckets.
-        best: Envelope | None = None
-        for (src, btag), bucket in buckets.items():
-            if (source == ANY_SOURCE or src == source) and (
-                tag == ANY_TAG or btag == tag
-            ):
-                head = bucket[0]
-                if best is None or head.seq < best.seq:
-                    best = head
-        return best
+        # Wildcard: the head of the matching index view is the earliest
+        # match — O(1) amortized instead of a min-seq scan over every
+        # bucket head.
+        return self._wild_index(dst, buckets).head(source, tag)
 
     def _take_unexpected(
         self, dst: int, source: int, tag: int
@@ -307,22 +441,25 @@ class MatchingEngine:
             env = bucket.popleft()
             if not bucket:
                 del buckets[key]
+            wild = self._wild.get(dst)
+            if wild is not None:
+                wild.discard(env)
             return env
-        best_key: tuple[int, int] | None = None
-        best_seq = -1
-        for (src, btag), bucket in buckets.items():
-            if (source == ANY_SOURCE or src == source) and (
-                tag == ANY_TAG or btag == tag
-            ):
-                head_seq = bucket[0].seq
-                if best_key is None or head_seq < best_seq:
-                    best_key, best_seq = (src, btag), head_seq
-        if best_key is None:
+        wild = self._wild_index(dst, buckets)
+        env = wild.pop(source, tag)
+        if env is None:
             return None
-        bucket = buckets[best_key]
-        env = bucket.popleft()
+        # The envelope's own bucket holds only live entries of the same
+        # (src, tag) in seq order, and env is the earliest live match of
+        # a pattern that covers the whole bucket — so it is the head.
+        key = (env.src, env.tag)
+        bucket = buckets[key]
+        if bucket[0] is env:
+            bucket.popleft()
+        else:  # pragma: no cover - defensive, head property guarantees above
+            bucket.remove(env)
         if not bucket:
-            del buckets[best_key]
+            del buckets[key]
         return env
 
     def _iter_matching(
@@ -335,17 +472,7 @@ class MatchingEngine:
         if source != ANY_SOURCE and tag != ANY_TAG:
             bucket = buckets.get((source, tag))
             return iter(bucket) if bucket else iter(())
-        candidates = [
-            bucket
-            for (src, btag), bucket in buckets.items()
-            if (source == ANY_SOURCE or src == source)
-            and (tag == ANY_TAG or btag == tag)
-        ]
-        if not candidates:
-            return iter(())
-        if len(candidates) == 1:
-            return iter(candidates[0])
-        return heapq.merge(*candidates, key=_by_seq)
+        return self._wild_index(dst, buckets).iter_live(source, tag)
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -203,6 +203,35 @@ class TestMailbox:
             sim.run()
         assert got == [TIMEOUT]
 
+    def test_delivery_racing_expiry_requeues_item(self):
+        # Regression: a deliver landing at the *same instant* as a get
+        # timeout — after the expiry event but before the getter's
+        # resume — used to fire the timed-out getter's waiter, handing
+        # the item to a process that observes itself as having given up.
+        # The expiry event must deregister the getter immediately so the
+        # item is re-queued for the next taker, not lost into a dead
+        # waiter.
+        with Simulator() as sim:
+            mb = Mailbox(sim)
+            got = []
+
+            def getter():
+                got.append((mb.get(timeout=1.0), sim.now()))
+
+            def putter():
+                # Wake event scheduled after the getter's timeout timer:
+                # at t=1.0 the timer fires first, then this delivery,
+                # then the getter's resume.
+                sim.sleep(1.0)
+                mb.put("late")
+
+            sim.spawn(getter)
+            sim.spawn(putter)
+            sim.run()
+            assert got == [(TIMEOUT, 1.0)]
+            assert len(mb) == 1
+            assert mb.try_get() == (True, "late")
+
     def test_try_get(self):
         with Simulator() as sim:
             mb = Mailbox(sim)

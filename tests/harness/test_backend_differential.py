@@ -1,0 +1,72 @@
+"""Cross-backend differential suite: every backend, same universe.
+
+The execution backend only changes *how* a simulated process suspends —
+never *what* the schedule does.  These tests run the pinned Figure 5a
+fingerprint scenario and a fault-injection oracle seed under every
+backend importable in this interpreter and require byte-identical
+results: the same event counts and result hash the ``threads`` seed
+kernel produced (the constants in ``test_determinism_fingerprint``),
+and identical oracle verdict details.
+
+CI runs this file under a greenlet-enabled interpreter so the optional
+backend is held to the same fingerprint; locally it covers whatever
+``available_backends()`` reports.
+"""
+
+import pytest
+
+from repro.des import available_backends
+from repro.harness import ExperimentEngine
+from repro.harness.experiments import plan_fig5a
+from repro.harness.spec import run_result_to_dict
+from repro.harness.verify import run_oracles
+from repro.util.hashing import stable_json_hash
+
+from test_determinism_fingerprint import EXPECTED_EVENTS, EXPECTED_RESULT_HASH
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_fig5a(procs=(4,), kinds=("bcast",), sizes=(1024,), iters=20)
+
+
+def _fingerprint(plan, results):
+    events = {spec.label(): results[spec].sim_events for spec in plan.specs}
+    rhash = stable_json_hash(
+        [run_result_to_dict(results[spec]) for spec in plan.specs]
+    )
+    return events, rhash
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_fig5a_fingerprint_identical_across_backends(plan, backend):
+    engine = ExperimentEngine(jobs=1, backend=backend)
+    events, rhash = _fingerprint(plan, engine.run_batch(plan.specs))
+    assert events == EXPECTED_EVENTS
+    assert rhash == EXPECTED_RESULT_HASH
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_fig5a_parallel_workers_inherit_backend(plan, backend):
+    # Spawned pool workers must land on the *resolved* backend, not
+    # re-derive their own — the fingerprint catches any divergence.
+    engine = ExperimentEngine(jobs=2, backend=backend)
+    events, rhash = _fingerprint(plan, engine.run_batch(plan.specs))
+    assert events == EXPECTED_EVENTS
+    assert rhash == EXPECTED_RESULT_HASH
+
+
+def test_oracle_seed_verdict_identical_across_backends():
+    # One fault-injection oracle seed, every backend: the serialized
+    # verdict (verdict flag + detail string, which embeds simulated
+    # quantities) must match the threads reference byte-for-byte.
+    verdicts = {}
+    for backend in available_backends():
+        engine = ExperimentEngine(jobs=1, backend=backend)
+        reports = run_oracles(["safe-cut"], [7], engine=engine)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.ok, f"{backend}: {report.detail}"
+        verdicts[backend] = report.as_dict()
+    reference = verdicts["threads"]
+    for backend, verdict in verdicts.items():
+        assert verdict == reference, f"{backend} diverged from threads"

@@ -262,6 +262,78 @@ def test_indexed_matcher_equals_reference_on_random_traffic(seed):
     assert got == want
 
 
+def _wildcard_flood_script(seed: int, nprocs: int, n_ops: int):
+    """Traffic shaped to stress the wildcard index: many distinct
+    ``(src, tag)`` buckets per destination, wildcard-heavy receives, and
+    enough concrete receives in between to leave tombstones (and trigger
+    compaction) in the index views."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(n_ops):
+        kind = rng.choice(
+            ["send", "recv", "recv_wild", "iprobe", "probe", "tick"],
+            p=[0.42, 0.1, 0.28, 0.1, 0.05, 0.05],
+        )
+        src = int(rng.integers(nprocs))
+        dst = int(rng.integers(nprocs))
+        tag = int(rng.integers(16))  # up to nprocs*16 buckets per dst
+        size = int(rng.integers(1, 64))
+        ops.append((str(kind), src, dst, tag, size))
+    return ops
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12, 13, 14, 15])
+def test_indexed_matcher_equals_reference_on_wildcard_floods(seed):
+    nprocs = 4
+    ops = _wildcard_flood_script(seed, nprocs, n_ops=240)
+
+    def indexed(sim, topo, ranks):
+        return MatchingEngine(sim, topo, ranks, eager_threshold=2048)
+
+    def reference(sim, topo, ranks):
+        return _ReferenceMatcher(sim, topo, ranks, eager_threshold=2048)
+
+    got = _norm(_replay(indexed, ops, nprocs))
+    want = _norm(_replay(reference, ops, nprocs))
+    assert got == want
+
+
+def test_wildcard_index_survives_concrete_tombstones_and_compaction():
+    # Build a large index, then drain mostly through *concrete* receives
+    # so the index views fill with tombstones (forcing compaction), and
+    # check the interleaved wildcard receives still see the exact
+    # earliest-send order the reference semantics require.
+    topo = make_topology(4, ppn=4)
+    with Simulator() as sim:
+        eng = MatchingEngine(sim, topo, (0, 1, 2, 3))
+
+        def body():
+            n = 300
+            for i in range(n):
+                eng.send(1 + (i % 3), 0, i % 25, ("msg", i))
+            # First wildcard op builds the index over all ~75 buckets.
+            eng.iprobe(0, ANY_SOURCE, ANY_TAG)
+            expect = list(range(n))
+            # Alternate 3 concrete takes (tombstones) with 1 wildcard
+            # take; both must always yield the earliest remaining send.
+            while expect:
+                i = expect.pop(0)
+                if len(expect) % 4 == 0:
+                    payload, _ = eng.post_recv(0, ANY_SOURCE, ANY_TAG).wait()
+                else:
+                    payload, _ = eng.post_recv(0, 1 + (i % 3), i % 25).wait()
+                assert payload[1] == i
+            assert eng.total_unmatched() == 0
+            wild = eng._wild[0]
+            assert wild.live == 0
+            # Compaction (4:1 stale:live above the 64-entry floor) kept
+            # the stale views bounded well below the flood size.
+            assert len(wild.order) <= 65
+
+        sim.spawn(body)
+        sim.run()
+
+
 def test_indexed_matcher_preserves_non_overtaking_within_source_tag():
     topo = make_topology(2, ppn=2)
     with Simulator() as sim:
