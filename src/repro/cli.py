@@ -11,6 +11,10 @@ Usage::
     repro-mpi sweep --study scale_grid --jobs 4
     repro-mpi verify --seeds 20
     repro-mpi verify --oracle rank-completion --seeds 1 --base-seed 17
+    repro-mpi verify --seeds 20 --jobs 4
+    repro-mpi fuzz --iters 25 --corpus fuzz-corpus
+    repro-mpi fuzz --budget 5m --corpus fuzz-corpus
+    repro-mpi fuzz --corpus fuzz-corpus --replay <key>
     repro-mpi cache stats
     repro-mpi cache prune --figure fig9
     repro-mpi cache prune --older-than 7d --max-entries 2000
@@ -55,6 +59,17 @@ offline safe cut, interrupted vs uninterrupted fingerprint, serial vs
 parallel engine, cold vs warm image tier).  Cache-aware where the
 oracle permits; any mismatch exits 1 and writes a derandomized
 failing-seed artifact whose ``repro`` field replays exactly that check.
+``--jobs N`` fans the (oracle, seed) grid over worker processes with a
+report sequence byte-identical to the serial sweep's.
+
+``fuzz`` is the open-ended version of ``verify``
+(``repro.harness.fuzz``): keep drawing fault schedules under an
+``--iters`` / ``--budget`` limit, run every registered oracle, classify
+anomalies (mismatch, deadlock, oracle crash, wall-time outlier against
+the corpus's recorded cost model), greedily shrink each failing
+schedule, and persist it — content-hashed and deduplicated — into the
+``--corpus`` directory as a derandomized reproduction.  ``--replay KEY``
+re-runs a stored entry and exits 0 once it no longer fails.
 
 ``--bench-json PATH`` appends one machine-readable record per
 invocation (figures run, engine stats, wall time) so performance
@@ -480,7 +495,10 @@ def _verify_main(argv: list[str]) -> int:
     parser.add_argument("--oracle", choices=sorted(ORACLES), action="append",
                         default=[],
                         help="oracle to run (repeatable; default: all)")
-    parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                        help="parallel (oracle, seed) checks in worker "
+                             "processes; the report sequence is "
+                             "byte-identical to a serial sweep (default 1)")
     _add_backend_arg(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
@@ -517,7 +535,9 @@ def _verify_main(argv: list[str]) -> int:
             )
 
     t0 = time.time()
-    reports = run_oracles(names, seeds, engine=engine, progress=progress)
+    reports = run_oracles(
+        names, seeds, engine=engine, progress=progress, jobs=args.jobs
+    )
     elapsed = time.time() - t0
 
     failures = [r for r in reports if not r.ok]
@@ -553,6 +573,107 @@ def _verify_main(argv: list[str]) -> int:
     return 1 if failures else 0
 
 
+def _fuzz_main(argv: list[str]) -> int:
+    """``repro-mpi fuzz`` — continuous fault fuzzing with a persistent
+    anomaly corpus.
+
+    Exit status 0 when the run surfaced no anomaly; 1 otherwise (new
+    *or* duplicate — a known-failing corpus entry still fails).  With
+    ``--replay KEY``, exit 1 while the stored anomaly still reproduces
+    and 0 once it no longer does.
+    """
+    from .harness.fuzz import CorpusDB, replay_entry, run_fuzz
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi fuzz",
+        description="Fuzz fault schedules through every registered oracle, "
+                    "shrinking and persisting each anomaly as a "
+                    "derandomized reproduction in an on-disk corpus",
+    )
+    parser.add_argument("--corpus", type=str, default="fuzz-corpus",
+                        metavar="DIR",
+                        help="anomaly corpus directory (default ./fuzz-corpus)")
+    parser.add_argument("--iters", type=_positive_int, default=None,
+                        help="fuzz iterations (one drawn schedule through "
+                             "every oracle each)")
+    parser.add_argument("--budget", type=_duration, default=None,
+                        metavar="DUR",
+                        help="wall-time budget, e.g. 60s, 5m (combinable "
+                             "with --iters: whichever runs out first)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first schedule seed (seeds increment per "
+                             "iteration)")
+    parser.add_argument("--oracle", choices=sorted(ORACLES), action="append",
+                        default=[],
+                        help="oracle to fuzz (repeatable; default: all)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="persist failing schedules unminimized")
+    parser.add_argument("--replay", type=str, default=None, metavar="KEY",
+                        help="re-run one stored corpus entry instead of "
+                             "fuzzing")
+    parser.add_argument("--list", action="store_true",
+                        help="list corpus entries and exit")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    corpus = CorpusDB(args.corpus)
+
+    if args.list:
+        entries = corpus.entries()
+        for entry in entries:
+            print(f"{entry.key}  {entry.kind:12s} {entry.oracle} "
+                  f"seed={entry.seed}  {entry.detail}")
+        print(f"{len(entries)} corpus entr{'y' if len(entries) == 1 else 'ies'} "
+              f"in {corpus.root}")
+        return 0
+
+    if args.replay is not None:
+        try:
+            entry = corpus.load(args.replay)
+        except KeyError as exc:
+            parser.error(str(exc))
+        report = replay_entry(corpus, args.replay)
+        if report.ok:
+            print(f"entry {args.replay} ({entry.kind}, {entry.oracle}) no "
+                  f"longer reproduces: {report.detail}")
+            return 0
+        print(f"entry {args.replay} still fails ({report.kind}): "
+              f"{report.detail}")
+        print(f"  reproduce: {report.repro}")
+        return 1
+
+    if args.iters is None and args.budget is None:
+        parser.error("give --iters and/or --budget (or --replay/--list)")
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"[fuzz] {message}", file=sys.stderr, flush=True)
+
+    stats = run_fuzz(
+        corpus,
+        iters=args.iters,
+        budget=args.budget,
+        base_seed=args.base_seed,
+        oracles=args.oracle or None,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    for entry in stats.anomalies:
+        print(f"{entry.kind}: {entry.oracle} seed={entry.seed} -> "
+              f"corpus entry {entry.key}")
+        print(f"  {entry.detail}")
+        print(f"  reproduce: {entry.repro}")
+        print(f"  replay:    repro-mpi fuzz --corpus {corpus.root} "
+              f"--replay {entry.key}")
+    print(f"[fuzz: {stats.iterations} iteration(s), {stats.checks} checks, "
+          f"{len(stats.anomalies)} anomal"
+          f"{'y' if len(stats.anomalies) == 1 else 'ies'} "
+          f"({stats.new_entries} new, {stats.duplicates} duplicate); "
+          f"corpus {corpus.root} holds {len(corpus)}; "
+          f"{stats.elapsed:.1f}s total]")
+    return 1 if stats.anomalies else 0
+
+
 def _amend_last_bench_record(path: str, **extra) -> None:
     """Fold verify-specific fields into the record just appended."""
     try:
@@ -575,6 +696,8 @@ def main(argv: list[str] | None = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "verify":
         return _verify_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-mpi",
         description=(

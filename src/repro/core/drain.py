@@ -34,6 +34,10 @@ def drain_nonblocking_requests(session: "Session") -> int:
     test = session.overheads.test_call
     gap = session.overheads.ibarrier_poll_gap
     while pending:
+        # A participant may have crashed mid-commit: a request it was
+        # party to will never complete, and the coordinator's abort is
+        # the only way out of this test loop.
+        session.poll_commit_abort()
         still = []
         for vr in pending:
             session.sim.sleep(test)

@@ -50,11 +50,19 @@ __all__ = [
     "CoordinatorLogic",
     "UnsupportedOperationError",
     "ProtocolError",
+    "RoundAborted",
 ]
 
 
 class ProtocolError(Exception):
     """Protocol state-machine violation (indicates a bug, not app error)."""
+
+
+class RoundAborted(Exception):
+    """The coordinator aborted the round mid-commit (e.g. a participant
+    crashed).  Raised out of the rank-side commit sequence and caught by
+    the protocol's park loop, which clears checkpoint state and resumes
+    the application — nothing was committed."""
 
 
 class UnsupportedOperationError(Exception):
@@ -193,7 +201,11 @@ class RankProtocol(ABC):
                 # meanwhile lands in the peers' drains consistently.
                 self._commit_pending = True
                 return "stay"
-            self.session.participate_in_commit()
+            try:
+                self.session.participate_in_commit()
+            except RoundAborted:
+                self.on_abort()
+                return "resumed"
             self.on_resume()
             return "resumed"
         raise ProtocolError(f"rank {self.session.rank}: unexpected control {msg!r}")
@@ -211,7 +223,11 @@ class RankProtocol(ABC):
         if self._commit_pending:
             # A commit was deferred while we were briefly executing.
             self._commit_pending = False
-            self.session.participate_in_commit()
+            try:
+                self.session.participate_in_commit()
+            except RoundAborted:
+                self.on_abort()
+                return "resumed"
             self.on_resume()
             return "resumed"
 

@@ -95,6 +95,10 @@ _BLOCKED = "blocked"  # waiting for an external wake (no queue entry)
 _DONE = "done"
 _FAILED = "failed"
 _KILLED = "killed"
+#: Hard-killed by fault injection (:meth:`Simulator.kill_process`): the
+#: process is dead to the simulation — not alive, never resumed — but
+#: its stack is only unwound later, at :meth:`Simulator.close`.
+_CRASHED = "crashed"
 
 #: States in which a process still owns a runnable stack (hot-path
 #: membership test shared by ``SimProcess.alive`` and the schedulers).
@@ -238,6 +242,11 @@ class SimProcess:
     def failed(self) -> bool:
         return self.state == _FAILED
 
+    @property
+    def crashed(self) -> bool:
+        """True after :meth:`Simulator.kill_process` hard-killed this process."""
+        return self.state == _CRASHED
+
     def __repr__(self) -> str:
         return f"<SimProcess {self.name} state={self.state}>"
 
@@ -335,7 +344,10 @@ class _ThreadBackedProcess(SimProcess):
         self._thread.start()
 
     def _kill(self) -> None:
-        if self.alive and self._thread.is_alive():
+        # Crashed processes (kill_process) still own a parked stack: the
+        # crash only marked them dead, so close() must unwind them here
+        # like any live process.
+        if (self.alive or self.state == _CRASHED) and self._thread.is_alive():
             self._killed = True
             self.sim._trace_emit("kill", self.name, "")
             self._resume.release()
@@ -583,7 +595,9 @@ class _GreenletProcess(SimProcess):
         self.state = _RUNNING
 
     def _kill(self) -> None:
-        if not self.alive:
+        # Crashed (kill_process) greenlets still hold a suspended stack
+        # that must be unwound; every other non-alive state is final.
+        if not self.alive and self.state != _CRASHED:
             return
         self._killed = True
         self.sim._trace_emit("kill", self.name, "")
@@ -992,6 +1006,41 @@ class Simulator:
         """Schedule ``proc`` (blocked via :meth:`block`) to resume now."""
         self._make_ready(proc)
 
+    def kill_process(self, proc: SimProcess) -> bool:
+        """Hard-kill ``proc`` at the current instant (crash-fault injection).
+
+        Models a rank dying mid-protocol: the process is immediately dead
+        to the simulation — ``alive`` goes False, any pending sleep is
+        cancelled, every future wake/resume aimed at it is inert, and
+        exit waiters fire now — but its call stack is **not** unwound
+        here.  Unwinding requires transferring control into the process
+        (and, on the inline backend, the killer may *be* running on the
+        victim's carrier thread), so the stack is reclaimed later by
+        :meth:`close` exactly like a normal shutdown kill.
+
+        Survivors blocked on the corpse (a collective, a recv) stay
+        blocked; once no events remain, :meth:`run` raises
+        :class:`DeadlockError` — the crash's observable teardown signal.
+
+        Returns True if the process was alive and is now crashed; False
+        if it had already terminated (no-op, so racing a crash against
+        natural completion is safe).
+        """
+        if not proc.alive:
+            return False
+        timer = proc._sleep_timer
+        if timer is not None:
+            timer.cancel()
+            proc._sleep_timer = None
+        proc.state = _CRASHED
+        proc._killed = True
+        proc.blocked_on = ""
+        self._trace_emit("crash", proc.name, "")
+        for waker in proc._waiters_on_exit:
+            waker()
+        proc._waiters_on_exit.clear()
+        return True
+
     def checkpoint_yield(self) -> None:
         """Yield to the scheduler for zero virtual time.
 
@@ -1274,6 +1323,11 @@ class Simulator:
 
     def _make_ready(self, proc: SimProcess, *, detail: str = "") -> None:
         if proc.state not in _ALIVE_STATES:
+            if proc.state == _CRASHED:
+                # Late deliveries/wakes aimed at a crashed rank are
+                # inert — a corpse cannot be woken, and its peers have
+                # no way to know it died before their message landed.
+                return
             raise SchedulingError(f"cannot wake non-live process {proc!r}")
         now = self._now
         if proc.state == _READY and proc._resume_at == now:

@@ -248,6 +248,12 @@ class Mailbox:
             return True, self._items.popleft()
         return False, None
 
+    def peek(self) -> tuple[bool, Any]:
+        """Non-consuming look at the oldest queued item."""
+        if self._items:
+            return True, self._items[0]
+        return False, None
+
 
 class Gate:
     """A counting rendezvous: opens once ``n`` processes have arrived.

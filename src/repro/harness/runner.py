@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..des import Gate, Simulator
+from ..des.errors import DeadlockError
 from ..mana import CheckpointCoordinator, CheckpointImage, CheckpointRecord, Session
 from ..mana.vcomm import session_scope
 from ..netmodel import ClusterTopology, ModelParams, StorageModel, make_topology
@@ -49,6 +50,20 @@ class RunResult:
     #: ``RunSpec.checkpoint_completion_fracs``).
     rank_finish_times: list[float] = field(default_factory=list)
     sim_events: int = 0
+    #: Ranks hard-killed by fault injection (``crash_at``).  A crashed
+    #: run's ``per_rank`` and ``rank_finish_times`` carry ``None`` holes
+    #: at the crashed (and never-finished) indices.
+    crashed_ranks: list[int] = field(default_factory=list)
+    #: Per-rank drain-buffer conservation counters (index = rank):
+    #: messages restored into the buffer at restart, messages pulled in
+    #: by this run's drain phases, messages consumed from the buffer by
+    #: the application, and messages still buffered at job end.  For
+    #: every rank, restored + buffered == consumed + leftover must hold
+    #: (the drain-conservation oracle checks exactly this).
+    drain_restored: list[int] = field(default_factory=list)
+    drain_buffered: list[int] = field(default_factory=list)
+    drain_consumed: list[int] = field(default_factory=list)
+    drain_leftover: list[int] = field(default_factory=list)
     #: Non-empty when the protocol could not wrap the application (the
     #: paper's NA cells): the UnsupportedOperationError message.  Such a
     #: result carries no measurements.
@@ -92,6 +107,7 @@ def launch_run(
     storage: StorageModel | None = None,
     restore_images: dict[int, CheckpointImage] | None = None,
     max_events: int | None = None,
+    crash_at: dict[int, float] | None = None,
 ) -> RunResult:
     """Run one simulated MPI job to completion and return measurements.
 
@@ -105,6 +121,11 @@ def launch_run(
         restore_images: restart from this checkpoint set instead of a
             fresh start; the modelled image-read time is charged before
             ranks resume.
+        crash_at: fault injection — hard-kill ``rank`` at virtual time
+            ``crash_at[rank]``.  The kill is a no-op if the rank already
+            finished (racing a crash against completion is safe).  The
+            surviving ranks eventually block on the corpse; that
+            deadlock is the crash's expected teardown and ends the run.
     """
     if topo is None:
         topo = make_topology(nprocs, ppn=ppn, params=params)
@@ -112,6 +133,12 @@ def launch_run(
         raise ValueError(f"topology is for {topo.nprocs} ranks, asked for {nprocs}")
     if checkpoint_at and protocol == "native":
         raise ValueError("native runs cannot be checkpointed (no wrapper layer)")
+    if crash_at:
+        bad = [r for r in crash_at if not 0 <= r < nprocs]
+        if bad:
+            raise ValueError(f"crash_at names nonexistent rank(s) {sorted(bad)}")
+        if any(t < 0 for t in crash_at.values()):
+            raise ValueError("crash_at times must be >= 0")
     if restore_images is not None:
         if sorted(restore_images) != list(range(nprocs)):
             raise ValueError("restore_images must cover every rank")
@@ -209,22 +236,57 @@ def launch_run(
             for t in checkpoint_at:
                 sim.call_at(t, coordinator.request_checkpoint)
 
-        end = sim.run()
+        crashed: set[int] = set()
+        if crash_at:
+            def make_crash(rank: int) -> Callable[[], None]:
+                def do_crash() -> None:
+                    if not sim.kill_process(procs[rank]):
+                        return  # lost the race against natural completion
+                    crashed.add(rank)
+                    if coordinator is not None:
+                        # The failure detector notices after one control
+                        # latency (the same delay any rank->coordinator
+                        # message would pay).
+                        latency = sessions[rank].overheads.control_latency
+                        sim.call_after(
+                            latency, lambda: coordinator.on_rank_crashed(rank)
+                        )
+
+                return do_crash
+
+            for rank, t in sorted(crash_at.items()):
+                sim.call_at(t, make_crash(rank))
+
+        try:
+            end = sim.run()
+        except DeadlockError:
+            if not crashed:
+                raise
+            # Survivors blocked on the corpse with no pending events:
+            # this is the crash's expected teardown, not a protocol bug.
+            # The job ends where the simulation stopped making progress.
+            end = sim.now()
         app0 = apps[0]
+        ranks = range(nprocs)
         return RunResult(
             app=app0.name,
             protocol=protocol,
             nprocs=nprocs,
             nnodes=topo.nnodes,
             runtime=end,
-            per_rank=[procs[r].result for r in range(nprocs)],
+            per_rank=[procs[r].result if procs[r].done else None for r in ranks],
             coll_calls=world.stats.total_coll(),
             p2p_calls=world.stats.total_p2p(),
             checkpoints=list(coordinator.records) if coordinator else [],
             restart_read_time=restart_read_time,
             restart_ready_time=max(ready_times) if ready_times else 0.0,
-            rank_finish_times=[finish_times[r] for r in range(nprocs)],
+            rank_finish_times=[finish_times.get(r) for r in ranks],
             sim_events=sim.event_count,
+            crashed_ranks=sorted(crashed),
+            drain_restored=[sessions[r].drain_restored for r in ranks],
+            drain_buffered=[sessions[r].drain_buffered for r in ranks],
+            drain_consumed=[sessions[r].drain_consumed for r in ranks],
+            drain_leftover=[len(sessions[r].drain_buffer) for r in ranks],
         )
     finally:
         sim.close()

@@ -78,7 +78,7 @@ __all__ = [
 
 #: Bump whenever the meaning of a spec field or the serialized result
 #: layout changes; the cache segregates entries by this version.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Point keys :meth:`RunSpec.from_point` routes to spec fields; every
 #: other key becomes an app kwarg.  ``restart`` (bool) is the sweep
@@ -98,6 +98,7 @@ SPEC_POINT_FIELDS = (
     "max_events",
     "restart",
     "restart_ckpt",
+    "crash_fracs",
 )
 
 #: The schedule-shaped point fields (scalars promoted to 1-tuples).
@@ -164,6 +165,13 @@ class RunSpec:
     #: finished while others are mid-program; the coordinator must
     #: checkpoint through the completed ranks instead of aborting.
     checkpoint_completion_fracs: tuple[float, ...] = ()
+    #: Crash-fault injection: ``(rank, frac)`` pairs hard-killing
+    #: ``rank`` at ``frac`` of the probe run's runtime.  A crashed rank
+    #: is *not* a finished rank: rounds it participates in abort, later
+    #: requests abort immediately, and the coordinator tears the job
+    #: down (recovery is a restart from the last committed image, which
+    #: — like every ``restart_of`` spec — carries no crash fields).
+    crash_fracs: tuple[tuple[int, float], ...] = ()
     storage: StorageModel | None = None
     params: ModelParams | None = None
     max_events: int | None = None
@@ -185,6 +193,7 @@ class RunSpec:
         checkpoint_at: tuple[float, ...] | list[float] = (),
         checkpoint_fractions: tuple[float, ...] | list[float] = (),
         checkpoint_completion_fracs: tuple[float, ...] | list[float] = (),
+        crash_fracs: Any = (),
         storage: StorageModel | None = None,
         params: ModelParams | None = None,
         max_events: int | None = None,
@@ -205,6 +214,11 @@ class RunSpec:
             checkpoint_fractions=tuple(float(f) for f in checkpoint_fractions),
             checkpoint_completion_fracs=tuple(
                 float(f) for f in checkpoint_completion_fracs
+            ),
+            # Canonical sorted-by-rank form so equal fault schedules
+            # compare (and hash) equal regardless of construction order.
+            crash_fracs=tuple(
+                sorted((int(r), float(f)) for r, f in crash_fracs)
             ),
             storage=storage,
             params=params,
@@ -286,6 +300,12 @@ class RunSpec:
                     "fractions; schedule further checkpoints with absolute "
                     "checkpoint_at"
                 )
+            if self.crash_fracs:
+                raise SpecError(
+                    "restart specs cannot carry crash faults: recovery from "
+                    "a crash restarts from the last committed image, which "
+                    "excludes the crash"
+                )
             if self.restart_of.protocol != self.protocol:
                 raise SpecError(
                     f"restart protocol {self.protocol!r} != parent "
@@ -297,18 +317,33 @@ class RunSpec:
             raise SpecError("checkpoint fractions must be positive")
         if any(f <= 0 for f in self.checkpoint_completion_fracs):
             raise SpecError("checkpoint completion fractions must be positive")
+        if self.crash_fracs:
+            ranks = [r for r, _f in self.crash_fracs]
+            if len(set(ranks)) != len(ranks):
+                raise SpecError("crash_fracs names a rank more than once")
+            bad = [r for r in ranks if not 0 <= r < self.nprocs]
+            if bad:
+                raise SpecError(f"crash_fracs names nonexistent rank(s) {bad}")
+            if any(f <= 0 for _r, f in self.crash_fracs):
+                raise SpecError("crash fractions must be positive")
 
     # -- structure ------------------------------------------------------ #
 
     def probe_spec(self) -> "RunSpec | None":
-        """The uncheckpointed probe this spec's fractions are relative to."""
-        if not self.checkpoint_fractions and not self.checkpoint_completion_fracs:
+        """The uncheckpointed, uncrashed probe this spec's fractions and
+        crash times are relative to."""
+        if (
+            not self.checkpoint_fractions
+            and not self.checkpoint_completion_fracs
+            and not self.crash_fracs
+        ):
             return None
         return replace(
             self,
             checkpoint_at=(),
             checkpoint_fractions=(),
             checkpoint_completion_fracs=(),
+            crash_fracs=(),
         )
 
     def parents(self) -> "tuple[RunSpec, ...]":
@@ -408,6 +443,8 @@ class RunSpec:
             or self.checkpoint_completion_fracs
         ):
             tag += " (ckpt)"
+        if self.crash_fracs:
+            tag += " (crash)"
         return tag
 
 
@@ -466,6 +503,7 @@ def _execute(
     images: "Callable[[RunSpec, int], dict | None] | None" = None,
 ) -> RunResult:
     checkpoint_at = spec.checkpoint_at
+    crash_at: dict[int, float] | None = None
     probe = spec.probe_spec()
     if probe is not None:
         probe_result = _resolve_parent(
@@ -491,6 +529,10 @@ def _execute(
             checkpoint_at = checkpoint_at + tuple(
                 f * first_finish for f in spec.checkpoint_completion_fracs
             )
+        if spec.crash_fracs:
+            crash_at = {
+                rank: f * probe_result.runtime for rank, f in spec.crash_fracs
+            }
 
     restore_images = None
     if spec.restart_of is not None:
@@ -540,6 +582,7 @@ def _execute(
             storage=spec.storage,
             restore_images=restore_images,
             max_events=max_events,
+            crash_at=crash_at,
         )
     except ProcessFailed as exc:
         if isinstance(exc.original, UnsupportedOperationError):
@@ -627,6 +670,8 @@ def spec_to_dict(spec: RunSpec) -> dict:
     # every pre-existing spec keeps its hash (and its cache entry).
     if spec.checkpoint_completion_fracs:
         out["checkpoint_completion_fracs"] = list(spec.checkpoint_completion_fracs)
+    if spec.crash_fracs:
+        out["crash_fracs"] = [[r, f] for r, f in spec.crash_fracs]
     return out
 
 
@@ -653,6 +698,9 @@ def spec_from_dict(data: Mapping[str, Any]) -> RunSpec:
         checkpoint_fractions=tuple(data.get("checkpoint_fractions", ())),
         checkpoint_completion_fracs=tuple(
             data.get("checkpoint_completion_fracs", ())
+        ),
+        crash_fracs=tuple(
+            (int(r), float(f)) for r, f in data.get("crash_fracs", ())
         ),
         storage=None if storage is None else StorageModel(**storage),
         params=params,
@@ -797,6 +845,11 @@ def run_result_to_dict(result: RunResult) -> dict:
         "rank_finish_times": list(result.rank_finish_times),
         "sim_events": result.sim_events,
         "na_reason": result.na_reason,
+        "crashed_ranks": list(result.crashed_ranks),
+        "drain_restored": list(result.drain_restored),
+        "drain_buffered": list(result.drain_buffered),
+        "drain_consumed": list(result.drain_consumed),
+        "drain_leftover": list(result.drain_leftover),
     }
 
 
@@ -823,4 +876,9 @@ def run_result_from_dict(data: Mapping[str, Any]) -> RunResult:
         rank_finish_times=list(data.get("rank_finish_times", ())),
         sim_events=data.get("sim_events", 0),
         na_reason=data.get("na_reason", ""),
+        crashed_ranks=list(data.get("crashed_ranks", ())),
+        drain_restored=list(data.get("drain_restored", ())),
+        drain_buffered=list(data.get("drain_buffered", ())),
+        drain_consumed=list(data.get("drain_consumed", ())),
+        drain_leftover=list(data.get("drain_leftover", ())),
     )

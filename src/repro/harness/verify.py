@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import tempfile
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from multiprocessing import get_context
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..des.errors import DeadlockError, SchedulingError
 from ..util.hashing import stable_json_hash
 from .cache import ResultCache
 from .engine import ExperimentEngine
@@ -138,6 +141,11 @@ class FaultSchedule:
     restart_depth: int = 1
     #: Which committed checkpoint the first restart adopts.
     restart_ckpt: int = 0
+    #: Crash-fault events: ``(rank, frac)`` hard-kills ``rank`` at that
+    #: fraction of the probe runtime.  Only the crash-aware specs
+    #: (:meth:`crash_spec`) carry these — the graceful specs the
+    #: commit-must-succeed oracles compare stay crash-free.
+    crash_fracs: tuple[tuple[int, float], ...] = ()
 
     @classmethod
     def draw(
@@ -148,7 +156,9 @@ class FaultSchedule:
         The draw covers the scenario axes the coordinator historically
         got wrong: requests just before/at/after the first rank exit,
         requests stacked so some defer behind an in-flight round, both
-        protocols, and single/chained restarts.
+        protocols, single/chained restarts, and (new axes drawn last, so
+        pre-existing seeds keep their schedules) ranks hard-killed
+        before, during, or after the commit window.
         """
         rng = np.random.default_rng(np.random.SeedSequence([0x5EED, seed]))
         nprocs = int(rng.integers(3, 6))
@@ -165,17 +175,29 @@ class FaultSchedule:
             else ()
         )
         n_commits = n_completion + len(mid_fracs)
+        protocol = str(rng.choice(list(protocols)))
+        restart_depth = int(rng.integers(1, 3))
+        restart_ckpt = int(rng.integers(0, n_commits))
+        crash_fracs: tuple[tuple[int, float], ...] = ()
+        if rng.random() < 0.4:
+            crash_fracs = (
+                (
+                    int(rng.integers(0, nprocs)),
+                    round(float(rng.uniform(0.3, 1.1)), 6),
+                ),
+            )
         return cls(
             seed=seed,
-            protocol=str(rng.choice(list(protocols))),
+            protocol=protocol,
             nprocs=nprocs,
             niters=niters,
             shared=shared,
             leavers=leavers,
             completion_fracs=completion_fracs,
             mid_fracs=mid_fracs,
-            restart_depth=int(rng.integers(1, 3)),
-            restart_ckpt=int(rng.integers(0, n_commits)),
+            restart_depth=restart_depth,
+            restart_ckpt=restart_ckpt,
+            crash_fracs=crash_fracs,
         )
 
     # -- spec builders ------------------------------------------------- #
@@ -211,6 +233,31 @@ class FaultSchedule:
             seed=self.seed,
             checkpoint_fractions=self.mid_fracs,
             checkpoint_completion_fracs=self.completion_fracs,
+            storage=_storage(),
+        )
+
+    def crash_spec(
+        self, crash_fracs: "tuple[tuple[int, float], ...] | None" = None
+    ) -> RunSpec:
+        """The checkpointed run with the schedule's crash faults armed.
+
+        ``crash_fracs`` overrides the drawn events (the crash oracle
+        derives a deterministic fallback when the draw produced none).
+        Falls back to :meth:`checkpoint_spec` when there is no crash to
+        inject.
+        """
+        fracs = self.crash_fracs if crash_fracs is None else tuple(crash_fracs)
+        if not fracs:
+            return self.checkpoint_spec()
+        return RunSpec.create(
+            "earlyexit",
+            self.nprocs,
+            app_kwargs=self._app_kwargs(),
+            protocol=self.protocol,
+            seed=self.seed,
+            checkpoint_fractions=self.mid_fracs,
+            checkpoint_completion_fracs=self.completion_fracs,
+            crash_fracs=fracs,
             storage=_storage(),
         )
 
@@ -263,6 +310,12 @@ class OracleReport:
     detail: str = ""
     #: Derandomized one-paste reproduction command.
     repro: str = ""
+    #: Anomaly class for failing reports ("" while ``ok``):
+    #: ``"mismatch"`` — the oracle's two derivations disagreed;
+    #: ``"deadlock"`` — the simulation wedged (a genuine distributed
+    #: deadlock, or a hung schedule dying at its ``max_events`` guard);
+    #: ``"crash"`` — the oracle itself blew up (ProtocolError, SpecError…).
+    kind: str = ""
 
     def as_dict(self) -> dict:
         return {
@@ -271,7 +324,28 @@ class OracleReport:
             "ok": self.ok,
             "detail": self.detail,
             "repro": self.repro,
+            "kind": self.kind,
         }
+
+
+def _classify_exception(exc: BaseException) -> str:
+    """Anomaly class of a non-mismatch failure.
+
+    A hung schedule surfaces either as a :class:`DeadlockError` (live
+    processes blocked with no pending events) or as the ``max_events``
+    guard tripping on a runaway poll loop (:class:`SchedulingError`) —
+    both mean "this schedule wedged the simulation", which is its own
+    anomaly class, distinct from an oracle implementation blowing up.
+    """
+    if isinstance(exc, DeadlockError):
+        return "deadlock"
+    if isinstance(exc, SchedulingError) and "max_events" in str(exc):
+        return "deadlock"
+    # ProcessFailed wraps the body's exception; a deadlock/runaway inside
+    # a worker process arrives stringified, so match on the message too.
+    if "max_events" in str(exc) or "DeadlockError" in str(exc):
+        return "deadlock"
+    return "crash"
 
 
 class Oracle(ABC):
@@ -293,23 +367,44 @@ class Oracle(ABC):
         failing report too (with the same derandomized repro command)
         instead of crashing the remaining seeds and losing the artifact.
         """
+        return self.check_schedule(FaultSchedule.draw(seed), engine)
+
+    def check_schedule(
+        self,
+        schedule: FaultSchedule,
+        engine: "ExperimentEngine | None" = None,
+    ) -> OracleReport:
+        """:meth:`check` for an explicit (possibly hand-built) schedule.
+
+        The fuzzer's shrinker re-checks *mutated* schedules that no seed
+        draws; the report's ``seed`` and repro command refer to the
+        schedule's originating seed.
+        """
+        seed = schedule.seed
         if engine is None or not self.cache_aware:
             engine = ExperimentEngine()
+        kind = ""
         try:
-            detail = self.verify(FaultSchedule.draw(seed), engine)
+            detail = self.verify(schedule, engine)
             ok = True
         except OracleMismatch as exc:
             detail = str(exc)
             ok = False
+            kind = "mismatch"
         except Exception as exc:  # noqa: BLE001 - reported, never swallowed
-            detail = f"oracle crashed: {type(exc).__name__}: {exc}"
             ok = False
+            kind = _classify_exception(exc)
+            if kind == "deadlock":
+                detail = f"simulation wedged: {type(exc).__name__}: {exc}"
+            else:
+                detail = f"oracle crashed: {type(exc).__name__}: {exc}"
         return OracleReport(
             oracle=self.name,
             seed=seed,
             ok=ok,
             detail=detail,
             repro=f"repro-mpi verify --oracle {self.name} --seeds 1 --base-seed {seed}",
+            kind=kind,
         )
 
     @abstractmethod
@@ -486,6 +581,11 @@ class EngineEquivalenceOracle(Oracle):
             restart_of=ckpt,
         )
         specs = [base, ckpt, restart]
+        if schedule.crash_fracs:
+            # A crash run must be just as deterministic as a graceful
+            # one: crashed_ranks, abort records, and drain counters all
+            # travel through the serialized result.
+            specs.append(schedule.crash_spec())
         serial = ExperimentEngine(jobs=1).run_batch(specs)
         parallel = ExperimentEngine(jobs=2).run_batch(specs)
         for spec in specs:
@@ -548,6 +648,255 @@ class ImageTierOracle(Oracle):
         return "cold == warm, parent served from tier"
 
 
+class DrainConservationOracle(Oracle):
+    """Message conservation through the drain buffer (Section 4.3.3).
+
+    Three independent derivations of "no message is lost or forged
+    across a cut": (a) every run — graceful, restarted, or crashed —
+    satisfies restored + buffered == consumed + leftover per rank at
+    job end; (b) a restart's restored count equals exactly the message
+    count frozen in the image it adopted, and everything restored is
+    consumed or still buffered (nothing re-drained); (c) a round
+    aborted by a crash keeps no partial images — the corpse's debts are
+    reclaimed with the round, not leaked into the record.
+    """
+
+    name = "drain-conservation"
+    description = (
+        "messages drained into a checkpoint equal the messages restored "
+        "and consumed after resume, and crash-aborted rounds reclaim "
+        "(not leak) the corpse's drain debts"
+    )
+    cache_aware = False
+
+    def _conserved(self, label: str, res: RunResult) -> None:
+        for rank in range(res.nprocs):
+            restored = res.drain_restored[rank]
+            buffered = res.drain_buffered[rank]
+            consumed = res.drain_consumed[rank]
+            leftover = res.drain_leftover[rank]
+            self._require(
+                restored + buffered == consumed + leftover,
+                f"{label}: rank {rank} drain imbalance — restored {restored} "
+                f"+ buffered {buffered} != consumed {consumed} + leftover "
+                f"{leftover}",
+            )
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        parent = schedule.checkpoint_spec()
+        deps: dict = {}
+        parent_res = execute(parent, deps)
+        self._require(not parent_res.na_reason, f"ckpt run NA: {parent_res.na_reason}")
+        self._conserved("ckpt run", parent_res)
+
+        committed = [r for r in parent_res.checkpoints if r.committed]
+        self._require(bool(committed), "checkpoint run committed nothing")
+        idx = min(schedule.restart_ckpt, len(committed) - 1)
+        restart = RunSpec.create(
+            "earlyexit",
+            schedule.nprocs,
+            app_kwargs=schedule._app_kwargs(),
+            protocol=schedule.protocol,
+            seed=schedule.seed,
+            storage=_storage(),
+            restart_of=parent,
+            restart_ckpt=idx,
+        )
+        deps[parent] = parent_res
+        restart_res = execute(restart, deps)
+        self._require(not restart_res.na_reason, f"restart NA: {restart_res.na_reason}")
+        self._conserved("restart", restart_res)
+        images = committed[idx].images
+        total = 0
+        for rank in range(schedule.nprocs):
+            frozen = len(images[rank].drained)
+            restored = restart_res.drain_restored[rank]
+            self._require(
+                restored == frozen,
+                f"rank {rank}: image froze {frozen} drained message(s) but "
+                f"the restart restored {restored}",
+            )
+            self._require(
+                restart_res.drain_buffered[rank] == 0,
+                f"rank {rank}: restart re-drained "
+                f"{restart_res.drain_buffered[rank]} message(s) on a leg "
+                "with no checkpoint request",
+            )
+            total += frozen
+
+        crash_note = ""
+        if schedule.crash_fracs:
+            crash_res = execute(schedule.crash_spec(), deps)
+            self._require(
+                not crash_res.na_reason, f"crash run NA: {crash_res.na_reason}"
+            )
+            self._conserved("crash run", crash_res)
+            for rec in crash_res.checkpoints:
+                if rec.aborted:
+                    self._require(
+                        not rec.images,
+                        f"crash-aborted record {rec.ckpt_id} leaked "
+                        f"{len(rec.images)} partial image(s)",
+                    )
+            crash_note = (
+                f", crash leg conserved ({len(crash_res.crashed_ranks)} corpse(s))"
+            )
+        return f"{total} drained message(s) conserved through restart{crash_note}"
+
+
+class CrashFaultOracle(Oracle):
+    """Crash faults end to end: a dead rank is not a finished rank.
+
+    Hard-kills a rank (the schedule's drawn crash, or a deterministic
+    fallback so every seed exercises the path) and verifies: the corpse
+    never finishes and reports no result; surviving requests in flight
+    abort with a crash-specific reason and keep no images; no round
+    commits after the crash; and a restart from the last committed
+    image — which excludes the crash — reproduces the uninterrupted
+    run's determinism fingerprint.
+    """
+
+    name = "crash-fault"
+    description = (
+        "a hard-killed rank aborts in-flight rounds (distinct reason, "
+        "no leaked images), later requests abort immediately, and "
+        "restart from the last pre-crash commit matches the "
+        "uninterrupted fingerprint"
+    )
+    cache_aware = False
+
+    def _check_crash_run(
+        self,
+        label: str,
+        crash_res: RunResult,
+        crash_times: "dict[int, float]",
+    ) -> "tuple[list, list]":
+        """Corpse semantics shared by both legs; returns (committed,
+        aborted) records of the crash run."""
+        self._require(
+            set(crash_res.crashed_ranks) <= set(crash_times),
+            f"{label}: unexpected corpse(s) {crash_res.crashed_ranks} vs "
+            f"injected {sorted(crash_times)}",
+        )
+        for rank, t in crash_times.items():
+            finish = crash_res.rank_finish_times[rank]
+            if rank in crash_res.crashed_ranks:
+                self._require(
+                    finish is None and crash_res.per_rank[rank] is None,
+                    f"{label}: crashed rank {rank} still reported a finish "
+                    f"({finish!r}) / result — a corpse is not a finished rank",
+                )
+            else:
+                self._require(
+                    finish is not None and finish <= t,
+                    f"{label}: rank {rank} neither crashed nor finished "
+                    f"before its crash instant {t:g} (finish={finish!r})",
+                )
+        committed = [r for r in crash_res.checkpoints if r.committed]
+        aborted = [r for r in crash_res.checkpoints if r.aborted]
+        if crash_res.crashed_ranks:
+            first_crash = min(
+                t for r, t in crash_times.items() if r in crash_res.crashed_ranks
+            )
+            for rec in committed:
+                self._require(
+                    rec.t_request < first_crash,
+                    f"{label}: record {rec.ckpt_id} committed from a request "
+                    f"at {rec.t_request:g}, after the crash at {first_crash:g}",
+                )
+            for rec in aborted:
+                self._require(
+                    "crashed" in rec.abort_reason,
+                    f"{label}: record {rec.ckpt_id} aborted without a crash "
+                    f"reason: {rec.abort_reason!r}",
+                )
+                self._require(
+                    not rec.images,
+                    f"{label}: crash-aborted record {rec.ckpt_id} leaked images",
+                )
+        return committed, aborted
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        rng = np.random.default_rng(np.random.SeedSequence([0xDEAD, schedule.seed]))
+        fallback_rank = int(rng.integers(0, schedule.nprocs))
+        early_fracs = schedule.crash_fracs or (
+            (fallback_rank, round(float(rng.uniform(0.35, 0.95)), 6)),
+        )
+        deps: dict = {}
+        base = schedule.uninterrupted_spec()
+        base_res = execute(base, deps)
+        self._require(not base_res.na_reason, f"baseline NA: {base_res.na_reason}")
+        deps[base] = base_res  # also the crash specs' probe
+
+        # Leg 1 — the schedule's drawn crash (or an early fallback):
+        # typically lands mid-protocol, before any round finishes its
+        # storage write, so it exercises the abort/reclaim paths.
+        early = schedule.crash_spec(early_fracs)
+        early_res = execute(early, deps)
+        self._require(not early_res.na_reason, f"crash run NA: {early_res.na_reason}")
+        times = {r: f * base_res.runtime for r, f in early_fracs}
+        _committed, aborted = self._check_crash_run("early", early_res, times)
+        early_note = (
+            f"{len(early_res.crashed_ranks)} corpse(s), "
+            f"{len(aborted)} crash-abort(s)"
+            if early_res.crashed_ranks
+            else "crash raced completion and lost"
+        )
+
+        # Leg 2 — crash anchored *after* the first round's commit
+        # completes (checkpointing stretches the run well past the probe
+        # runtime, so drawn fractions of probe runtime land before any
+        # commit; this leg is what proves a commit survives a later
+        # crash).  The anchor comes from the graceful checkpoint run —
+        # deterministic, so the derived spec is too.
+        graceful = schedule.checkpoint_spec()
+        graceful_res = execute(graceful, deps)
+        self._require(
+            not graceful_res.na_reason, f"ckpt run NA: {graceful_res.na_reason}"
+        )
+        commits = [r for r in graceful_res.checkpoints if r.committed]
+        self._require(bool(commits), "graceful checkpoint run committed nothing")
+        late_frac = round(commits[0].t_resumed * 1.1 / base_res.runtime, 6)
+        late = schedule.crash_spec(((fallback_rank, late_frac),))
+        late_res = execute(late, deps)
+        self._require(not late_res.na_reason, f"late-crash NA: {late_res.na_reason}")
+        times = {fallback_rank: late_frac * base_res.runtime}
+        committed, _ = self._check_crash_run("late", late_res, times)
+        self._require(
+            bool(committed),
+            "no commit survived a crash anchored after the first round's "
+            f"resume ({commits[0].t_resumed:g})",
+        )
+
+        # Recovery: restart from the last committed image — which
+        # excludes the crash — must reproduce the uninterrupted run.
+        deps[late] = late_res
+        restart = RunSpec.create(
+            "earlyexit",
+            schedule.nprocs,
+            app_kwargs=schedule._app_kwargs(),
+            protocol=schedule.protocol,
+            seed=schedule.seed,
+            storage=_storage(),
+            restart_of=late,
+            restart_ckpt=len(committed) - 1,
+        )
+        restart_res = execute(restart, deps)
+        self._require(
+            not restart_res.na_reason, f"restart NA: {restart_res.na_reason}"
+        )
+        want = result_fingerprint(base_res)
+        got = result_fingerprint(restart_res)
+        self._require(
+            got == want,
+            f"restart-past-crash fingerprint {got} != uninterrupted {want}",
+        )
+        return (
+            f"early leg: {early_note}; late leg: {len(committed)} pre-crash "
+            "commit(s), restart past the crash matches the baseline"
+        )
+
+
 #: Oracle catalog, ``--oracle`` spelling -> instance.
 ORACLES: "dict[str, Oracle]" = {
     oracle.name: oracle
@@ -556,8 +905,15 @@ ORACLES: "dict[str, Oracle]" = {
         SafeCutOracle(),
         EngineEquivalenceOracle(),
         ImageTierOracle(),
+        DrainConservationOracle(),
+        CrashFaultOracle(),
     )
 }
+
+
+def _check_one(name: str, seed: int) -> dict:
+    """Top-level worker entry point (picklable by name for spawn)."""
+    return ORACLES[name].check(seed).as_dict()
 
 
 def run_oracles(
@@ -566,22 +922,50 @@ def run_oracles(
     *,
     engine: "ExperimentEngine | None" = None,
     progress=None,
+    jobs: int = 1,
 ) -> "list[OracleReport]":
     """Sweep the named oracles over ``seeds``; returns every report.
 
     ``progress``, if given, is called with each report as it lands.
     Unknown oracle names raise ``KeyError`` with the catalog spelled out.
+
+    ``jobs > 1`` fans the (oracle, seed) grid over a spawn-safe process
+    pool.  Reports come back in the same (oracle-order, seed-order)
+    sequence as a serial sweep and carry the same contents — each check
+    is an independent simulation, so the fan-out can only change wall
+    time, never a report (``tests/verify`` pins the byte-identity).
     """
-    reports = []
+    seeds = list(seeds)
+    tasks: list[tuple[str, int]] = []
     for name in names:
-        try:
-            oracle = ORACLES[name]
-        except KeyError:
+        if name not in ORACLES:
             raise KeyError(
                 f"unknown oracle {name!r}; expected one of {sorted(ORACLES)}"
-            ) from None
-        for seed in seeds:
-            report = oracle.check(seed, engine)
+            )
+        tasks.extend((name, seed) for seed in seeds)
+
+    reports: list[OracleReport] = []
+    if jobs <= 1 or len(tasks) <= 1:
+        for name, seed in tasks:
+            report = ORACLES[name].check(seed, engine)
+            reports.append(report)
+            if progress is not None:
+                progress(report)
+        return reports
+
+    # Spawn (not fork) for the same reason the engine does: simulations
+    # build deep object graphs, and a warm forked parent is where the
+    # subtle bugs live.
+    ctx = get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)), mp_context=ctx
+    ) as pool:
+        futures = [pool.submit(_check_one, name, seed) for name, seed in tasks]
+        # Collect in submission order, not completion order: the report
+        # sequence (and any serialized artifact) must be byte-identical
+        # to a serial sweep's.
+        for future in futures:
+            report = OracleReport(**future.result())
             reports.append(report)
             if progress is not None:
                 progress(report)

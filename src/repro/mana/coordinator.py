@@ -279,6 +279,12 @@ class CheckpointCoordinator:
         self.procs: dict[int, "SimProcess"] = {}
         self.records: list[CheckpointRecord] = []
         self.finished_ranks: set[int] = set()
+        #: Ranks whose process was hard-killed (crash-fault injection).
+        #: A crashed rank is *not* a finished rank: no proxy ever answers
+        #: for it, rounds it participates in abort, and requests issued
+        #: while it is dead abort immediately.
+        self.crashed_ranks: set[int] = set()
+        self._teardown_scheduled = False
         self._proxies: dict[int, _FinishedRankProxy] = {}
         self._state = "idle"
         self._next_ckpt_id = 0
@@ -387,6 +393,23 @@ class CheckpointCoordinator:
             return
         ckpt_id = self._next_ckpt_id
         self._next_ckpt_id += 1
+        if self.crashed_ranks:
+            # A round with a dead participant can never quiesce, let
+            # alone commit: record the attempt as aborted without even
+            # broadcasting the intent.  Recovery is a restart from the
+            # last committed image set, which excludes the crash.
+            record = CheckpointRecord(
+                ckpt_id=ckpt_id,
+                protocol=self.protocol_name,
+                t_request=self.sim.now(),
+            )
+            record.aborted = True
+            record.abort_reason = (
+                f"rank(s) {sorted(self.crashed_ranks)} crashed before the request"
+            )
+            self.records.append(record)
+            self._aborted_rounds += 1
+            return
         self._record = CheckpointRecord(
             ckpt_id=ckpt_id,
             protocol=self.protocol_name,
@@ -427,8 +450,19 @@ class CheckpointCoordinator:
     # ------------------------------------------------------------------ #
 
     #: Rank->coordinator kinds that may legitimately straggle in after a
-    #: round was aborted (the sender had not yet seen the abort).
-    _STALE_OK = ("seq_report", "parked", "unparked", "confirm")
+    #: round was aborted (the sender had not yet seen the abort).  The
+    #: commit-phase kinds are included because a crash can now abort a
+    #: round *mid-commit* — survivors that had already reported keep
+    #: their messages in flight past the abort.
+    _STALE_OK = (
+        "seq_report",
+        "parked",
+        "unparked",
+        "confirm",
+        "nbc_done",
+        "p2p_done",
+        "written",
+    )
 
     def deliver(self, msg: tuple) -> None:
         kind = msg[0]
@@ -463,25 +497,83 @@ class CheckpointCoordinator:
             self._proxies[rank] = proxy
             proxy.install()
 
-    def _abort_round(self, reason: str) -> None:
-        """Abandon the in-flight (pre-commit) round: record why, release
-        every parked rank, and return to idle.
+    def on_rank_crashed(self, rank: int) -> None:
+        """Failure-detector input: ``rank``'s process was hard-killed.
 
-        No longer reached by the normal state machine — a rank finishing
-        mid-round is proxied through the commit instead — but retained
-        as the safety valve fault-injection scenarios and future
-        coordinator features can abort into.
+        Called (after a detection latency) by whoever injected the
+        crash.  The corpse is *not* a finished rank — no proxy answers
+        for it — so an in-progress round has lost a participant and can
+        never complete: abort it with a distinct reason, reclaiming
+        whatever drain/commit state the round still owed to the corpse
+        (the per-phase report maps are cleared with the round).
+        """
+        if rank in self.finished_ranks:
+            # The application already returned and its terminal result
+            # is recorded; a process death after that changes nothing
+            # the protocol can observe.
+            return
+        self.crashed_ranks.add(rank)
+        if not self._teardown_scheduled:
+            # The job cannot survive a dead member: survivors eventually
+            # block (or spin in a test loop) on communication the corpse
+            # will never answer, so — as DMTCP does on a member failure —
+            # the coordinator tears the job down and recovery restarts
+            # from the last committed image set.  The grace period lets
+            # the abort below reach parked survivors first, keeping the
+            # round's teardown observable.
+            self._teardown_scheduled = True
+            latency = next(iter(self.sessions.values())).overheads.control_latency
+            self.sim.call_after(max(latency, 1e-9) * 8, self._teardown_job)
+        if self._state != "idle":
+            reclaimed = sum(
+                rank not in reported
+                for reported in (
+                    self._nbc_reports,
+                    self._p2p_done,
+                    self._written,
+                )
+            )
+            self._abort_round(
+                f"rank {rank} crashed during {self._state}"
+                + (f" ({reclaimed} outstanding commit report(s) reclaimed)"
+                   if self._state.startswith("commit_") else "")
+            )
+
+    def _teardown_job(self) -> None:
+        """Hard-stop every surviving rank after a member crash.
+
+        :meth:`Simulator.kill_process` is a no-op for processes that
+        already finished (or crashed), so ranks that completed before
+        the teardown keep their recorded results.
+        """
+        for proc in self.procs.values():
+            self.sim.kill_process(proc)
+
+    def _abort_round(self, reason: str) -> None:
+        """Abandon the in-flight round: record why, release every parked
+        rank, and return to idle.
+
+        Not reached by the graceful state machine — a rank finishing
+        mid-round is proxied through the commit instead — but it is the
+        teardown path for crash faults (:meth:`on_rank_crashed`) and the
+        safety valve future coordinator features can abort into.
         """
         assert self._record is not None
         self._record.aborted = True
         self._record.abort_reason = reason
         self._record = None
         self._tracker = None
+        # Reclaim commit state owed to (or reported by) round members;
+        # nothing from an aborted round may leak into the next one.
+        self._seq_reports.clear()
+        self._nbc_reports.clear()
+        self._p2p_done.clear()
+        self._written.clear()
         self._state = "idle"
         self._aborted_rounds += 1
         self._broadcast(("abort",))
         # Re-issue deferred requests so they are accounted for (they
-        # abort immediately in turn: a rank has already finished).
+        # abort immediately in turn: the blocking condition persists).
         self._pump_deferred()
 
     def _pump_deferred(self) -> None:

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
 from ..core import PROTOCOLS, GgidRegistry, SeqNumTable, drain_nonblocking_requests
-from ..core.protocol import ProtocolError
+from ..core.protocol import ProtocolError, RoundAborted
 from ..des import INTERRUPTED, Mailbox
 from ..simmpi import ANY_SOURCE, ANY_TAG, Communicator, payload_nbytes
 from .image import CheckpointImage
@@ -109,6 +109,16 @@ class Session:
         self.recv_done: dict[tuple, int] = {}
         #: Drained messages: (ckey, src_group_rank, tag, payload, nbytes).
         self.drain_buffer: list[tuple] = []
+        # Conservation accounting for the drain-conservation oracle.
+        # Every message entering the buffer is counted exactly once —
+        # ``drain_restored`` (restored from an image at restart) or
+        # ``drain_buffered`` (pulled in by a drain phase this run) — and
+        # ``_buffer_take``, the only consumption path, counts every
+        # message leaving it.  At any instant, crash or no crash,
+        # restored + buffered == consumed + len(drain_buffer) per rank.
+        self.drain_restored = 0
+        self.drain_buffered = 0
+        self.drain_consumed = 0
 
         # Application-owned state and accounting.
         self.app_state: dict = {}
@@ -613,6 +623,7 @@ class Session:
         ckey = self._ckey_of_vcid[vcid]
         for i, rec in enumerate(self.drain_buffer):
             if rec[0] == ckey and _match(rec[1], rec[2], source, tag):
+                self.drain_consumed += 1
                 return self.drain_buffer.pop(i)
         return None
 
@@ -737,11 +748,32 @@ class Session:
 
     def _await_phase(self, kind: str) -> tuple:
         msg = self.control.get()
+        if msg[0] == "abort":
+            # The coordinator abandoned the round mid-commit (a
+            # participant crashed).  Unwind to the park loop: nothing
+            # was committed and the application must keep running.
+            raise RoundAborted(
+                f"rank {self.rank}: round aborted while awaiting {kind!r}"
+            )
         if msg[0] != kind:
             raise ProtocolError(
                 f"rank {self.rank}: expected {kind!r} during commit, got {msg!r}"
             )
         return msg
+
+    def poll_commit_abort(self) -> None:
+        """Non-blocking abort check for commit-phase progress loops.
+
+        The p2p/nbc drains poll the data plane in sleep loops that never
+        read the control mailbox; with crash faults in the picture an
+        abort can land mid-drain, and without this check the loop would
+        spin (waiting on messages a corpse will never send) until the
+        ``max_events`` guard trips.
+        """
+        ok, msg = self.control.peek()
+        if ok and msg[0] == "abort":
+            self.control.try_get()
+            raise RoundAborted(f"rank {self.rank}: round aborted mid-drain")
 
     def _drain_p2p(self, expected: dict[tuple, int]) -> int:
         """Receive every in-flight message into the upper-half buffer.
@@ -766,24 +798,34 @@ class Session:
             return True
 
         gap = self.overheads.ibarrier_poll_gap
-        while not satisfied():
-            progressed = False
-            for vcid, comm in self._vcomms.items():
-                ckey = self._ckey_of_vcid[vcid]
-                while True:
-                    status = comm.iprobe(source=ANY_SOURCE, tag=ANY_TAG)
-                    if status is None:
-                        break
-                    payload, st = comm.recv_status(source=status.source, tag=status.tag)
-                    src_world = comm.group.world_rank(st.source)
-                    self.drain_buffer.append(
-                        (ckey, st.source, st.tag, payload, st.nbytes)
-                    )
-                    key = (ckey, src_world)
-                    buffered[key] = buffered.get(key, 0) + 1
-                    progressed = True
-            if not satisfied() and not progressed:
-                self.sim.sleep(gap)
+        try:
+            while not satisfied():
+                self.poll_commit_abort()
+                progressed = False
+                for vcid, comm in self._vcomms.items():
+                    ckey = self._ckey_of_vcid[vcid]
+                    while True:
+                        status = comm.iprobe(source=ANY_SOURCE, tag=ANY_TAG)
+                        if status is None:
+                            break
+                        payload, st = comm.recv_status(source=status.source, tag=status.tag)
+                        src_world = comm.group.world_rank(st.source)
+                        self.drain_buffer.append(
+                            (ckey, st.source, st.tag, payload, st.nbytes)
+                        )
+                        self.drain_buffered += 1
+                        key = (ckey, src_world)
+                        buffered[key] = buffered.get(key, 0) + 1
+                        progressed = True
+                if not satisfied() and not progressed:
+                    self.sim.sleep(gap)
+        finally:
+            # Whatever was pulled into the buffer was genuinely received
+            # from the lower half; fold it into the receive counters so
+            # an *aborted* round stays conserved across the next cut (a
+            # committed round resets the counters right after anyway).
+            for key, n in buffered.items():
+                self.recv_done[key] = self.recv_done.get(key, 0) + n
         return len(self.drain_buffer) - buffered_before
 
     def build_image(self) -> CheckpointImage:
@@ -892,6 +934,7 @@ class Session:
         sess.app_state = image.app_state
         sess.creation_log = list(image.creation_log)
         sess.drain_buffer = list(image.drained)
+        sess.drain_restored = len(sess.drain_buffer)
         sess.declared_bytes = image.declared_bytes
         # A rank that was finished at the cut stays finished: the runner
         # never re-enters the application, and the restored final result

@@ -24,8 +24,10 @@ EXPECTED_EVENTS = {
 # Hash of the serialized results.  Event counts and every measurement
 # are still byte-identical to the pre-fast-path kernel; the hash moved
 # once (PR 5) when ``rank_finish_times`` — the per-rank completion
-# instants behind checkpoint_completion_fracs — joined the result form.
-EXPECTED_RESULT_HASH = "e41b4d565814d361"
+# instants behind checkpoint_completion_fracs — joined the result form,
+# and again (PR 7, schema v2) when ``crashed_ranks`` and the drain
+# conservation counters joined it.
+EXPECTED_RESULT_HASH = "78eb106e234d18fa"
 
 
 @pytest.fixture(scope="module")

@@ -109,3 +109,17 @@ def test_real_oracle_through_the_cli(tmp_path, capsys):
     ])
     assert rc == 0
     assert "oracle rank-completion: 1/1 seeds ok" in capsys.readouterr().out
+
+
+def test_jobs_flag_fans_out_with_identical_summary(tmp_path, capsys):
+    # Real oracles only: spawned workers re-import the catalog, so
+    # monkeypatched stubs don't exist over there.
+    argv_tail = [
+        "--oracle", "safe-cut", "--seeds", "2", "--no-cache", "--quiet",
+        "--artifact", str(tmp_path / "f.json"),
+    ]
+    assert main(["verify", *argv_tail]) == 0
+    serial_out = capsys.readouterr().out.splitlines()[0]
+    assert main(["verify", "--jobs", "2", *argv_tail]) == 0
+    parallel_out = capsys.readouterr().out.splitlines()[0]
+    assert serial_out == parallel_out == "oracle safe-cut: 2/2 seeds ok"

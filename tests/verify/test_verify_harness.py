@@ -74,6 +74,8 @@ class TestOracleCatalog:
             "safe-cut",
             "engine",
             "image-tier",
+            "drain-conservation",
+            "crash-fault",
         }
         for name, oracle in ORACLES.items():
             assert oracle.name == name
@@ -119,6 +121,23 @@ class TestOracleCatalog:
         assert not report.ok
         assert "oracle crashed: ProtocolError: rank 2 wedged" in report.detail
         assert "--base-seed 9" in report.repro
+
+    def test_parallel_fanout_byte_identical_to_serial(self):
+        """--jobs N is a pure wall-time knob: the (oracle, seed) grid
+        fans out over spawned workers, but the report sequence and every
+        field in it must match the serial sweep exactly."""
+        names, seeds = ["safe-cut", "drain-conservation"], [0, 1]
+        serial_seen, parallel_seen = [], []
+        serial = run_oracles(
+            names, seeds, jobs=1,
+            progress=lambda r: serial_seen.append((r.oracle, r.seed)),
+        )
+        parallel = run_oracles(
+            names, seeds, jobs=2,
+            progress=lambda r: parallel_seen.append((r.oracle, r.seed)),
+        )
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+        assert serial_seen == parallel_seen
 
     def test_cache_aware_oracle_serves_warm_reruns(self, tmp_path):
         cold_engine = ExperimentEngine(cache=ResultCache(tmp_path))
