@@ -15,6 +15,9 @@ Usage::
     repro-mpi fuzz --iters 25 --corpus fuzz-corpus
     repro-mpi fuzz --budget 5m --corpus fuzz-corpus
     repro-mpi fuzz --corpus fuzz-corpus --replay <key>
+    repro-mpi serve --port 7463 &
+    repro-mpi worker --connect 127.0.0.1:7463 &
+    repro-mpi all --dispatch service --service 127.0.0.1:7463
     repro-mpi cache stats
     repro-mpi cache prune --figure fig9
     repro-mpi cache prune --older-than 7d --max-entries 2000
@@ -71,6 +74,13 @@ schedule, and persist it — content-hashed and deduplicated — into the
 ``--corpus`` directory as a derandomized reproduction.  ``--replay KEY``
 re-runs a stored entry and exits 0 once it no longer fails.
 
+``serve`` / ``worker`` run the long-lived experiment service
+(``repro.harness.service``): a job-queue server over the shared result
+cache plus pull-model workers.  Any engine-backed command (figures,
+``sweep``, ``verify``, ``fuzz``) targets it with ``--dispatch service
+--service HOST:PORT`` (or ``REPRO_SERVICE_ADDR``); ``--dispatch``
+also selects the ``local-pool`` and ``inline`` in-process backends.
+
 ``--bench-json PATH`` appends one machine-readable record per
 invocation (figures run, engine stats, wall time) so performance
 trajectories can accumulate across runs.
@@ -96,6 +106,7 @@ from .harness import (
     run_oracles,
     run_plans,
 )
+from .harness.dispatch import DISPATCH_BACKENDS, DispatchError
 
 #: Which per-figure keyword each CLI flag maps to, per experiment.
 _PROCS_EXPERIMENTS = ("fig5a", "fig5b", "fig6", "fig8")
@@ -143,6 +154,30 @@ def _chosen_backend(args: argparse.Namespace) -> str | None:
     """Map the CLI flag to an engine backend override (``auto`` == unset)."""
     backend = getattr(args, "backend", None)
     return None if backend == "auto" else backend
+
+
+def _add_dispatch_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--dispatch`` / ``--service`` selectors."""
+    parser.add_argument(
+        "--dispatch", choices=("auto",) + DISPATCH_BACKENDS, default=None,
+        help="job dispatch backend (default: auto — service when "
+             "$REPRO_SERVICE_ADDR is set, else local-pool; or "
+             "$REPRO_DISPATCH)",
+    )
+    parser.add_argument(
+        "--service", type=str, default=None, metavar="HOST:PORT",
+        help="experiment service address for --dispatch service "
+             "(default $REPRO_SERVICE_ADDR)",
+    )
+
+
+def _dispatch_kwargs(args: argparse.Namespace) -> dict:
+    """Map the CLI flags to engine dispatch overrides (``auto`` == unset)."""
+    dispatch = getattr(args, "dispatch", None)
+    return {
+        "dispatch": None if dispatch == "auto" else dispatch,
+        "service": getattr(args, "service", None),
+    }
 
 
 def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
@@ -359,6 +394,7 @@ def _sweep_main(argv: list[str]) -> int:
                         help="process count for --study ckpt_freq/restart_chain")
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
     _add_backend_arg(parser)
+    _add_dispatch_args(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -455,11 +491,16 @@ def _sweep_main(argv: list[str]) -> int:
             cache.version_dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
-    engine = ExperimentEngine(jobs=args.jobs, cache=cache,
-                              progress=not args.quiet,
-                              backend=_chosen_backend(args))
+    try:
+        engine = ExperimentEngine(jobs=args.jobs, cache=cache,
+                                  progress=not args.quiet,
+                                  backend=_chosen_backend(args),
+                                  **_dispatch_kwargs(args))
+    except (DispatchError, ValueError) as exc:
+        parser.error(str(exc))
     t0 = time.time()
-    results = run_plans([plan], engine)
+    with engine:
+        results = run_plans([plan], engine)
     for result in results:
         print(result.render())
         print()
@@ -500,6 +541,7 @@ def _verify_main(argv: list[str]) -> int:
                              "processes; the report sequence is "
                              "byte-identical to a serial sweep (default 1)")
     _add_backend_arg(parser)
+    _add_dispatch_args(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -520,9 +562,13 @@ def _verify_main(argv: list[str]) -> int:
             cache.version_dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
-    engine = ExperimentEngine(jobs=args.jobs, cache=cache,
-                              progress=False,
-                              backend=_chosen_backend(args))
+    try:
+        engine = ExperimentEngine(jobs=args.jobs, cache=cache,
+                                  progress=False,
+                                  backend=_chosen_backend(args),
+                                  **_dispatch_kwargs(args))
+    except (DispatchError, ValueError) as exc:
+        parser.error(str(exc))
 
     def progress(report) -> None:
         if not args.quiet:
@@ -535,9 +581,11 @@ def _verify_main(argv: list[str]) -> int:
             )
 
     t0 = time.time()
-    reports = run_oracles(
-        names, seeds, engine=engine, progress=progress, jobs=args.jobs
-    )
+    with engine:
+        reports = run_oracles(
+            names, seeds, engine=engine, progress=progress, jobs=args.jobs,
+            **_dispatch_kwargs(args),
+        )
     elapsed = time.time() - t0
 
     failures = [r for r in reports if not r.ok]
@@ -606,6 +654,12 @@ def _fuzz_main(argv: list[str]) -> int:
     parser.add_argument("--oracle", choices=sorted(ORACLES), action="append",
                         default=[],
                         help="oracle to fuzz (repeatable; default: all)")
+    parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                        help="parallel oracle checks per iteration block "
+                             "through the dispatch seam; anomaly handling "
+                             "(shrinking, corpus writes) stays serial in "
+                             "this process (default 1)")
+    _add_dispatch_args(parser)
     parser.add_argument("--no-shrink", action="store_true",
                         help="persist failing schedules unminimized")
     parser.add_argument("--replay", type=str, default=None, metavar="KEY",
@@ -649,15 +703,20 @@ def _fuzz_main(argv: list[str]) -> int:
         if not args.quiet:
             print(f"[fuzz] {message}", file=sys.stderr, flush=True)
 
-    stats = run_fuzz(
-        corpus,
-        iters=args.iters,
-        budget=args.budget,
-        base_seed=args.base_seed,
-        oracles=args.oracle or None,
-        shrink=not args.no_shrink,
-        progress=progress,
-    )
+    try:
+        stats = run_fuzz(
+            corpus,
+            iters=args.iters,
+            budget=args.budget,
+            base_seed=args.base_seed,
+            oracles=args.oracle or None,
+            shrink=not args.no_shrink,
+            progress=progress,
+            jobs=args.jobs,
+            **_dispatch_kwargs(args),
+        )
+    except DispatchError as exc:
+        parser.error(str(exc))
     for entry in stats.anomalies:
         print(f"{entry.kind}: {entry.oracle} seed={entry.seed} -> "
               f"corpus entry {entry.key}")
@@ -687,6 +746,123 @@ def _amend_last_bench_record(path: str, **extra) -> None:
         fh.write("\n")
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``repro-mpi serve`` — run the long-lived experiment service.
+
+    The server owns the job queue and the persistent job index and
+    advertises the shared result cache to workers; it runs no
+    simulations itself.  Stop with Ctrl-C.
+    """
+    from .harness.service import DEFAULT_HOST, DEFAULT_PORT, ExperimentServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi serve",
+        description="Long-lived experiment service: accepts jobs from "
+                    "--dispatch service clients, hands them to pull-model "
+                    "`repro-mpi worker` processes, and answers repeats "
+                    "from the shared result cache",
+    )
+    parser.add_argument("--host", type=str, default=DEFAULT_HOST,
+                        help=f"listen address (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"listen port; 0 picks a free one "
+                             f"(default {DEFAULT_PORT})")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="shared result cache advertised to workers "
+                             "(default $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run store-less: every submission queues, "
+                             "workers keep results to themselves")
+    parser.add_argument("--index-dir", type=str, default=None,
+                        help="persistent job index directory (default "
+                             "<cache-dir>/service-index)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job lifecycle lines")
+    args = parser.parse_args(argv)
+
+    cache_dir = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        try:
+            cache.version_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"cannot use cache directory {cache.root}: {exc}")
+        cache_dir = cache.root
+
+    server = ExperimentServer(
+        args.host, args.port,
+        cache_dir=cache_dir,
+        index_dir=args.index_dir,
+        progress=not args.quiet,
+    )
+    host, port = server.start()
+    print(f"[serve] listening on {host}:{port} "
+          f"(workers: repro-mpi worker --connect {host}:{port}; "
+          f"clients: --dispatch service --service {host}:{port})",
+          file=sys.stderr, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _worker_main(argv: list[str]) -> int:
+    """``repro-mpi worker`` — pull-model executor for the service.
+
+    Connects to a running ``repro-mpi serve``, long-polls for jobs, and
+    executes them with the same engine job body an in-process run uses.
+    Exits 0 when the server shuts down (or after ``--max-jobs``).
+    """
+    from .harness.dispatch import parse_address
+    from .harness.service import run_worker
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi worker",
+        description="Pull-model experiment-service worker: fetches jobs "
+                    "from a `repro-mpi serve` instance and writes results "
+                    "(including checkpoint images) into the shared cache",
+    )
+    parser.add_argument("--connect", type=str, required=True,
+                        metavar="HOST:PORT",
+                        help="experiment service address")
+    _add_backend_arg(parser)
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="override the server-advertised artifact "
+                             "store (rarely needed; must be shared with "
+                             "clients for warm-cache reruns)")
+    parser.add_argument("--max-jobs", type=_positive_int, default=None,
+                        help="exit after executing N jobs (default: run "
+                             "until the server shuts down)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
+    args = parser.parse_args(argv)
+
+    try:
+        addr = parse_address(args.connect)
+    except DispatchError as exc:
+        parser.error(str(exc))
+    try:
+        executed = run_worker(
+            addr,
+            sim_backend=_chosen_backend(args),
+            cache_dir=args.cache_dir,
+            max_jobs=args.max_jobs,
+            progress=not args.quiet,
+        )
+    except KeyboardInterrupt:
+        return 130
+    except (DispatchError, OSError) as exc:
+        print(f"[worker] {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"[worker] done: {executed} job(s) executed",
+              file=sys.stderr, flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -698,6 +874,10 @@ def main(argv: list[str] | None = None) -> int:
         return _verify_main(argv[1:])
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-mpi",
         description=(
@@ -726,6 +906,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
                         help="parallel simulation worker processes (default 1)")
     _add_backend_arg(parser)
+    _add_dispatch_args(parser)
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result cache directory "
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
@@ -744,17 +925,22 @@ def main(argv: list[str] | None = None) -> int:
             cache.version_dir.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
-    engine = ExperimentEngine(
-        jobs=args.jobs, cache=cache, progress=not args.quiet,
-        backend=_chosen_backend(args),
-    )
+    try:
+        engine = ExperimentEngine(
+            jobs=args.jobs, cache=cache, progress=not args.quiet,
+            backend=_chosen_backend(args),
+            **_dispatch_kwargs(args),
+        )
+    except (DispatchError, ValueError) as exc:
+        parser.error(str(exc))
 
     names = sorted(PLANNERS) if args.experiment == "all" else [args.experiment]
     plans = [PLANNERS[name](**_planner_kwargs(name, args)) for name in names]
     t0 = time.time()
     # One batch for everything requested: cross-figure dedupe is the
     # whole point of batching `all`.
-    results = run_plans(plans, engine)
+    with engine:
+        results = run_plans(plans, engine)
     for result in results:
         print(result.render())
         print()

@@ -1,10 +1,16 @@
 """Persistent on-disk result cache keyed by spec content hash.
 
-Layout: ``<cache_dir>/v<SCHEMA_VERSION>/<spec_hash>.json`` — one JSON
-document per unique :class:`~repro.harness.spec.RunSpec`.  Bumping
-``SCHEMA_VERSION`` (a change to spec semantics or result layout)
-silently orphans older entries rather than misreading them; corrupt or
-truncated files count as misses and are overwritten on the next store.
+Layout: ``<cache_dir>/v<SCHEMA_VERSION>/<hh>/<spec_hash>.json`` — one
+JSON document per unique :class:`~repro.harness.spec.RunSpec`, fanned
+into 256 two-hex-digit shard directories (``<hh>`` is the hash's first
+two characters) so a long-lived shared cache never accumulates tens of
+thousands of files in one directory.  Caches written before sharding
+stored everything flat; the flat layout is still read transparently and
+migrated as it is touched (a legacy entry moves into its shard on the
+first hit), so no flag day is needed.  Bumping ``SCHEMA_VERSION`` (a
+change to spec semantics or result layout) silently orphans older
+entries rather than misreading them; corrupt or truncated files count
+as misses and are overwritten on the next store.
 
 The cache stores the JSON form of :class:`RunResult`, which drops
 checkpoint-image payloads (see ``spec.py``); on its own, a cached
@@ -13,9 +19,11 @@ restart.  The **image tier** closes that gap: whenever a stored result
 carries full checkpoint images, each committed checkpoint's image map
 is packed (compressed pickle with a SHA-256 digest; see
 :func:`repro.mana.image.pack_image_set`) and stored *content-addressed*
-under ``v<SCHEMA>-images/blobs/<sha256>.blob``, with a tiny per-spec
-pointer file ``v<SCHEMA>-images/<spec_hash>.c<committed_index>.img``
-holding the digest — identical image sets reachable from several
+under ``v<SCHEMA>-images/blobs/<hh>/<sha256>.blob``, with a tiny
+per-spec pointer file
+``v<SCHEMA>-images/<hh>/<spec_hash>.c<committed_index>.img``
+(sharded like entries, flat legacy locations still served and migrated
+on read) holding the digest — identical image sets reachable from several
 parent specs are stored once.  A warm restart then loads its parent's
 images straight from the tier instead of re-simulating the parent run.
 Integrity failures, truncations, dangling pointers, and blobs from
@@ -133,14 +141,42 @@ class ResultCache:
         # schedules longest-pole-first from historical times.
         return self.root / f"v{SCHEMA_VERSION}-timings.json"
 
+    # Entries and image pointers are fanned into 256 shard directories
+    # named by the key's first two hex digits; blobs likewise under
+    # ``blobs/<hh>/``.  All reads fall back to the pre-sharding flat
+    # location and migrate what they find (atomic rename into the shard,
+    # best-effort: a read-only cache keeps serving flat files forever).
+
+    @staticmethod
+    def _shard(key: str) -> str:
+        return key[:2]
+
     def path_for(self, spec: RunSpec) -> Path:
-        return self.version_dir / f"{spec_hash(spec)}.json"
+        key = spec_hash(spec)
+        return self.version_dir / self._shard(key) / f"{key}.json"
+
+    def _legacy_entry_path(self, key: str) -> Path:
+        return self.version_dir / f"{key}.json"
+
+    @staticmethod
+    def _migrate(legacy: Path, sharded: Path) -> None:
+        """Move a flat-layout file into its shard (best-effort)."""
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, sharded)
+        except OSError:
+            pass
 
     def get(self, spec: RunSpec) -> RunResult | None:
         """The cached result for ``spec``, or None on miss/corruption."""
         path = self.path_for(spec)
+        legacy = self._legacy_entry_path(spec_hash(spec))
         try:
-            raw = path.read_text()
+            try:
+                raw = path.read_text()
+            except OSError:
+                raw = legacy.read_text()
+                self._migrate(legacy, path)
             document = json.loads(raw)
             result = run_result_from_dict(document["result"])
         except (OSError, ValueError, KeyError, TypeError):
@@ -298,10 +334,55 @@ class ResultCache:
             if isinstance(spec_or_hash, str)
             else spec_hash(spec_or_hash)
         )
+        return self.images_dir / self._shard(key) / f"{key}.c{int(index)}.img"
+
+    def _legacy_pointer_path(
+        self, spec_or_hash: "RunSpec | str", index: int
+    ) -> Path:
+        key = (
+            spec_or_hash
+            if isinstance(spec_or_hash, str)
+            else spec_hash(spec_or_hash)
+        )
         return self.images_dir / f"{key}.c{int(index)}.img"
 
+    def _read_pointer_bytes(
+        self, spec_or_hash: "RunSpec | str", index: int
+    ) -> "bytes | None":
+        """Raw pointer-file contents from the sharded location, else the
+        flat legacy one (migrating it); None when neither exists."""
+        path = self._pointer_path(spec_or_hash, index)
+        try:
+            return path.read_bytes()
+        except OSError:
+            pass
+        legacy = self._legacy_pointer_path(spec_or_hash, index)
+        try:
+            raw = legacy.read_bytes()
+        except OSError:
+            return None
+        self._migrate(legacy, path)
+        return raw
+
     def _blob_path(self, digest: str) -> Path:
+        return self.blobs_dir / self._shard(digest) / f"{digest}.blob"
+
+    def _legacy_blob_path(self, digest: str) -> Path:
         return self.blobs_dir / f"{digest}.blob"
+
+    def _read_blob(self, digest: str) -> "bytes | None":
+        path = self._blob_path(digest)
+        try:
+            return path.read_bytes()
+        except OSError:
+            pass
+        legacy = self._legacy_blob_path(digest)
+        try:
+            raw = legacy.read_bytes()
+        except OSError:
+            return None
+        self._migrate(legacy, path)
+        return raw
 
     @staticmethod
     def _parse_pointer(raw: bytes) -> "str | None":
@@ -320,12 +401,21 @@ class ResultCache:
         pointer exists, the file itself for legacy inline archives, or
         the not-yet-written pointer location.  Note that with blob
         dedupe this path may be shared by several specs."""
-        pointer = self._pointer_path(spec_or_hash, index)
-        try:
-            digest = self._parse_pointer(pointer.read_bytes())
-        except OSError:
-            return pointer
-        return pointer if digest is None else self._blob_path(digest)
+        raw = self._read_pointer_bytes(spec_or_hash, index)
+        if raw is None:
+            return self._pointer_path(spec_or_hash, index)
+        digest = self._parse_pointer(raw)
+        if digest is None:
+            # Legacy inline archive: the pointer file is the data (it may
+            # still sit in either layout — report wherever it lives now).
+            pointer = self._pointer_path(spec_or_hash, index)
+            return (
+                pointer
+                if pointer.is_file()
+                else self._legacy_pointer_path(spec_or_hash, index)
+            )
+        blob = self._blob_path(digest)
+        return blob if blob.is_file() else self._legacy_blob_path(digest)
 
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
@@ -359,9 +449,8 @@ class ResultCache:
             digest = image_set_digest(blob)
             blob_path = self._blob_path(digest)
             blob_path.parent.mkdir(parents=True, exist_ok=True)
-            if not blob_path.is_file():
-                self._atomic_write(blob_path, blob)
-            else:
+            legacy_blob = self._legacy_blob_path(digest)
+            if blob_path.is_file():
                 # Dedupe hit: refresh the payload's age so a blob a
                 # fresh put just pointed at doesn't get age-evicted on
                 # its *original* store date.
@@ -369,9 +458,25 @@ class ResultCache:
                     os.utime(blob_path)
                 except OSError:
                     pass
-            self._atomic_write(
-                self._pointer_path(spec, index), digest.encode() + b"\n"
-            )
+            elif legacy_blob.is_file():
+                # Dedupe hit in the flat legacy layout: migrate instead
+                # of duplicating the payload, refreshing its age.
+                self._migrate(legacy_blob, blob_path)
+                if not blob_path.is_file():
+                    self._atomic_write(blob_path, blob)
+                try:
+                    os.utime(blob_path)
+                except OSError:
+                    pass
+            else:
+                self._atomic_write(blob_path, blob)
+            pointer = self._pointer_path(spec, index)
+            pointer.parent.mkdir(parents=True, exist_ok=True)
+            self._atomic_write(pointer, digest.encode() + b"\n")
+            try:
+                self._legacy_pointer_path(spec, index).unlink()
+            except OSError:
+                pass
             written += 1
             self.stats.image_stores += 1
         return written
@@ -386,17 +491,15 @@ class ResultCache:
         blob, a legacy/unknown format — so callers can always fall back
         to re-simulating the parent.
         """
-        try:
-            raw = self._pointer_path(spec_or_hash, index).read_bytes()
-        except OSError:
+        raw = self._read_pointer_bytes(spec_or_hash, index)
+        if raw is None:
             return None
         if not raw.startswith(ARCHIVE_MAGIC):
             digest = self._parse_pointer(raw)
             if digest is None:
                 return None
-            try:
-                raw = self._blob_path(digest).read_bytes()
-            except OSError:
+            raw = self._read_blob(digest)
+            if raw is None:
                 return None
         try:
             images = unpack_image_set(raw)
@@ -413,12 +516,19 @@ class ResultCache:
         re-simulation inside the job, so planning on existence alone is
         safe.
         """
-        return self._pointer_path(spec_or_hash, index).is_file()
+        return (
+            self._pointer_path(spec_or_hash, index).is_file()
+            or self._legacy_pointer_path(spec_or_hash, index).is_file()
+        )
+
+    _SHARD_GLOB = "[0-9a-f][0-9a-f]"
 
     def _pointer_files(self) -> "list[Path]":
         if not self.images_dir.is_dir():
             return []
-        return list(self.images_dir.glob("*.img"))
+        files = list(self.images_dir.glob("*.img"))
+        files.extend(self.images_dir.glob(f"{self._SHARD_GLOB}/*.img"))
+        return files
 
     def _referenced_digests(self) -> set[str]:
         """Digests still referenced by at least one pointer file."""
@@ -440,11 +550,16 @@ class ResultCache:
         candidates -= self._referenced_digests()
         removed = 0
         for digest in candidates:
-            try:
-                self._blob_path(digest).unlink()
+            gone = False
+            for path in (self._blob_path(digest),
+                         self._legacy_blob_path(digest)):
+                try:
+                    path.unlink()
+                    gone = True
+                except OSError:
+                    pass
+            if gone:
                 removed += 1
-            except OSError:
-                pass
         return removed
 
     def _drop_images(self, hashes: Iterable[str]) -> int:
@@ -455,7 +570,11 @@ class ResultCache:
         removed = 0
         candidates: set[str] = set()
         for key in hashes:
-            for path in self.images_dir.glob(f"{key}.c*.img"):
+            locations = list(self.images_dir.glob(f"{key}.c*.img"))
+            shard_dir = self.images_dir / self._shard(key)
+            if shard_dir.is_dir():
+                locations.extend(shard_dir.glob(f"{key}.c*.img"))
+            for path in locations:
                 try:
                     digest = self._parse_pointer(path.read_bytes())
                 except OSError:
@@ -487,7 +606,9 @@ class ResultCache:
     def _blob_files(self) -> "list[Path]":
         if not self.blobs_dir.is_dir():
             return []
-        return list(self.blobs_dir.glob("*.blob"))
+        files = list(self.blobs_dir.glob("*.blob"))
+        files.extend(self.blobs_dir.glob(f"{self._SHARD_GLOB}/*.blob"))
+        return files
 
     def image_count(self) -> int:
         """Stored image sets: unique blobs plus legacy inline archives."""
@@ -610,8 +731,21 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        try:
+            # A re-store supersedes any flat legacy copy of the entry.
+            self._legacy_entry_path(spec_hash(spec)).unlink()
+        except OSError:
+            pass
         self.stats.stores += 1
         return path
+
+    def _entry_files(self) -> "list[Path]":
+        """Every current-schema entry file, sharded and flat legacy."""
+        if not self.version_dir.is_dir():
+            return []
+        files = list(self.version_dir.glob("*.json"))
+        files.extend(self.version_dir.glob(f"{self._SHARD_GLOB}/*.json"))
+        return files
 
     def clear(self) -> int:
         """Delete all entries for the current schema; returns the count.
@@ -620,13 +754,12 @@ class ResultCache:
         (the scheduling cost model) survive.
         """
         removed = 0
-        if self.version_dir.is_dir():
-            for entry in self.version_dir.glob("*.json"):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+        for entry in self._entry_files():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
         if self.images_dir.is_dir():
             for blob in self._pointer_files() + self._blob_files():
                 try:
@@ -648,11 +781,15 @@ class ResultCache:
         for spec in specs:
             key = spec_hash(spec)
             requested_hashes.append(key)
-            try:
-                self.path_for(spec).unlink()
+            gone = False
+            for path in (self.path_for(spec), self._legacy_entry_path(key)):
+                try:
+                    path.unlink()
+                    gone = True
+                except OSError:
+                    pass
+            if gone:
                 removed += 1
-            except OSError:
-                continue
         # One batched image drop: _drop_images ends in a full pointer
         # scan for blob GC, so per-spec calls would cost O(specs ×
         # pointers) file reads.
@@ -688,7 +825,7 @@ class ResultCache:
             return 0
         cutoff = time.time() - max_age_seconds
         stale = []
-        for entry in self.version_dir.glob("*.json"):
+        for entry in self._entry_files():
             try:
                 if entry.stat().st_mtime < cutoff:
                     stale.append(entry)
@@ -703,10 +840,8 @@ class ResultCache:
         remain; returns the number removed."""
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
-        if not self.version_dir.is_dir():
-            return 0
         aged = []
-        for entry in self.version_dir.glob("*.json"):
+        for entry in self._entry_files():
             try:
                 aged.append((entry.stat().st_mtime, entry.name, entry))
             except OSError:
@@ -719,10 +854,8 @@ class ResultCache:
 
     def total_bytes(self) -> int:
         """On-disk footprint of the current schema's entries."""
-        if not self.version_dir.is_dir():
-            return 0
         total = 0
-        for entry in self.version_dir.glob("*.json"):
+        for entry in self._entry_files():
             try:
                 total += entry.stat().st_size
             except OSError:
@@ -730,6 +863,4 @@ class ResultCache:
         return total
 
     def __len__(self) -> int:
-        if not self.version_dir.is_dir():
-            return 0
-        return sum(1 for _ in self.version_dir.glob("*.json"))
+        return len(self._entry_files())

@@ -20,9 +20,15 @@ values — typically every cell of one or several figures at once — and:
    model — the wall time recorded in the cache when the spec last ran,
    falling back to a ``nprocs × niters`` heuristic — so the slowest job
    starts first and the pool never idles behind a stragglers' tail;
-5. **fans out** the remaining unique jobs over a spawn-safe
-   ``ProcessPoolExecutor`` (``jobs=N``), with a per-job ``max_events``
-   guard and optional progress lines on stderr.
+5. **fans out** the remaining unique jobs through a pluggable dispatch
+   backend (:mod:`repro.harness.dispatch`): the default ``local-pool``
+   keeps the spawn-safe ``ProcessPoolExecutor`` (``jobs=N``), ``inline``
+   runs every job in-process for debugging, and ``service`` ships jobs
+   over a socket to a long-lived experiment server
+   (:mod:`repro.harness.service`) whose pull-model workers share the
+   content-addressed cache as their artifact store.  Every backend
+   applies the per-job ``max_events`` guard and honours the optional
+   progress lines on stderr.
 
 Results are keyed by spec and identical whether the batch ran serially
 or in parallel — workers only ever execute independent simulations, and
@@ -38,9 +44,7 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from multiprocessing import get_context
 from typing import Iterable, Mapping, Sequence
 
 from ..des.backends import (
@@ -49,6 +53,13 @@ from ..des.backends import (
     set_default_backend,
 )
 from .cache import ResultCache
+from .dispatch import (
+    DispatchBackend,
+    DispatchConfig,
+    create_dispatch,
+    resolve_dispatch,
+    resolve_service_addr,
+)
 from .runner import RunResult
 from .spec import RunSpec, execute
 
@@ -180,6 +191,17 @@ class ExperimentEngine:
             name is resolved to a concrete backend *here* and forwarded
             to spawned workers, so serial and parallel execution always
             run the same backend.
+        dispatch: job-dispatch backend (``None`` = the process default
+            / ``REPRO_DISPATCH`` / auto — see
+            :mod:`repro.harness.dispatch`).  ``local-pool`` is the
+            historical pool, ``inline`` runs in-process, ``service``
+            ships jobs to a long-lived ``repro-mpi serve`` server.
+        service: ``HOST:PORT`` of the experiment service (``service``
+            dispatch only; falls back to ``$REPRO_SERVICE_ADDR``).
+
+    The engine is a context manager; ``close()`` releases dispatch
+    resources (the service connection).  Both are optional for the
+    in-process backends.
     """
 
     def __init__(
@@ -190,13 +212,53 @@ class ExperimentEngine:
         max_events: int | None = DEFAULT_MAX_EVENTS,
         progress: bool = False,
         backend: str | None = None,
+        dispatch: str | None = None,
+        service: str | None = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.max_events = max_events
         self.progress = progress
         self.backend = resolve_backend(backend)
+        self.dispatch = resolve_dispatch(dispatch)
+        # Resolve the address eagerly: a service engine with no server
+        # to talk to should fail at construction, not mid-batch.
+        self.service_addr = (
+            resolve_service_addr(service) if self.dispatch == "service" else None
+        )
         self.last_stats: EngineStats | None = None
+        self._dispatcher: DispatchBackend | None = None
+
+    def _dispatch_backend(self) -> DispatchBackend:
+        """The engine's (lazily created, engine-lived) dispatch backend.
+
+        Long-lived on purpose: the service connection persists across
+        waves and batches, so a sweep is one client session server-side.
+        """
+        if self._dispatcher is None:
+            self._dispatcher = create_dispatch(
+                self.dispatch,
+                DispatchConfig(
+                    jobs=self.jobs,
+                    cache_dir=None if self.cache is None else self.cache.root,
+                    guard=self.max_events,
+                    sim_backend=self.backend,
+                    service_addr=self.service_addr,
+                ),
+            )
+        return self._dispatcher
+
+    def close(self) -> None:
+        """Release dispatch resources (idempotent)."""
+        if self._dispatcher is not None:
+            self._dispatcher.close()
+            self._dispatcher = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- #
 
@@ -306,15 +368,21 @@ class ExperimentEngine:
             # equal-cost specs in submission order (determinism).
             pending.sort(key=lambda spec: self._predicted_cost(spec, stats),
                          reverse=True)
-            for spec, result, elapsed, served in self._execute_wave(
+            for spec, result, elapsed, served, cached in self._execute_wave(
                 pending, resolved
             ):
                 resolved[spec] = result
-                stats.executed += 1
+                if cached:
+                    # Served from the service's shared store without a
+                    # simulation anywhere — a cache hit, just one that
+                    # was discovered server-side instead of locally.
+                    stats.cache_hits += 1
+                else:
+                    stats.executed += 1
                 stats.images_reused += served
                 done += 1
-                self._report(done, total, spec, "ran")
-                if self.cache is not None:
+                self._report(done, total, spec, "cached" if cached else "ran")
+                if self.cache is not None and not cached:
                     self.cache.put(spec, result, elapsed=elapsed)
 
         stats.wall_time = time.perf_counter() - t0
@@ -346,42 +414,21 @@ class ExperimentEngine:
         self,
         pending: Sequence[RunSpec],
         resolved: Mapping[RunSpec, RunResult],
-    ) -> Iterable[tuple[RunSpec, RunResult, float, int]]:
+    ) -> Iterable[tuple[RunSpec, RunResult, float, int, bool]]:
+        """Fan one wave out through the dispatch backend.
+
+        Yields ``(spec, result, elapsed, served, cached)`` in whatever
+        order the backend completes jobs; the caller keys by spec, so
+        ordering only affects progress lines, never results.
+        """
         if not pending:
             return
-        cache_dir = None if self.cache is None else self.cache.root
-        if self.jobs == 1 or len(pending) == 1:
-            for spec in pending:
-                result, elapsed, served = _execute_job(
-                    spec, self._deps_for(spec, resolved), self.max_events,
-                    cache_dir, self.backend,
-                )
-                yield spec, result, elapsed, served
-            return
-
-        # Spawn (not fork): simulations build deep object graphs and
-        # numpy state; forking a warm parent is where the subtle bugs
-        # live, and spawn matches the default on macOS/Windows anyway.
-        ctx = get_context("spawn")
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            futures = {
-                pool.submit(
-                    _execute_job,
-                    spec,
-                    self._deps_for(spec, resolved),
-                    self.max_events,
-                    cache_dir,
-                    self.backend,
-                ): spec
-                for spec in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    result, elapsed, served = future.result()
-                    yield futures[future], result, elapsed, served
+        backend = self._dispatch_backend()
+        for spec in pending:
+            backend.submit(spec, self._deps_for(spec, resolved))
+        for job in backend.drain():
+            result, elapsed, served, cached = job.result()
+            yield job.spec, result, elapsed, served, cached
 
     def _report(self, done: int, total: int, spec: RunSpec, how: str) -> None:
         if self.progress:

@@ -38,6 +38,8 @@ fails.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
@@ -45,7 +47,14 @@ from statistics import median
 from typing import Callable, Iterable, Sequence
 
 from ..util.hashing import stable_json_hash
-from .verify import ORACLES, FaultSchedule, Oracle, OracleReport
+from .verify import (
+    ORACLES,
+    FaultSchedule,
+    Oracle,
+    OracleReport,
+    schedule_from_dict,
+    schedule_to_dict,
+)
 
 __all__ = [
     "CorpusDB",
@@ -78,32 +87,9 @@ SHRINK_CHECK_BUDGET = 48
 # --------------------------------------------------------------------- #
 # Schedule serialization
 # --------------------------------------------------------------------- #
-
-def schedule_to_dict(schedule: FaultSchedule) -> dict:
-    """JSON-stable form of a schedule (tuples become lists)."""
-    out = asdict(schedule)
-    out["completion_fracs"] = list(schedule.completion_fracs)
-    out["mid_fracs"] = list(schedule.mid_fracs)
-    out["crash_fracs"] = [[r, f] for r, f in schedule.crash_fracs]
-    return out
-
-
-def schedule_from_dict(data: dict) -> FaultSchedule:
-    return FaultSchedule(
-        seed=int(data["seed"]),
-        protocol=str(data["protocol"]),
-        nprocs=int(data["nprocs"]),
-        niters=int(data["niters"]),
-        shared=int(data["shared"]),
-        leavers=int(data["leavers"]),
-        completion_fracs=tuple(float(f) for f in data["completion_fracs"]),
-        mid_fracs=tuple(float(f) for f in data["mid_fracs"]),
-        restart_depth=int(data["restart_depth"]),
-        restart_ckpt=int(data["restart_ckpt"]),
-        crash_fracs=tuple(
-            (int(r), float(f)) for r, f in data.get("crash_fracs", ())
-        ),
-    )
+# schedule_to_dict / schedule_from_dict moved to repro.harness.verify
+# (where FaultSchedule lives, and where the dispatch layer's check-job
+# wire format needs them); re-exported here for compatibility.
 
 
 def schedule_key(schedule: FaultSchedule, oracle: str) -> str:
@@ -153,8 +139,12 @@ class CorpusEntry:
 class CorpusDB:
     """Content-addressed on-disk anomaly corpus.
 
-    Writes are atomic-enough for the single-writer fuzz loop (tempfile
-    rename); reads tolerate concurrent fuzzers on the same directory.
+    Writes are atomic and collision-safe under concurrency (a uniquely
+    named tempfile per writer, then an atomic replace): parallel fuzz
+    workers — or independent fuzz processes — sharing one corpus
+    directory can race on the same key and both land a well-formed
+    entry, with the content-hashed key guaranteeing both wrote the same
+    bytes.
     """
 
     def __init__(self, root: "str | Path"):
@@ -174,15 +164,30 @@ class CorpusDB:
     def keys(self) -> "list[str]":
         return sorted(p.stem for p in self.entries_dir.glob("*.json"))
 
+    def _write_atomic(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def add(self, entry: CorpusEntry) -> bool:
         """Persist ``entry``; returns False when the key already exists
         (the same minimized anomaly was found before)."""
         path = self._path(entry.key)
         if path.exists():
             return False
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(entry.as_dict(), indent=2, sort_keys=True) + "\n")
-        tmp.rename(path)
+        self._write_atomic(
+            path, json.dumps(entry.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
         return True
 
     def load(self, key: str) -> CorpusEntry:
@@ -216,10 +221,10 @@ class CorpusDB:
         # Keep a bounded tail per oracle: recent machine speed is the
         # model, not the all-time history.
         trimmed = {k: v[-64:] for k, v in sorted(model.items())}
-        path = self.root / "cost_model.json"
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(trimmed, indent=2, sort_keys=True) + "\n")
-        tmp.rename(path)
+        self._write_atomic(
+            self.root / "cost_model.json",
+            json.dumps(trimmed, indent=2, sort_keys=True) + "\n",
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -344,6 +349,9 @@ def run_fuzz(
     shrink: bool = True,
     progress: "Callable[[str], None] | None" = None,
     clock: Callable[[], float] = time.monotonic,
+    jobs: int = 1,
+    dispatch: "str | None" = None,
+    service: "str | None" = None,
 ) -> FuzzStats:
     """Draw schedules and oracle-check them until the budget runs out.
 
@@ -353,6 +361,15 @@ def run_fuzz(
     drawn schedule gets the full oracle battery).  Every anomaly is
     shrunk (unless ``shrink=False``), deduplicated against the corpus,
     and recorded in the returned stats whether new or duplicate.
+
+    ``jobs > 1`` fans the checks of ``jobs`` iterations at a time
+    through the job-dispatch seam (:mod:`repro.harness.dispatch`;
+    ``dispatch``/``service`` select the backend, so a fuzz run can
+    saturate a local pool *or* an experiment-service fleet).  Anomaly
+    detection, shrinking, corpus writes, and the cost model stay in the
+    parent and process results in draw order, so the corpus and stats
+    are independent of completion order; the budget is checked at block
+    boundaries, and parallel check durations are worker-measured.
     """
     if iters is None and budget is None:
         raise ValueError("give iters, budget, or both")
@@ -362,6 +379,16 @@ def run_fuzz(
             raise KeyError(
                 f"unknown oracle {name!r}; expected one of {sorted(ORACLES)}"
             )
+
+    from .dispatch import (
+        DispatchConfig,
+        create_dispatch,
+        resolve_dispatch,
+        resolve_service_addr,
+    )
+
+    resolved = resolve_dispatch(dispatch)
+    use_seam = resolved == "service" or jobs > 1
 
     cost_model = corpus.load_cost_model()
     stats = FuzzStats()
@@ -399,41 +426,82 @@ def run_fuzz(
             say(f"duplicate {kind} anomaly {entry.key} ({report.oracle} "
                 f"seed={report.seed})")
 
-    iteration = 0
-    while True:
-        if iters is not None and iteration >= iters:
-            break
-        if budget is not None and clock() - started >= budget:
-            break
-        seed = base_seed + iteration
-        schedule = FaultSchedule.draw(seed)
-        for name in names:
-            t0 = clock()
-            report = ORACLES[name].check_schedule(schedule)
-            dur = clock() - t0
-            stats.checks += 1
-            if not report.ok:
-                record(report, schedule, report.kind, report.detail)
+    def process(name: str, schedule: FaultSchedule,
+                report: OracleReport, dur: float) -> None:
+        stats.checks += 1
+        if not report.ok:
+            record(report, schedule, report.kind, report.detail)
+        else:
+            threshold = _perf_threshold(cost_model.get(name, []))
+            if threshold is not None and dur > threshold:
+                record(
+                    report,
+                    schedule,
+                    "perf-outlier",
+                    f"check took {dur:.2f}s against a recorded median "
+                    f"of {median(cost_model[name]):.2f}s "
+                    f"(threshold {threshold:.2f}s)",
+                )
             else:
-                threshold = _perf_threshold(cost_model.get(name, []))
-                if threshold is not None and dur > threshold:
-                    record(
-                        report,
-                        schedule,
-                        "perf-outlier",
-                        f"check took {dur:.2f}s against a recorded median "
-                        f"of {median(cost_model[name]):.2f}s "
-                        f"(threshold {threshold:.2f}s)",
-                    )
-                else:
-                    # Only healthy checks feed the cost model: a wedged
-                    # check must not drag the median up until its own
-                    # successors stop looking anomalous.
-                    cost_model.setdefault(name, []).append(dur)
-        iteration += 1
-        stats.iterations = iteration
-        say(f"iter {iteration}: seed {seed}, "
-            f"{len(stats.anomalies)} anomal{'y' if len(stats.anomalies) == 1 else 'ies'} so far")
+                # Only healthy checks feed the cost model: a wedged
+                # check must not drag the median up until its own
+                # successors stop looking anomalous.
+                cost_model.setdefault(name, []).append(dur)
+
+    backend = None
+    if use_seam:
+        backend = create_dispatch(
+            resolved,
+            DispatchConfig(
+                jobs=jobs,
+                service_addr=(
+                    resolve_service_addr(service)
+                    if resolved == "service" else None
+                ),
+            ),
+        )
+
+    iteration = 0
+    try:
+        while True:
+            if iters is not None and iteration >= iters:
+                break
+            if budget is not None and clock() - started >= budget:
+                break
+            block = 1
+            if use_seam:
+                block = max(1, jobs)
+                if iters is not None:
+                    block = min(block, iters - iteration)
+            seeds = [base_seed + iteration + i for i in range(block)]
+            schedules = [FaultSchedule.draw(seed) for seed in seeds]
+            if backend is None:
+                for name in names:
+                    t0 = clock()
+                    report = ORACLES[name].check_schedule(schedules[0])
+                    process(name, schedules[0], report, clock() - t0)
+            else:
+                handles = [
+                    (name, schedule,
+                     backend.submit_check(name, schedule_to_dict(schedule)))
+                    for schedule in schedules
+                    for name in names
+                ]
+                # Draw order, not completion order: the corpus and the
+                # cost model must not depend on worker timing.
+                for name, schedule, handle in handles:
+                    value = handle.result()
+                    report = OracleReport(**value["report"])
+                    process(name, schedule, report, value["duration"])
+            for seed in seeds:
+                iteration += 1
+                stats.iterations = iteration
+                say(f"iter {iteration}: seed {seed}, "
+                    f"{len(stats.anomalies)} anomal"
+                    f"{'y' if len(stats.anomalies) == 1 else 'ies'} so far")
+    finally:
+        if backend is not None:
+            backend.close()
 
     stats.elapsed = clock() - started
     corpus.save_cost_model(cost_model)

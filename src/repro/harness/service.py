@@ -1,0 +1,738 @@
+"""Long-lived experiment service: job queue, workers, persistent index.
+
+The third dispatch backend (:mod:`repro.harness.dispatch`) made real: a
+small control plane that turns the engine's process+JSON worker boundary
+into a network boundary, the architecture the paper's evaluation (and
+the MANA/DMTCP proxy designs it builds on) actually runs — a fleet of
+isolated executors coordinated through a thin submission layer with
+persistent artifacts.
+
+Three roles, one protocol (line-delimited JSON over TCP; every message
+is a single ``\\n``-terminated JSON object):
+
+* **server** (``repro-mpi serve``, :class:`ExperimentServer`) — owns the
+  job queue and the persistent job index.  Jobs are keyed by
+  :func:`~repro.harness.spec.spec_hash` (oracle checks by a content
+  hash over oracle + schedule), so resubmission is idempotent: a job
+  already queued, running, or done is never double-executed, and a
+  simulation whose result is already in the shared
+  :class:`~repro.harness.cache.ResultCache` is answered from the store
+  without touching the queue.
+* **workers** (``repro-mpi worker --connect HOST:PORT``,
+  :func:`run_worker`) — pull-model executors.  A worker long-polls
+  ``fetch``, executes the job exactly as an in-process engine would
+  (same :func:`~repro.harness.engine._execute_job` body, same resolved
+  kernel backend), writes the result — *including full checkpoint
+  images* — into the shared cache, and reports the JSON result back.
+  A worker that dies mid-job takes nothing with it: the server requeues
+  the orphaned job the moment the connection drops.
+* **clients** (``--dispatch service`` on any engine-backed command) —
+  submit jobs and block on ``wait``.  Results cross the wire in cache
+  JSON form (image payloads stripped); anything needing images recovers
+  them from the shared image tier, the same degradation path a warm
+  cache already exercises, which is why service results are
+  byte-identical to in-process ones.
+
+Protocol sketch (client)::
+
+    -> {"type": "hello", "role": "client", "protocol": 1}
+    <- {"type": "welcome", "protocol": 1}
+    -> {"type": "submit", "key": K, "job": {...}}
+    <- {"type": "accepted", "key": K, "state": "queued"}
+    -> {"type": "wait", "keys": [K, ...]}
+    <- {"type": "result", "key": K, "value": {...}}
+
+and (worker)::
+
+    -> {"type": "fetch"}
+    <- {"type": "job", "key": K, "job": {...}, "cache_dir": "..."} | {"type": "idle"}
+    -> {"type": "done", "key": K, "value": {...}}
+    <- {"type": "ack"}
+
+The persistent index (``<index-dir>/<key>.json``, atomic writes) records
+every job's lifecycle; queued and running jobs keep their payload, so a
+restarted server resumes interrupted work instead of losing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from ..util.hashing import stable_json_hash
+from .cache import ResultCache
+from .dispatch import (
+    DispatchBackend,
+    DispatchConfig,
+    DispatchError,
+    DispatchJob,
+    _run_check_job,
+)
+from .spec import (
+    job_from_dict,
+    job_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    spec_from_dict,
+    spec_hash,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ExperimentServer",
+    "ServiceDispatch",
+    "check_job_key",
+    "run_worker",
+]
+
+PROTOCOL_VERSION = 1
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7463
+
+#: How long a worker ``fetch`` parks server-side before an ``idle``
+#: heartbeat tells it to re-poll.  Short enough that shutdown and
+#: requeue propagate promptly; long enough that idle workers cost
+#: nothing.
+FETCH_PARK_SECONDS = 2.0
+
+
+def _send(sock: socket.socket, obj: dict) -> None:
+    sock.sendall(json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n")
+
+
+def _recv(rfile) -> "dict | None":
+    line = rfile.readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+def check_job_key(oracle: str, schedule: dict) -> str:
+    """Content key for one oracle-check job (dedupes like a sim job)."""
+    return "check-" + stable_json_hash({"oracle": oracle, "schedule": schedule})
+
+
+class _Job:
+    __slots__ = ("key", "payload", "state", "value", "worker", "submitted",
+                 "completed")
+
+    def __init__(self, key: str, payload: "dict | None"):
+        self.key = key
+        self.payload = payload
+        self.state = "queued"
+        self.value: "dict | None" = None
+        self.worker: "str | None" = None
+        self.submitted = time.time()
+        self.completed: "float | None" = None
+
+
+class ExperimentServer:
+    """The control plane: queue, index, and the shared artifact store.
+
+    Args:
+        host/port: listen address (``port=0`` picks a free port —
+            :meth:`start` returns the bound address).
+        cache_dir: root of the shared :class:`ResultCache`.  The server
+            consults it before queueing simulations and forwards it to
+            workers as their artifact store; ``None`` runs store-less.
+        index_dir: persistent job index location; defaults to
+            ``<cache_dir>/service-index`` when a cache is configured,
+            else in-memory only.
+        progress: emit one lifecycle line per job transition on stderr.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        *,
+        cache_dir: "str | os.PathLike | None" = None,
+        index_dir: "str | os.PathLike | None" = None,
+        progress: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self._cache = None if cache_dir is None else ResultCache(cache_dir)
+        if index_dir is None and self.cache_dir is not None:
+            index_dir = self.cache_dir / "service-index"
+        self.index_dir = None if index_dir is None else Path(index_dir)
+        self.progress = progress
+
+        self._cond = threading.Condition()
+        self._jobs: "dict[str, _Job]" = {}
+        self._queue: "deque[str]" = deque()
+        self._shutdown = False
+        self._listener: "socket.socket | None" = None
+        self._accept_thread: "threading.Thread | None" = None
+        self._conns: "set[socket.socket]" = set()
+        self._next_conn = 0
+        self._load_index()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self) -> tuple[str, int]:
+        """Bind, accept in a background thread, return ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._log(f"serving on {self.host}:{self.port}")
+        return self.host, self.port
+
+    def serve_forever(self) -> None:
+        """:meth:`start` (if needed) and block until :meth:`shutdown`."""
+        if self._listener is None:
+            self.start()
+        try:
+            while True:
+                with self._cond:
+                    if self._shutdown:
+                        return
+                    self._cond.wait(timeout=1.0)
+        except KeyboardInterrupt:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting, wake every parked handler, close connections."""
+        with self._cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            self._cond.notify_all()
+            conns = list(self._conns)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._log("shut down")
+
+    def stats(self) -> dict:
+        with self._cond:
+            states: "dict[str, int]" = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "jobs": len(self._jobs),
+                "queued": states.get("queued", 0),
+                "running": states.get("running", 0),
+                "done": states.get("done", 0),
+            }
+
+    # -- connection handling -------------------------------------------- #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown()
+            with self._cond:
+                if self._shutdown:
+                    conn.close()
+                    return
+                self._next_conn += 1
+                conn_id = f"conn-{self._next_conn}"
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_conn,
+                args=(conn, conn_id),
+                name=f"repro-serve-{conn_id}",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket, conn_id: str) -> None:
+        rfile = conn.makefile("rb")
+        try:
+            hello = _recv(rfile)
+            if not hello or hello.get("type") != "hello":
+                _send(conn, {"type": "error", "message": "expected hello"})
+                return
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                _send(conn, {
+                    "type": "error",
+                    "message": f"protocol {hello.get('protocol')!r} "
+                               f"unsupported (server speaks {PROTOCOL_VERSION})",
+                })
+                return
+            _send(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
+            while True:
+                msg = _recv(rfile)
+                if msg is None or msg.get("type") == "bye":
+                    return
+                reply = self._handle(msg, conn_id)
+                if reply is not None:
+                    _send(conn, reply)
+        except (OSError, ValueError):
+            pass  # connection dropped mid-message; requeue below
+        finally:
+            rfile.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._cond:
+                self._conns.discard(conn)
+            self._reap_worker(conn_id)
+
+    def _handle(self, msg: dict, conn_id: str) -> "dict | None":
+        kind = msg.get("type")
+        if kind == "submit":
+            return self._handle_submit(msg)
+        if kind == "wait":
+            return self._handle_wait(msg)
+        if kind == "fetch":
+            return self._handle_fetch(conn_id)
+        if kind == "done":
+            return self._handle_done(msg, conn_id)
+        if kind == "stats":
+            return {"type": "stats", **self.stats()}
+        return {"type": "error", "message": f"unknown message type {kind!r}"}
+
+    # -- client ops ----------------------------------------------------- #
+
+    def _handle_submit(self, msg: dict) -> dict:
+        key = msg.get("key")
+        payload = msg.get("job")
+        if not key or not isinstance(payload, dict):
+            return {"type": "error", "message": "submit needs key and job"}
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is not None:
+                return {"type": "accepted", "key": key, "state": job.state}
+            value = self._store_lookup(payload)
+            job = _Job(key, None if value is not None else payload)
+            if value is not None:
+                job.state = "done"
+                job.value = value
+                job.completed = time.time()
+                self._log(f"job {key}: served from store")
+            else:
+                self._queue.append(key)
+                self._log(f"job {key}: queued")
+            self._jobs[key] = job
+            self._persist(job)
+            self._cond.notify_all()
+            return {"type": "accepted", "key": key, "state": job.state}
+
+    def _store_lookup(self, payload: dict) -> "dict | None":
+        """Answer a sim submission from the shared cache, if possible."""
+        if self._cache is None or payload.get("kind") != "sim":
+            return None
+        try:
+            spec = spec_from_dict(payload["spec"])
+            hit = self._cache.get(spec)
+        except Exception:
+            return None
+        if hit is None:
+            return None
+        elapsed = self._cache.recorded_time(spec)
+        return {
+            "result": run_result_to_dict(hit),
+            "elapsed": 0.0 if elapsed is None else elapsed,
+            "served": 0,
+            "cached": True,
+        }
+
+    def _handle_wait(self, msg: dict) -> dict:
+        keys = msg.get("keys") or []
+        with self._cond:
+            while True:
+                for key in keys:
+                    job = self._jobs.get(key)
+                    if job is not None and job.state == "done":
+                        return {"type": "result", "key": key,
+                                "value": job.value}
+                if self._shutdown:
+                    return {"type": "error",
+                            "message": "server shutting down"}
+                unknown = [k for k in keys if k not in self._jobs]
+                if unknown:
+                    return {"type": "error",
+                            "message": f"unknown job keys: {unknown[:3]}"}
+                self._cond.wait(timeout=1.0)
+
+    # -- worker ops ----------------------------------------------------- #
+
+    def _handle_fetch(self, conn_id: str) -> dict:
+        deadline = time.monotonic() + FETCH_PARK_SECONDS
+        with self._cond:
+            while True:
+                if self._shutdown:
+                    return {"type": "shutdown"}
+                if self._queue:
+                    key = self._queue.popleft()
+                    job = self._jobs[key]
+                    job.state = "running"
+                    job.worker = conn_id
+                    self._persist(job)
+                    self._log(f"job {key}: assigned to {conn_id}")
+                    reply = {"type": "job", "key": key, "job": job.payload}
+                    if self.cache_dir is not None:
+                        reply["cache_dir"] = str(self.cache_dir)
+                    return reply
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return {"type": "idle"}
+                self._cond.wait(timeout=remaining)
+
+    def _handle_done(self, msg: dict, conn_id: str) -> dict:
+        key = msg.get("key")
+        value = msg.get("value")
+        with self._cond:
+            job = self._jobs.get(key)
+            if job is not None and job.state != "done":
+                job.state = "done"
+                job.value = value
+                job.worker = conn_id
+                job.completed = time.time()
+                self._persist(job)
+                self._log(f"job {key}: done by {conn_id}")
+                self._cond.notify_all()
+            return {"type": "ack", "key": key}
+
+    def _reap_worker(self, conn_id: str) -> None:
+        """Requeue every job a vanished worker was running."""
+        with self._cond:
+            orphaned = [
+                job for job in self._jobs.values()
+                if job.state == "running" and job.worker == conn_id
+            ]
+            for job in orphaned:
+                job.state = "queued"
+                job.worker = None
+                # Front of the queue: the job already waited its turn.
+                self._queue.appendleft(job.key)
+                self._persist(job)
+                self._log(f"job {job.key}: {conn_id} vanished, requeued")
+            if orphaned:
+                self._cond.notify_all()
+
+    # -- persistent index ----------------------------------------------- #
+
+    def _persist(self, job: _Job) -> None:
+        """Atomically write one job's index entry (caller holds the lock).
+
+        Queued/running entries keep the payload so a restarted server
+        resumes them; done entries keep check values (small reports) but
+        drop sim values — sim results live in the shared cache, and a
+        resubmission is answered from the store.
+        """
+        if self.index_dir is None:
+            return
+        doc: dict = {
+            "schema": 1,
+            "key": job.key,
+            "kind": (job.payload or {}).get("kind", "sim"),
+            "state": job.state,
+            "worker": job.worker,
+            "submitted": job.submitted,
+            "completed": job.completed,
+        }
+        if job.state != "done":
+            doc["payload"] = job.payload
+        elif job.key.startswith("check-"):
+            doc["value"] = job.value
+        self.index_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.index_dir, prefix=job.key, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, separators=(",", ":"))
+            os.replace(tmp, self.index_dir / f"{job.key}.json")
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _load_index(self) -> None:
+        """Resume persisted jobs: interrupted work requeues, finished
+        check reports restore.  Done sims restore as index-only records
+        (their results are answered from the cache on resubmission)."""
+        if self.index_dir is None or not self.index_dir.is_dir():
+            return
+        entries = sorted(self.index_dir.glob("*.json"))
+        resumed = 0
+        for path in entries:
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            key = doc.get("key")
+            if not key or key in self._jobs:
+                continue
+            state = doc.get("state")
+            if state in ("queued", "running"):
+                payload = doc.get("payload")
+                if not isinstance(payload, dict):
+                    continue
+                job = _Job(key, payload)
+                job.submitted = doc.get("submitted", job.submitted)
+                self._jobs[key] = job
+                self._queue.append(key)
+                if state == "running":
+                    job.state = "queued"
+                    self._persist(job)
+                resumed += 1
+            elif state == "done" and isinstance(doc.get("value"), dict):
+                job = _Job(key, None)
+                job.state = "done"
+                job.value = doc["value"]
+                job.submitted = doc.get("submitted", job.submitted)
+                job.completed = doc.get("completed")
+                self._jobs[key] = job
+        if resumed:
+            self._log(f"resumed {resumed} interrupted job(s) from the index")
+
+    def _log(self, message: str) -> None:
+        if self.progress:
+            print(f"[serve] {message}", file=sys.stderr, flush=True)
+
+
+# --------------------------------------------------------------------- #
+# Worker
+# --------------------------------------------------------------------- #
+
+def run_worker(
+    addr: tuple[str, int],
+    *,
+    sim_backend: "str | None" = None,
+    cache_dir: "str | os.PathLike | None" = None,
+    max_jobs: "int | None" = None,
+    progress: bool = False,
+) -> int:
+    """Pull-model worker loop; returns the number of jobs executed.
+
+    Connects to the experiment server, long-polls ``fetch``, executes
+    each job with the engine's own job body, and writes sim results —
+    full checkpoint images included — into the shared artifact store
+    before reporting the (image-stripped) JSON result back.  ``cache_dir``
+    overrides the server-advertised store (multi-host workers mount it
+    elsewhere); ``sim_backend`` overrides the per-job kernel backend.
+    Exits after ``max_jobs`` jobs, on server shutdown, or on SIGINT.
+    """
+    from . import engine as engine_mod
+
+    sock = socket.create_connection(addr)
+    rfile = sock.makefile("rb")
+    executed = 0
+
+    def log(message: str) -> None:
+        if progress:
+            print(f"[worker] {message}", file=sys.stderr, flush=True)
+
+    try:
+        _send(sock, {"type": "hello", "role": "worker",
+                     "protocol": PROTOCOL_VERSION})
+        welcome = _recv(rfile)
+        if not welcome or welcome.get("type") != "welcome":
+            raise DispatchError(
+                f"experiment service refused the handshake: {welcome!r}"
+            )
+        log(f"connected to {addr[0]}:{addr[1]}")
+        while max_jobs is None or executed < max_jobs:
+            _send(sock, {"type": "fetch"})
+            msg = _recv(rfile)
+            if msg is None or msg.get("type") == "shutdown":
+                log("server went away")
+                break
+            if msg.get("type") == "idle":
+                continue
+            if msg.get("type") != "job":
+                raise DispatchError(f"unexpected fetch reply: {msg!r}")
+            key = msg["key"]
+            payload = msg["job"]
+            store = cache_dir if cache_dir is not None else msg.get("cache_dir")
+            if payload.get("kind") == "check":
+                value = _run_check_job(payload["oracle"], payload["schedule"])
+            else:
+                spec, deps, guard, job_backend = job_from_dict(payload)
+                result, elapsed, served = engine_mod._execute_job(
+                    spec, deps, guard, store,
+                    sim_backend if sim_backend is not None else job_backend,
+                )
+                if store is not None:
+                    # Worker-side put, before the JSON hop strips image
+                    # payloads: this is what keeps the shared image tier
+                    # warm for restart chains.
+                    ResultCache(store).put(spec, result, elapsed=elapsed)
+                value = {
+                    "result": run_result_to_dict(result),
+                    "elapsed": elapsed,
+                    "served": served,
+                    "cached": False,
+                }
+            _send(sock, {"type": "done", "key": key, "value": value})
+            ack = _recv(rfile)
+            if ack is None:
+                break
+            executed += 1
+            log(f"job {key}: done ({executed} total)")
+    except KeyboardInterrupt:
+        log("interrupted")
+    finally:
+        try:
+            _send(sock, {"type": "bye"})
+        except OSError:
+            pass
+        rfile.close()
+        sock.close()
+    return executed
+
+
+# --------------------------------------------------------------------- #
+# Client-side dispatch backend
+# --------------------------------------------------------------------- #
+
+class ServiceDispatch(DispatchBackend):
+    """Dispatch backend that ships jobs to an :class:`ExperimentServer`.
+
+    One connection per engine, held across waves and batches (a sweep is
+    one client session server-side).  Submission sends the job keyed by
+    content hash; collection long-polls ``wait`` over the outstanding
+    keys.  Identical submissions (same key) share one server-side job
+    and resolve together.
+    """
+
+    name = "service"
+
+    def __init__(self, config: DispatchConfig):
+        super().__init__(config)
+        if config.service_addr is None:
+            raise DispatchError(
+                "service dispatch needs an address; pass --service HOST:PORT "
+                "or set REPRO_SERVICE_ADDR"
+            )
+        self._sock: "socket.socket | None" = None
+        self._rfile = None
+        self._awaiting: "dict[str, list[DispatchJob]]" = {}
+        # Keys whose submission found the job already done server-side:
+        # no simulation happened on this client's behalf, so the result
+        # is accounted as a (store) cache hit whatever the original
+        # execution recorded.
+        self._prehit: "set[str]" = set()
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            host, port = self.config.service_addr
+            try:
+                sock = socket.create_connection((host, port))
+            except OSError as exc:
+                raise DispatchError(
+                    f"cannot reach experiment service at {host}:{port} "
+                    f"({exc}); start one with `repro-mpi serve`"
+                ) from exc
+            rfile = sock.makefile("rb")
+            _send(sock, {"type": "hello", "role": "client",
+                         "protocol": PROTOCOL_VERSION})
+            welcome = _recv(rfile)
+            if not welcome or welcome.get("type") != "welcome":
+                sock.close()
+                raise DispatchError(
+                    f"experiment service refused the handshake: {welcome!r}"
+                )
+            self._sock = sock
+            self._rfile = rfile
+        return self._sock
+
+    def _roundtrip(self, msg: dict) -> dict:
+        sock = self._connect()
+        try:
+            _send(sock, msg)
+            reply = _recv(self._rfile)
+        except OSError as exc:
+            raise DispatchError(
+                f"experiment service connection lost ({exc})"
+            ) from exc
+        if reply is None:
+            raise DispatchError("experiment service closed the connection")
+        if reply.get("type") == "error":
+            raise DispatchError(
+                f"experiment service error: {reply.get('message')}"
+            )
+        return reply
+
+    def _enqueue(self, job: DispatchJob, payload: dict) -> None:
+        if payload["kind"] == "check":
+            key = check_job_key(payload["oracle"], payload["schedule"])
+            doc = payload
+        else:
+            key = spec_hash(payload["spec"])
+            doc = job_to_dict(
+                payload["spec"],
+                payload["deps"],
+                guard=self.config.guard,
+                sim_backend=self.config.sim_backend,
+            )
+        reply = self._roundtrip({"type": "submit", "key": key, "job": doc})
+        if reply.get("type") != "accepted":
+            raise DispatchError(f"unexpected submit reply: {reply!r}")
+        if reply.get("state") == "done":
+            self._prehit.add(key)
+        job.key = key
+        self._awaiting.setdefault(key, []).append(job)
+
+    def _pump(self) -> DispatchJob:
+        keys = [k for k, jobs in self._awaiting.items()
+                if any(not j.done for j in jobs)]
+        if not keys:
+            raise DispatchError("no outstanding dispatch jobs")
+        reply = self._roundtrip({"type": "wait", "keys": keys})
+        if reply.get("type") != "result":
+            raise DispatchError(f"unexpected wait reply: {reply!r}")
+        key = reply["key"]
+        value = reply["value"]
+        jobs = self._awaiting.pop(key)
+        cached = bool(value.get("cached", False)) or key in self._prehit
+        self._prehit.discard(key)
+        first = jobs[0]
+        for waiting in jobs:
+            if waiting.kind == "check":
+                waiting._resolve(value)
+            else:
+                waiting._resolve((
+                    run_result_from_dict(value["result"]),
+                    value.get("elapsed", 0.0),
+                    value.get("served", 0),
+                    cached,
+                ))
+        return first
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                _send(self._sock, {"type": "bye"})
+            except OSError:
+                pass
+            self._rfile.close()
+            self._sock.close()
+            self._sock = None
+            self._rfile = None

@@ -33,9 +33,7 @@ from __future__ import annotations
 
 import tempfile
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-from multiprocessing import get_context
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -61,6 +59,8 @@ __all__ = [
     "program_position_for",
     "result_fingerprint",
     "run_oracles",
+    "schedule_from_dict",
+    "schedule_to_dict",
 ]
 
 
@@ -186,6 +186,19 @@ class FaultSchedule:
                     round(float(rng.uniform(0.3, 1.1)), 6),
                 ),
             )
+            # Multi-rank simultaneous failure: with the round already
+            # doomed by one corpse, a second corpse in the same round
+            # must reclaim *its* debt sets too (drawn after every other
+            # axis, so crash-free seeds keep their schedules).
+            if rng.random() < 0.3:
+                survivors = [
+                    r for r in range(nprocs) if r != crash_fracs[0][0]
+                ]
+                second = (
+                    int(survivors[int(rng.integers(0, len(survivors)))]),
+                    round(float(rng.uniform(0.3, 1.1)), 6),
+                )
+                crash_fracs = tuple(sorted(crash_fracs + (second,)))
         return cls(
             seed=seed,
             protocol=protocol,
@@ -294,6 +307,39 @@ class FaultSchedule:
             parent = chain[-1]
             ckpt_index = 0
         return chain
+
+
+def schedule_to_dict(schedule: FaultSchedule) -> dict:
+    """JSON-stable form of a schedule (tuples become lists).
+
+    This is both the fuzz corpus format and the dispatch layer's
+    check-job wire format: a schedule round-trips the JSON boundary
+    bit-exact, so a check runs identically in-process, in a pool
+    worker, or on a service worker.
+    """
+    out = asdict(schedule)
+    out["completion_fracs"] = list(schedule.completion_fracs)
+    out["mid_fracs"] = list(schedule.mid_fracs)
+    out["crash_fracs"] = [[r, f] for r, f in schedule.crash_fracs]
+    return out
+
+
+def schedule_from_dict(data: dict) -> FaultSchedule:
+    return FaultSchedule(
+        seed=int(data["seed"]),
+        protocol=str(data["protocol"]),
+        nprocs=int(data["nprocs"]),
+        niters=int(data["niters"]),
+        shared=int(data["shared"]),
+        leavers=int(data["leavers"]),
+        completion_fracs=tuple(float(f) for f in data["completion_fracs"]),
+        mid_fracs=tuple(float(f) for f in data["mid_fracs"]),
+        restart_depth=int(data["restart_depth"]),
+        restart_ckpt=int(data["restart_ckpt"]),
+        crash_fracs=tuple(
+            (int(r), float(f)) for r, f in data.get("crash_fracs", ())
+        ),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -787,8 +833,17 @@ class CrashFaultOracle(Oracle):
                     f"({finish!r}) / result — a corpse is not a finished rank",
                 )
             else:
+                # A rank whose kill never landed either finished first
+                # (raced completion and won) — or the job was torn down
+                # by an *earlier* corpse before this rank's instant, in
+                # which case it neither finishes nor crashes.
+                torn_down_first = any(
+                    crash_times[other] < t
+                    for other in crash_res.crashed_ranks
+                    if other != rank
+                )
                 self._require(
-                    finish is not None and finish <= t,
+                    (finish is not None and finish <= t) or torn_down_first,
                     f"{label}: rank {rank} neither crashed nor finished "
                     f"before its crash instant {t:g} (finish={finish!r})",
                 )
@@ -923,18 +978,30 @@ def run_oracles(
     engine: "ExperimentEngine | None" = None,
     progress=None,
     jobs: int = 1,
+    dispatch: "str | None" = None,
+    service: "str | None" = None,
 ) -> "list[OracleReport]":
     """Sweep the named oracles over ``seeds``; returns every report.
 
     ``progress``, if given, is called with each report as it lands.
     Unknown oracle names raise ``KeyError`` with the catalog spelled out.
 
-    ``jobs > 1`` fans the (oracle, seed) grid over a spawn-safe process
-    pool.  Reports come back in the same (oracle-order, seed-order)
-    sequence as a serial sweep and carry the same contents — each check
-    is an independent simulation, so the fan-out can only change wall
-    time, never a report (``tests/verify`` pins the byte-identity).
+    ``jobs > 1`` fans the (oracle, seed) grid through the job-dispatch
+    seam (:mod:`repro.harness.dispatch`): ``local-pool`` keeps the
+    historical spawn-safe pool, ``inline`` runs in-process, ``service``
+    ships each check to an experiment-service fleet.  Reports come back
+    in the same (oracle-order, seed-order) sequence as a serial sweep
+    and carry the same contents — each check is an independent
+    simulation, so the fan-out can only change wall time, never a
+    report (``tests/verify`` pins the byte-identity).
     """
+    from .dispatch import (
+        DispatchConfig,
+        create_dispatch,
+        resolve_dispatch,
+        resolve_service_addr,
+    )
+
     seeds = list(seeds)
     tasks: list[tuple[str, int]] = []
     for name in names:
@@ -945,7 +1012,11 @@ def run_oracles(
         tasks.extend((name, seed) for seed in seeds)
 
     reports: list[OracleReport] = []
-    if jobs <= 1 or len(tasks) <= 1:
+    resolved = resolve_dispatch(dispatch)
+    # The serial fast path keeps the caller's (cache-aware) engine in
+    # the loop; a service sweep routes through the seam even at jobs=1
+    # — that's the point of asking for it.
+    if resolved != "service" and (jobs <= 1 or len(tasks) <= 1):
         for name, seed in tasks:
             report = ORACLES[name].check(seed, engine)
             reports.append(report)
@@ -953,19 +1024,31 @@ def run_oracles(
                 progress(report)
         return reports
 
-    # Spawn (not fork) for the same reason the engine does: simulations
-    # build deep object graphs, and a warm forked parent is where the
-    # subtle bugs live.
-    ctx = get_context("spawn")
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks)), mp_context=ctx
-    ) as pool:
-        futures = [pool.submit(_check_one, name, seed) for name, seed in tasks]
+    backend = create_dispatch(
+        resolved,
+        DispatchConfig(
+            jobs=jobs,
+            service_addr=(
+                resolve_service_addr(service) if resolved == "service" else None
+            ),
+        ),
+    )
+    with backend:
+        handles = [
+            backend.submit_check(
+                name, schedule_to_dict(FaultSchedule.draw(seed))
+            )
+            for name, seed in tasks
+        ]
         # Collect in submission order, not completion order: the report
         # sequence (and any serialized artifact) must be byte-identical
         # to a serial sweep's.
-        for future in futures:
-            report = OracleReport(**future.result())
+        for (name, seed), handle in zip(tasks, handles):
+            doc = dict(handle.result()["report"])
+            # A drawn schedule re-checked via check_schedule reports its
+            # own seed; assert rather than trust blindly.
+            doc.setdefault("oracle", name)
+            report = OracleReport(**doc)
             reports.append(report)
             if progress is not None:
                 progress(report)

@@ -19,7 +19,9 @@ def test_miss_then_hit(tmp_path):
     result = execute(spec)
     path = cache.put(spec, result)
     assert path.exists()
-    assert path.parent.name == f"v{SCHEMA_VERSION}"
+    # Sharded layout: v<SCHEMA>/<first-two-hex-of-hash>/<hash>.json
+    assert path.parent.name == path.stem[:2]
+    assert path.parent.parent.name == f"v{SCHEMA_VERSION}"
     assert path.stem == spec_hash(spec)
     cached = cache.get(spec)
     assert cached is not None
@@ -181,3 +183,77 @@ class TestAgeAndSizePrune:
         cache = ResultCache(tmp_path / "nope")
         assert cache.prune_older_than(10) == 0
         assert cache.prune_to_max_entries(0) == 0
+
+
+# --------------------------------------------------------------------- #
+# Sharded layout + transparent migration of flat legacy caches
+# --------------------------------------------------------------------- #
+
+def _flatten_entry(cache, spec):
+    """Rewrite ``spec``'s entry in the pre-sharding flat location, as a
+    cache written by an older version would have left it."""
+    sharded = cache.path_for(spec)
+    legacy = cache.version_dir / sharded.name
+    legacy.write_bytes(sharded.read_bytes())
+    sharded.unlink()
+    return legacy
+
+
+def test_legacy_flat_entry_is_read_and_migrated(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    result = execute(spec)
+    cache.put(spec, result)
+    legacy = _flatten_entry(cache, spec)
+    assert not cache.path_for(spec).exists()
+
+    fresh = ResultCache(tmp_path)
+    cached = fresh.get(spec)
+    assert cached is not None
+    assert cached.runtime == result.runtime
+    # The hit moved the file into its shard; the flat copy is gone.
+    assert fresh.path_for(spec).exists()
+    assert not legacy.exists()
+    # A second read comes straight from the shard.
+    assert fresh.get(spec) is not None
+    assert fresh.stats.hits == 2 and fresh.stats.misses == 0
+
+
+def test_enumeration_spans_both_layouts(tmp_path):
+    cache = ResultCache(tmp_path)
+    a, b = _spec(seed=0), _spec(seed=1)
+    cache.put(a, execute(a))
+    cache.put(b, execute(b))
+    _flatten_entry(cache, a)
+
+    fresh = ResultCache(tmp_path)
+    assert len(fresh) == 2
+    assert fresh.total_bytes() > 0
+    # clear() sweeps flat and sharded entries alike.
+    assert fresh.clear() == 2
+    assert len(fresh) == 0
+
+
+def test_prune_removes_legacy_flat_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    cache.put(spec, execute(spec))
+    _flatten_entry(cache, spec)
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.prune([spec]) == 1
+    assert len(fresh) == 0
+    assert fresh.get(spec) is None
+
+
+def test_restore_supersedes_legacy_copy(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    cache.put(spec, execute(spec))
+    legacy = _flatten_entry(cache, spec)
+    # A re-store lands in the shard and drops the stale flat copy, so
+    # the entry is never double-counted.
+    cache.put(spec, execute(spec))
+    assert cache.path_for(spec).exists()
+    assert not legacy.exists()
+    assert len(cache) == 1

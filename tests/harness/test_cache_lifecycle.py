@@ -139,9 +139,7 @@ class CacheLifecycle(RuleBasedStateMachine):
         if removed:
             # Oldest-first eviction: the model only tracks membership, so
             # resync from disk (hash -> index is bijective).
-            remaining = {
-                p.stem for p in self.cache.version_dir.glob("*.json")
-            }
+            remaining = {p.stem for p in self.cache._entry_files()}
             evicted = {
                 i for i in self.live if self.hashes[i] not in remaining
             }

@@ -490,3 +490,51 @@ def test_no_cache_engine_unchanged(tmp_path):
     assert result.ok
     assert engine.last_stats.images_reused == 0
     assert spec_hash(restart)  # smoke: hashing restart chains still works
+
+
+def test_flat_legacy_pointer_and_blob_migrate_on_read(tmp_path):
+    """A pre-sharding cache stored pointers and blobs flat; reads must
+    serve them, count them, and migrate them into their shards."""
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    cache.put(spec, execute(spec))
+
+    # Demote the sharded tier files to the flat legacy layout.
+    pointer = cache._pointer_path(spec, 0)
+    flat_pointer = cache.images_dir / pointer.name
+    flat_pointer.write_bytes(pointer.read_bytes())
+    pointer.unlink()
+    digest = cache._parse_pointer(flat_pointer.read_bytes())
+    blob = cache._blob_path(digest)
+    flat_blob = cache.blobs_dir / blob.name
+    flat_blob.write_bytes(blob.read_bytes())
+    blob.unlink()
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.image_count() == 1
+    assert fresh.has_images(spec, 0)
+    images = fresh.get_images(spec, 0)
+    assert images is not None
+    # Both files moved into their shard directories.
+    assert fresh._pointer_path(spec, 0).is_file()
+    assert fresh._blob_path(digest).is_file()
+    assert not flat_pointer.exists()
+    assert not flat_blob.exists()
+    # And nothing was double-counted after migration.
+    assert fresh.image_count() == 1
+
+
+def test_prune_drops_flat_legacy_pointers_too(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _ckpt_spec()
+    cache.put(spec, execute(spec))
+    pointer = cache._pointer_path(spec, 0)
+    flat_pointer = cache.images_dir / pointer.name
+    flat_pointer.write_bytes(pointer.read_bytes())
+    pointer.unlink()
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.prune([spec]) == 1
+    assert fresh.image_count() == 0
+    assert not flat_pointer.exists()
+    assert fresh.get_images(spec, 0) is None

@@ -1,0 +1,280 @@
+"""The experiment service, end to end in one process.
+
+The server runs in a background thread, workers run :func:`run_worker`
+in threads of their own, and clients go through the same
+``ServiceDispatch``/engine path the CLI uses — so these tests exercise
+the real protocol over real sockets, minus only process isolation.
+
+Pinned here: byte-identity of service batches against the in-process
+reference, zero re-simulation on a warm shared store, orphaned-job
+requeue when a worker dies mid-job, index persistence across server
+restarts, and the verify/fuzz fan-out through the seam.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.engine import ExperimentEngine
+from repro.harness.service import (
+    PROTOCOL_VERSION,
+    ExperimentServer,
+    run_worker,
+)
+from repro.harness.spec import (
+    RunSpec,
+    job_to_dict,
+    run_result_to_dict,
+    spec_hash,
+)
+
+
+def _specs(n=3):
+    return [
+        RunSpec.create("comd", 2, app_kwargs={"niters": 3}, seed=seed)
+        for seed in range(n)
+    ]
+
+
+def _batch_json(results):
+    return json.dumps(
+        [run_result_to_dict(results[s]) for s in sorted(results, key=str)],
+        sort_keys=True,
+    )
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server (shared store under ``tmp_path``) and its address."""
+    server = ExperimentServer("127.0.0.1", 0, cache_dir=tmp_path / "store")
+    host, port = server.start()
+    yield server, f"{host}:{port}"
+    server.shutdown()
+
+
+def _worker_thread(addr_text, **kwargs):
+    host, port = addr_text.rsplit(":", 1)
+    thread = threading.Thread(
+        target=run_worker,
+        args=((host, int(port)),),
+        kwargs=kwargs,
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+class _RawConn:
+    """Minimal protocol peer for poking the server directly."""
+
+    def __init__(self, addr_text, role):
+        host, port = addr_text.rsplit(":", 1)
+        self.sock = socket.create_connection((host, int(port)))
+        self.rfile = self.sock.makefile("rb")
+        self.send({"type": "hello", "role": role,
+                   "protocol": PROTOCOL_VERSION})
+        assert self.recv()["type"] == "welcome"
+
+    def send(self, obj):
+        self.sock.sendall(
+            json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+        )
+
+    def recv(self):
+        line = self.rfile.readline()
+        return json.loads(line) if line else None
+
+    def close(self):
+        self.rfile.close()
+        self.sock.close()
+
+
+class TestServiceDifferential:
+    def test_batch_is_byte_identical_to_inline(self, service, tmp_path):
+        server, addr = service
+        specs = _specs()
+        with ExperimentEngine(
+            cache=None, progress=False, dispatch="inline"
+        ) as eng:
+            reference = _batch_json(eng.run_batch(specs))
+
+        worker = _worker_thread(addr, max_jobs=len(specs))
+        with ExperimentEngine(
+            cache=None, progress=False, dispatch="service", service=addr
+        ) as eng:
+            got = _batch_json(eng.run_batch(specs))
+            assert eng.last_stats.executed == len(specs)
+            assert eng.last_stats.cache_hits == 0
+        worker.join(timeout=30)
+        assert got == reference
+
+    def test_warm_service_rerun_simulates_zero(self, service):
+        server, addr = service
+        specs = _specs()
+        worker = _worker_thread(addr, max_jobs=len(specs))
+        with ExperimentEngine(
+            cache=None, progress=False, dispatch="service", service=addr
+        ) as eng:
+            first = _batch_json(eng.run_batch(specs))
+        worker.join(timeout=30)
+
+        # A second cache-less client resubmits the same keys: the server
+        # answers every one from the shared store without queueing, and
+        # the client accounts them as store hits.  No worker is even
+        # connected — nothing *can* simulate.
+        with ExperimentEngine(
+            cache=None, progress=False, dispatch="service", service=addr
+        ) as eng:
+            again = _batch_json(eng.run_batch(specs))
+            assert eng.last_stats.executed == 0
+            assert eng.last_stats.cache_hits == len(specs)
+        assert again == first
+        assert server.stats()["done"] == len(specs)
+
+    def test_two_workers_share_one_batch(self, service):
+        server, addr = service
+        specs = _specs(4)
+        workers = [_worker_thread(addr) for _ in range(2)]
+        with ExperimentEngine(
+            cache=None, progress=False, dispatch="service", service=addr
+        ) as eng:
+            results = eng.run_batch(specs)
+        assert len(results) == len(specs)
+        assert eng.last_stats.executed == len(specs)
+        server.shutdown()  # releases the parked workers
+        for worker in workers:
+            worker.join(timeout=30)
+
+
+class TestWorkerFailure:
+    def test_orphaned_job_is_requeued_and_finished_elsewhere(self, service):
+        server, addr = service
+        spec = _specs(1)[0]
+        key = spec_hash(spec)
+
+        client = _RawConn(addr, "client")
+        client.send({
+            "type": "submit", "key": key, "job": job_to_dict(spec, []),
+        })
+        accepted = client.recv()
+        assert accepted["state"] == "queued"
+
+        # A worker fetches the job... and dies mid-execution (the
+        # connection drops without a `done`).
+        doomed = _RawConn(addr, "worker")
+        doomed.send({"type": "fetch"})
+        handed = doomed.recv()
+        assert handed["type"] == "job" and handed["key"] == key
+        assert server.stats()["running"] == 1
+        doomed.close()
+
+        # The reap runs on connection teardown; the job must come back.
+        deadline = 50
+        while server.stats()["running"] and deadline:
+            threading.Event().wait(0.1)
+            deadline -= 1
+        assert server.stats()["queued"] == 1
+
+        # A healthy worker picks it up and the waiting client gets the
+        # result — the batch survived the casualty.
+        worker = _worker_thread(addr, max_jobs=1)
+        client.send({"type": "wait", "keys": [key]})
+        reply = client.recv()
+        assert reply["type"] == "result" and reply["key"] == key
+        assert reply["value"]["result"]["runtime"] > 0
+        worker.join(timeout=30)
+        client.close()
+
+
+class TestIndexPersistence:
+    def test_interrupted_jobs_resume_across_restart(self, tmp_path):
+        index = tmp_path / "index"
+        store = tmp_path / "store"
+        spec = _specs(1)[0]
+        key = spec_hash(spec)
+
+        first = ExperimentServer(
+            "127.0.0.1", 0, cache_dir=store, index_dir=index
+        )
+        addr = "%s:%d" % first.start()
+        client = _RawConn(addr, "client")
+        client.send({
+            "type": "submit", "key": key, "job": job_to_dict(spec, []),
+        })
+        assert client.recv()["state"] == "queued"
+        client.close()
+        first.shutdown()
+
+        # A restarted server finds the queued job in the index and a
+        # worker finishes what the first server never started.
+        second = ExperimentServer(
+            "127.0.0.1", 0, cache_dir=store, index_dir=index
+        )
+        addr = "%s:%d" % second.start()
+        assert second.stats()["queued"] == 1
+        worker = _worker_thread(addr, max_jobs=1)
+        client = _RawConn(addr, "client")
+        client.send({"type": "wait", "keys": [key]})
+        assert client.recv()["type"] == "result"
+        worker.join(timeout=30)
+        client.close()
+        second.shutdown()
+
+        # Third restart: the sim job is done; its result lives in the
+        # store, so resubmission is answered without queueing.
+        third = ExperimentServer(
+            "127.0.0.1", 0, cache_dir=store, index_dir=index
+        )
+        addr = "%s:%d" % third.start()
+        client = _RawConn(addr, "client")
+        client.send({
+            "type": "submit", "key": key, "job": job_to_dict(spec, []),
+        })
+        assert client.recv()["state"] == "done"
+        client.close()
+        third.shutdown()
+
+
+class TestSeamFanout:
+    def test_verify_reports_identical_over_service(self, service):
+        from repro.harness.verify import run_oracles
+
+        server, addr = service
+        worker = _worker_thread(addr)
+        serial = [r.as_dict() for r in run_oracles(["safe-cut"], range(2))]
+        via_service = [
+            r.as_dict()
+            for r in run_oracles(
+                ["safe-cut"], range(2), dispatch="service", service=addr
+            )
+        ]
+        assert via_service == serial
+        server.shutdown()
+        worker.join(timeout=30)
+
+    def test_fuzz_parallel_matches_serial(self, tmp_path):
+        from repro.harness.fuzz import CorpusDB, run_fuzz
+
+        serial_corpus = CorpusDB(tmp_path / "serial")
+        serial = run_fuzz(
+            serial_corpus, iters=3, oracles=["safe-cut", "engine"]
+        )
+        parallel_corpus = CorpusDB(tmp_path / "parallel")
+        parallel = run_fuzz(
+            parallel_corpus,
+            iters=3,
+            oracles=["safe-cut", "engine"],
+            jobs=2,
+            dispatch="inline",
+        )
+        assert parallel.iterations == serial.iterations
+        assert parallel.checks == serial.checks
+        assert sorted(e.key for e in parallel_corpus.entries()) == sorted(
+            e.key for e in serial_corpus.entries()
+        )
+        assert [e.key for e in parallel.anomalies] == [
+            e.key for e in serial.anomalies
+        ]

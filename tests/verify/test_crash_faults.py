@@ -160,6 +160,68 @@ class TestCrashOracles:
         assert with_crash, "the draw never arms a crash"
         assert len(with_crash) < len(drawn), "the draw always arms a crash"
         for d in with_crash:
-            (rank, frac), = d.crash_fracs
-            assert 0 <= rank < d.nprocs
-            assert frac > 0
+            assert 1 <= len(d.crash_fracs) <= 2
+            for rank, frac in d.crash_fracs:
+                assert 0 <= rank < d.nprocs
+                assert frac > 0
+
+
+class TestMultiRankCrashes:
+    """Two corpses in one job: the coordinator must reclaim *both*
+    debt sets, not just the first casualty's."""
+
+    def test_two_corpses_in_one_round_reclaim_both(self, base_result):
+        # Request immediately so the round is in flight when both kills
+        # land.  The first corpse aborts the round; the second arrives
+        # with the coordinator already idle and must be absorbed (its
+        # drain/commit debt was cleared with the round) rather than
+        # tripping a protocol error.
+        spec = _spec(
+            crash_fracs=((1, 0.5), (2, 0.55)),
+            checkpoint_fractions=(0.01,),
+        )
+        res = execute(spec, {_spec(): base_result})
+        assert res.crashed_ranks == [1, 2]
+        assert len(res.checkpoints) == 1
+        rec = res.checkpoints[0]
+        assert rec.aborted and not rec.committed
+        assert "crashed" in rec.abort_reason
+        assert not rec.images
+
+    def test_two_corpses_then_late_request_still_aborts_cleanly(
+        self, base_result
+    ):
+        # A request issued after both deaths: neither corpse can intend
+        # or drain, so the round aborts instantly — and the fact that it
+        # *can* abort (instead of waiting on state a dead rank still
+        # "owes") is the reclamation under test.
+        spec = _spec(
+            crash_fracs=((0, 0.2), (3, 0.25)),
+            checkpoint_completion_fracs=(0.95,),
+        )
+        res = execute(spec, {_spec(): base_result})
+        assert res.crashed_ranks == [0, 3]
+        assert len(res.checkpoints) == 1
+        rec = res.checkpoints[0]
+        assert rec.aborted and "crashed" in rec.abort_reason
+
+    def test_double_crash_conserves_drained_messages(self, base_result):
+        spec = _spec(
+            crash_fracs=((1, 0.45), (2, 0.5)),
+            checkpoint_completion_fracs=(0.9,),
+        )
+        res = execute(spec, {_spec(): base_result})
+        for rank in range(res.nprocs):
+            assert (
+                res.drain_restored[rank] + res.drain_buffered[rank]
+                == res.drain_consumed[rank] + res.drain_leftover[rank]
+            ), f"rank {rank} leaked or forged drained messages"
+
+    def test_draw_emits_multi_rank_crashes_on_distinct_ranks(self):
+        drawn = [FaultSchedule.draw(s) for s in range(300)]
+        multi = [s for s in drawn if len(s.crash_fracs) >= 2]
+        assert multi, "the draw must exercise simultaneous failures"
+        for schedule in multi:
+            ranks = [r for r, _ in schedule.crash_fracs]
+            assert len(set(ranks)) == len(ranks)
+            assert all(0 <= r < schedule.nprocs for r in ranks)
