@@ -90,6 +90,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -178,6 +179,42 @@ def _dispatch_kwargs(args: argparse.Namespace) -> dict:
         "dispatch": None if dispatch == "auto" else dispatch,
         "service": getattr(args, "service", None),
     }
+
+
+def _add_recovery_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--recover`` / ``--max-attempts`` flags."""
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="chase crashed jobs with bounded restart chains: each crash "
+             "restarts from the last committed image (or from scratch when "
+             "nothing ever committed) until clean completion or the retry "
+             "budget runs out",
+    )
+    parser.add_argument(
+        "--max-attempts", type=_positive_int, default=None, metavar="N",
+        help="recovery legs allowed per crashed job (default 3, or "
+             "$REPRO_RECOVERY_ATTEMPTS; exported to worker processes)",
+    )
+
+
+def _recovery_kwargs(args: argparse.Namespace) -> dict:
+    """Map the recovery flags to engine kwargs.
+
+    ``--max-attempts`` also sets the process default policy *and*
+    ``$REPRO_RECOVERY_ATTEMPTS``, so spawned pool workers — which start
+    from fresh interpreters — resolve the same budget (service workers
+    are remote processes and keep their own environment).
+    """
+    from .harness.recovery import RecoveryPolicy, set_default_policy
+
+    policy = None
+    if getattr(args, "max_attempts", None) is not None:
+        policy = RecoveryPolicy(max_attempts=args.max_attempts)
+        os.environ["REPRO_RECOVERY_ATTEMPTS"] = str(args.max_attempts)
+        set_default_policy(policy)
+    if getattr(args, "recover", False):
+        return {"recovery": policy if policy is not None else True}
+    return {}
 
 
 def _planner_kwargs(name: str, args: argparse.Namespace) -> dict:
@@ -395,6 +432,7 @@ def _sweep_main(argv: list[str]) -> int:
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1)
     _add_backend_arg(parser)
     _add_dispatch_args(parser)
+    _add_recovery_args(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -495,7 +533,8 @@ def _sweep_main(argv: list[str]) -> int:
         engine = ExperimentEngine(jobs=args.jobs, cache=cache,
                                   progress=not args.quiet,
                                   backend=_chosen_backend(args),
-                                  **_dispatch_kwargs(args))
+                                  **_dispatch_kwargs(args),
+                                  **_recovery_kwargs(args))
     except (DispatchError, ValueError) as exc:
         parser.error(str(exc))
     t0 = time.time()
@@ -542,6 +581,7 @@ def _verify_main(argv: list[str]) -> int:
                              "byte-identical to a serial sweep (default 1)")
     _add_backend_arg(parser)
     _add_dispatch_args(parser)
+    _add_recovery_args(parser)
     parser.add_argument("--cache-dir", type=str, default=None)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--quiet", action="store_true")
@@ -563,6 +603,7 @@ def _verify_main(argv: list[str]) -> int:
         except OSError as exc:
             parser.error(f"cannot use cache directory {cache.root}: {exc}")
     try:
+        _recovery_kwargs(args)  # export --max-attempts before any fan-out
         engine = ExperimentEngine(jobs=args.jobs, cache=cache,
                                   progress=False,
                                   backend=_chosen_backend(args),
@@ -660,6 +701,7 @@ def _fuzz_main(argv: list[str]) -> int:
                              "(shrinking, corpus writes) stays serial in "
                              "this process (default 1)")
     _add_dispatch_args(parser)
+    _add_recovery_args(parser)
     parser.add_argument("--no-shrink", action="store_true",
                         help="persist failing schedules unminimized")
     parser.add_argument("--replay", type=str, default=None, metavar="KEY",
@@ -703,6 +745,7 @@ def _fuzz_main(argv: list[str]) -> int:
         if not args.quiet:
             print(f"[fuzz] {message}", file=sys.stderr, flush=True)
 
+    _recovery_kwargs(args)  # export --max-attempts before any fan-out
     try:
         stats = run_fuzz(
             corpus,
@@ -776,9 +819,16 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--index-dir", type=str, default=None,
                         help="persistent job index directory (default "
                              "<cache-dir>/service-index)")
+    parser.add_argument("--lease", type=float, default=None, metavar="SECONDS",
+                        help="per-job lease: requeue a running job whose "
+                             "worker has not finished or heartbeat within "
+                             "SECONDS (default: requeue only when the "
+                             "worker's connection drops)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-job lifecycle lines")
     args = parser.parse_args(argv)
+    if args.lease is not None and args.lease <= 0:
+        parser.error("--lease must be positive")
 
     cache_dir = None
     if not args.no_cache:
@@ -793,6 +843,7 @@ def _serve_main(argv: list[str]) -> int:
         args.host, args.port,
         cache_dir=cache_dir,
         index_dir=args.index_dir,
+        lease=args.lease,
         progress=not args.quiet,
     )
     host, port = server.start()
@@ -836,9 +887,23 @@ def _worker_main(argv: list[str]) -> int:
     parser.add_argument("--max-jobs", type=_positive_int, default=None,
                         help="exit after executing N jobs (default: run "
                              "until the server shuts down)")
+    parser.add_argument("--connect-retries", type=int, default=5,
+                        metavar="N",
+                        help="retry the initial connection up to N times "
+                             "with capped exponential backoff, so workers "
+                             "may be launched before their server "
+                             "(default 5; 0 fails fast)")
+    parser.add_argument("--connect-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="first connect-retry delay; doubles per "
+                             "attempt, capped at 15s (default 0.5)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-job progress lines")
     args = parser.parse_args(argv)
+    if args.connect_retries < 0:
+        parser.error("--connect-retries must be >= 0")
+    if args.connect_backoff < 0:
+        parser.error("--connect-backoff must be >= 0")
 
     try:
         addr = parse_address(args.connect)
@@ -850,6 +915,8 @@ def _worker_main(argv: list[str]) -> int:
             sim_backend=_chosen_backend(args),
             cache_dir=args.cache_dir,
             max_jobs=args.max_jobs,
+            connect_retries=args.connect_retries,
+            connect_backoff=args.connect_backoff,
             progress=not args.quiet,
         )
     except KeyboardInterrupt:
@@ -907,6 +974,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="parallel simulation worker processes (default 1)")
     _add_backend_arg(parser)
     _add_dispatch_args(parser)
+    _add_recovery_args(parser)
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="result cache directory "
                              "(default $REPRO_CACHE_DIR or ~/.cache/repro-mpi)")
@@ -930,6 +998,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs, cache=cache, progress=not args.quiet,
             backend=_chosen_backend(args),
             **_dispatch_kwargs(args),
+            **_recovery_kwargs(args),
         )
     except (DispatchError, ValueError) as exc:
         parser.error(str(exc))

@@ -102,6 +102,11 @@ class EngineStats:
     predicted_recorded: int = 0
     #: Executed jobs scheduled by the ``nprocs × niters`` fallback.
     predicted_heuristic: int = 0
+    #: Submitted specs whose crashed results were chased by the
+    #: auto-recovery planner (``recover=True`` / ``recovery=`` policy).
+    recoveries: int = 0
+    #: Recovery legs executed across all chains (excludes initial runs).
+    recovery_attempts: int = 0
     wall_time: float = 0.0
 
     @property
@@ -128,6 +133,11 @@ class EngineStats:
         scheduled = self.predicted_recorded + self.predicted_heuristic
         if scheduled:
             line += f", {self.prediction_hit_rate:.0%} costs from history"
+        if self.recoveries:
+            line += (
+                f", {self.recoveries} crashed jobs recovered "
+                f"({self.recovery_attempts} restart legs)"
+            )
         return line
 
 
@@ -198,6 +208,17 @@ class ExperimentEngine:
             ships jobs to a long-lived ``repro-mpi serve`` server.
         service: ``HOST:PORT`` of the experiment service (``service``
             dispatch only; falls back to ``$REPRO_SERVICE_ADDR``).
+        recovery: automatic crash recovery for submitted specs whose
+            results crashed.  ``None``/``False`` disables (callers can
+            still opt in per batch with ``run_batch(..., recover=True)``,
+            which resolves a policy through
+            :func:`repro.harness.recovery.resolve_policy`); ``True``
+            enables with the resolved default policy; a
+            :class:`~repro.harness.recovery.RecoveryPolicy` enables with
+            that budget.  Recovered specs' entries in the returned map
+            are substituted with the chain's final (clean) result — the
+            cache keeps every leg, including the crashed ones, under
+            their own keys.
 
     The engine is a context manager; ``close()`` releases dispatch
     resources (the service connection).  Both are optional for the
@@ -214,6 +235,7 @@ class ExperimentEngine:
         backend: str | None = None,
         dispatch: str | None = None,
         service: str | None = None,
+        recovery=None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
@@ -226,6 +248,7 @@ class ExperimentEngine:
         self.service_addr = (
             resolve_service_addr(service) if self.dispatch == "service" else None
         )
+        self.recovery = recovery
         self.last_stats: EngineStats | None = None
         self._dispatcher: DispatchBackend | None = None
 
@@ -277,9 +300,17 @@ class ExperimentEngine:
         return self.run_batch(sweep.specs())
 
     def run_batch(
-        self, specs: Sequence[RunSpec]
+        self, specs: Sequence[RunSpec], *, recover: bool | None = None
     ) -> dict[RunSpec, RunResult]:
-        """Run many specs; returns results keyed by the submitted specs."""
+        """Run many specs; returns results keyed by the submitted specs.
+
+        ``recover`` overrides the engine's ``recovery`` setting for this
+        batch: ``True`` chases every crashed submitted spec with a
+        bounded restart chain after the waves drain (see
+        :mod:`repro.harness.recovery`), ``False`` suppresses it (the
+        planner itself runs its legs this way), ``None`` follows the
+        engine.
+        """
         t0 = time.perf_counter()
         stats = EngineStats(submitted=len(specs))
 
@@ -385,9 +416,51 @@ class ExperimentEngine:
                 if self.cache is not None and not cached:
                     self.cache.put(spec, result, elapsed=elapsed)
 
+        # Automatic crash recovery: after every wave has drained (so the
+        # dispatch backend is idle and each leg can batch on its own),
+        # chase submitted specs whose results crashed with a bounded
+        # restart chain.  Only the *returned map* sees the substitution —
+        # the cache keeps the crashed leg under its own key, and the
+        # chain's legs cache under theirs.
+        do_recover = bool(self.recovery) if recover is None else recover
+        if do_recover:
+            from .recovery import RecoveryPolicy, resolve_policy, run_recovery
+
+            policy = resolve_policy(
+                self.recovery if isinstance(self.recovery, RecoveryPolicy)
+                else None
+            )
+            for spec in unique:
+                result = resolved[spec]
+                if not result.crashed_ranks:
+                    continue
+                outcome = run_recovery(
+                    spec, policy, engine=self, initial=result
+                )
+                stats.recoveries += 1
+                stats.recovery_attempts += outcome.recovery_legs
+                if self.progress:
+                    print(
+                        f"[engine] {outcome.describe()}: {spec.label()}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                if outcome.completed:
+                    resolved[spec] = outcome.final_result
+
         stats.wall_time = time.perf_counter() - t0
         self.last_stats = stats
         return {spec: resolved[spec] for spec in unique}
+
+    def run_recovery(self, spec: RunSpec, policy=None, *, leg_faults=()):
+        """Run one spec under explicit crash recovery (see
+        :func:`repro.harness.recovery.run_recovery`); legs execute
+        through this engine's cache and dispatch backend."""
+        from .recovery import run_recovery
+
+        return run_recovery(
+            spec, policy, leg_faults=leg_faults, engine=self
+        )
 
     # ----------------------------------------------------------------- #
 

@@ -11,6 +11,9 @@ oracle, and treat *anything* surprising as an anomaly worth keeping:
 * ``deadlock`` — the schedule wedged the simulation (a genuine
   distributed deadlock, or a runaway poll loop dying at its
   ``max_events`` guard);
+* ``recovery`` — a bounded-retry recovery chain exhausted its budget
+  without reaching clean completion (every restart leg kept dying; see
+  :mod:`repro.harness.recovery` and the ``recovery-chain`` oracle);
 * ``crash`` — the oracle itself blew up (ProtocolError, SpecError, …);
 * ``perf-outlier`` — the check passed but took an order of magnitude
   longer than the recorded cost model says it should (wedge-adjacent
@@ -236,6 +239,14 @@ def _shrink_candidates(s: FaultSchedule) -> "Iterable[FaultSchedule]":
 
     Every candidate must remain a *valid* schedule (spec validation
     would reject e.g. a crash rank outside the shrunken world)."""
+    if s.recovery_crash_fracs:
+        # Drop the whole storm first, then one hop at a time (last hop
+        # first — earlier hops are likelier to carry the failure).
+        yield replace(s, recovery_crash_fracs=())
+        if len(s.recovery_crash_fracs) > 1:
+            yield replace(
+                s, recovery_crash_fracs=s.recovery_crash_fracs[:-1]
+            )
     if s.crash_fracs:
         yield replace(s, crash_fracs=())
     if s.mid_fracs:
@@ -254,11 +265,18 @@ def _shrink_candidates(s: FaultSchedule) -> "Iterable[FaultSchedule]":
         crash: dict[int, float] = {}
         for r, f in s.crash_fracs:
             crash.setdefault(min(r, nprocs - 1), f)
+        hops = []
+        for hop in s.recovery_crash_fracs:
+            clamped: dict[int, float] = {}
+            for r, f in hop:
+                clamped.setdefault(min(r, nprocs - 1), f)
+            hops.append(tuple(sorted(clamped.items())))
         yield replace(
             s,
             nprocs=nprocs,
             leavers=min(s.leavers, nprocs - 1),
             crash_fracs=tuple(sorted(crash.items())),
+            recovery_crash_fracs=tuple(hops),
         )
     if any(r > 0 for r, _f in s.crash_fracs) and len(s.crash_fracs) == 1:
         ((_r, f),) = s.crash_fracs

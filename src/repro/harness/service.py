@@ -25,7 +25,9 @@ is a single ``\\n``-terminated JSON object):
   kernel backend), writes the result — *including full checkpoint
   images* — into the shared cache, and reports the JSON result back.
   A worker that dies mid-job takes nothing with it: the server requeues
-  the orphaned job the moment the connection drops.
+  the orphaned job the moment the connection drops — and when the
+  server runs with a job lease (``--lease``), a *hung-but-connected*
+  worker loses its job too once its heartbeats stop.
 * **clients** (``--dispatch service`` on any engine-backed command) —
   submit jobs and block on ``wait``.  Results cross the wire in cache
   JSON form (image payloads stripped); anything needing images recovers
@@ -104,6 +106,9 @@ DEFAULT_PORT = 7463
 #: nothing.
 FETCH_PARK_SECONDS = 2.0
 
+#: Cap on the worker's exponential connect-retry backoff (seconds).
+CONNECT_BACKOFF_CAP = 15.0
+
 
 def _send(sock: socket.socket, obj: dict) -> None:
     sock.sendall(json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n")
@@ -123,7 +128,7 @@ def check_job_key(oracle: str, schedule: dict) -> str:
 
 class _Job:
     __slots__ = ("key", "payload", "state", "value", "worker", "submitted",
-                 "completed")
+                 "completed", "leased")
 
     def __init__(self, key: str, payload: "dict | None"):
         self.key = key
@@ -133,6 +138,9 @@ class _Job:
         self.worker: "str | None" = None
         self.submitted = time.time()
         self.completed: "float | None" = None
+        #: Monotonic time of the last lease renewal (assignment or
+        #: worker heartbeat); None while not running.
+        self.leased: "float | None" = None
 
 
 class ExperimentServer:
@@ -147,6 +155,13 @@ class ExperimentServer:
         index_dir: persistent job index location; defaults to
             ``<cache_dir>/service-index`` when a cache is configured,
             else in-memory only.
+        lease: per-job lease in seconds.  A running job whose worker
+            has neither finished nor heartbeat within the lease is
+            requeued, so a *hung-but-connected* worker cannot strand a
+            job the way a vanished one already can't.  The lease is
+            advertised in the handshake; :func:`run_worker` heartbeats
+            at a third of it.  ``None`` disables lease reaping
+            (connection drop remains the only requeue trigger).
         progress: emit one lifecycle line per job transition on stderr.
     """
 
@@ -157,8 +172,12 @@ class ExperimentServer:
         *,
         cache_dir: "str | os.PathLike | None" = None,
         index_dir: "str | os.PathLike | None" = None,
+        lease: "float | None" = None,
         progress: bool = False,
     ):
+        if lease is not None and lease <= 0:
+            raise ValueError(f"lease must be positive, got {lease}")
+        self.lease = lease
         self.host = host
         self.port = port
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
@@ -192,6 +211,10 @@ class ExperimentServer:
             target=self._accept_loop, name="repro-serve-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.lease is not None:
+            threading.Thread(
+                target=self._lease_loop, name="repro-serve-lease", daemon=True
+            ).start()
         self._log(f"serving on {self.host}:{self.port}")
         return self.host, self.port
 
@@ -281,7 +304,10 @@ class ExperimentServer:
                                f"unsupported (server speaks {PROTOCOL_VERSION})",
                 })
                 return
-            _send(conn, {"type": "welcome", "protocol": PROTOCOL_VERSION})
+            welcome: dict = {"type": "welcome", "protocol": PROTOCOL_VERSION}
+            if self.lease is not None:
+                welcome["lease"] = self.lease
+            _send(conn, welcome)
             while True:
                 msg = _recv(rfile)
                 if msg is None or msg.get("type") == "bye":
@@ -311,6 +337,9 @@ class ExperimentServer:
             return self._handle_fetch(conn_id)
         if kind == "done":
             return self._handle_done(msg, conn_id)
+        if kind == "heartbeat":
+            self._handle_heartbeat(conn_id)
+            return None  # fire-and-forget: heartbeats get no reply
         if kind == "stats":
             return {"type": "stats", **self.stats()}
         return {"type": "error", "message": f"unknown message type {kind!r}"}
@@ -389,8 +418,13 @@ class ExperimentServer:
                 if self._queue:
                     key = self._queue.popleft()
                     job = self._jobs[key]
+                    if job.state != "queued":
+                        # Resolved while parked in the queue (a stale
+                        # lease's worker woke up and finished late).
+                        continue
                     job.state = "running"
                     job.worker = conn_id
+                    job.leased = time.monotonic()
                     self._persist(job)
                     self._log(f"job {key}: assigned to {conn_id}")
                     reply = {"type": "job", "key": key, "job": job.payload}
@@ -411,11 +445,19 @@ class ExperimentServer:
                 job.state = "done"
                 job.value = value
                 job.worker = conn_id
+                job.leased = None
                 job.completed = time.time()
                 self._persist(job)
                 self._log(f"job {key}: done by {conn_id}")
                 self._cond.notify_all()
             return {"type": "ack", "key": key}
+
+    def _handle_heartbeat(self, conn_id: str) -> None:
+        """Renew the lease on every job the sending worker is running."""
+        with self._cond:
+            for job in self._jobs.values():
+                if job.state == "running" and job.worker == conn_id:
+                    job.leased = time.monotonic()
 
     def _reap_worker(self, conn_id: str) -> None:
         """Requeue every job a vanished worker was running."""
@@ -425,14 +467,53 @@ class ExperimentServer:
                 if job.state == "running" and job.worker == conn_id
             ]
             for job in orphaned:
-                job.state = "queued"
-                job.worker = None
-                # Front of the queue: the job already waited its turn.
-                self._queue.appendleft(job.key)
-                self._persist(job)
-                self._log(f"job {job.key}: {conn_id} vanished, requeued")
+                self._requeue_locked(job, f"{conn_id} vanished")
             if orphaned:
                 self._cond.notify_all()
+
+    def _requeue_locked(self, job: _Job, why: str) -> None:
+        """Put a running job back at the queue front (caller holds lock)."""
+        job.state = "queued"
+        job.worker = None
+        job.leased = None
+        # Front of the queue: the job already waited its turn.
+        self._queue.appendleft(job.key)
+        self._persist(job)
+        self._log(f"job {job.key}: {why}, requeued")
+
+    def _lease_loop(self) -> None:
+        """Requeue running jobs whose worker stopped heartbeating.
+
+        A vanished worker is caught by :meth:`_reap_worker` when its
+        connection drops; this loop catches the nastier case — a worker
+        that is hung but still connected, holding its job forever.  The
+        stale worker's late ``done`` (if it ever wakes) is still
+        accepted by :meth:`_handle_done`, which is idempotent.
+        """
+        assert self.lease is not None
+        interval = min(self.lease / 4.0, 1.0)
+        while True:
+            with self._cond:
+                if self._shutdown:
+                    return
+                self._cond.wait(timeout=interval)
+                if self._shutdown:
+                    return
+                now = time.monotonic()
+                stalled = [
+                    job for job in self._jobs.values()
+                    if job.state == "running"
+                    and job.leased is not None
+                    and now - job.leased > self.lease
+                ]
+                for job in stalled:
+                    self._requeue_locked(
+                        job,
+                        f"lease expired on {job.worker} "
+                        f"({self.lease:.1f}s without heartbeat)",
+                    )
+                if stalled:
+                    self._cond.notify_all()
 
     # -- persistent index ----------------------------------------------- #
 
@@ -473,10 +554,31 @@ class ExperimentServer:
             except OSError:
                 pass
 
+    def _quarantine(self, path: Path, why: str) -> None:
+        """Move a broken index entry aside so it never wedges a resume.
+
+        The entry's job is effectively requeued through idempotent
+        resubmission: with the record gone, the next client ``submit``
+        of the same key queues it fresh (or answers it from the store)
+        instead of colliding with a half-parsed ghost.
+        """
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+            self._log(f"index entry {path.name}: {why}; "
+                      f"quarantined as {target.name}")
+        except OSError as exc:
+            self._log(f"index entry {path.name}: {why}; "
+                      f"could not quarantine ({exc}), ignored")
+
     def _load_index(self) -> None:
         """Resume persisted jobs: interrupted work requeues, finished
         check reports restore.  Done sims restore as index-only records
-        (their results are answered from the cache on resubmission)."""
+        (their results are answered from the cache on resubmission).
+
+        A truncated or otherwise corrupt entry (a crash mid-``os.replace``
+        on exotic filesystems, manual edits, disk faults) is logged and
+        quarantined — resume must never crash on one bad record."""
         if self.index_dir is None or not self.index_dir.is_dir():
             return
         entries = sorted(self.index_dir.glob("*.json"))
@@ -484,15 +586,27 @@ class ExperimentServer:
         for path in entries:
             try:
                 doc = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
+            except (OSError, ValueError) as exc:
+                self._quarantine(path, f"unreadable ({exc})")
+                continue
+            if not isinstance(doc, dict):
+                self._quarantine(
+                    path, f"expected a JSON object, got {type(doc).__name__}"
+                )
                 continue
             key = doc.get("key")
-            if not key or key in self._jobs:
+            if not key or not isinstance(key, str):
+                self._quarantine(path, "missing job key")
+                continue
+            if key in self._jobs:
                 continue
             state = doc.get("state")
             if state in ("queued", "running"):
                 payload = doc.get("payload")
                 if not isinstance(payload, dict):
+                    self._quarantine(
+                        path, f"{state} entry lost its payload"
+                    )
                     continue
                 job = _Job(key, payload)
                 job.submitted = doc.get("submitted", job.submitted)
@@ -521,45 +635,103 @@ class ExperimentServer:
 # Worker
 # --------------------------------------------------------------------- #
 
+def _connect_with_retry(
+    addr: tuple[str, int],
+    retries: int,
+    backoff: float,
+    log,
+) -> socket.socket:
+    """Dial the service, retrying with capped exponential backoff.
+
+    A worker is typically launched alongside (or before) its server —
+    by a job scheduler, a CI step, or a shell one-liner — so "nothing
+    is listening yet" is a normal startup race, not an error.  Retry
+    ``retries`` times, sleeping ``backoff * 2**attempt`` (capped at
+    :data:`CONNECT_BACKOFF_CAP`) between dials, then give up and
+    re-raise the last ``OSError``.
+    """
+    attempt = 0
+    while True:
+        try:
+            return socket.create_connection(addr)
+        except OSError as exc:
+            if attempt >= retries:
+                raise
+            delay = min(backoff * 2.0 ** attempt, CONNECT_BACKOFF_CAP)
+            attempt += 1
+            log(f"connect to {addr[0]}:{addr[1]} failed ({exc}); "
+                f"retry {attempt}/{retries} in {delay:.1f}s")
+            time.sleep(delay)
+
+
 def run_worker(
     addr: tuple[str, int],
     *,
     sim_backend: "str | None" = None,
     cache_dir: "str | os.PathLike | None" = None,
     max_jobs: "int | None" = None,
+    connect_retries: int = 0,
+    connect_backoff: float = 0.5,
     progress: bool = False,
 ) -> int:
     """Pull-model worker loop; returns the number of jobs executed.
 
-    Connects to the experiment server, long-polls ``fetch``, executes
-    each job with the engine's own job body, and writes sim results —
-    full checkpoint images included — into the shared artifact store
-    before reporting the (image-stripped) JSON result back.  ``cache_dir``
-    overrides the server-advertised store (multi-host workers mount it
-    elsewhere); ``sim_backend`` overrides the per-job kernel backend.
-    Exits after ``max_jobs`` jobs, on server shutdown, or on SIGINT.
+    Connects to the experiment server (retrying ``connect_retries``
+    times with capped exponential backoff seeded at ``connect_backoff``
+    seconds, so workers may be launched before their server), long-polls
+    ``fetch``, executes each job with the engine's own job body, and
+    writes sim results — full checkpoint images included — into the
+    shared artifact store before reporting the (image-stripped) JSON
+    result back.  ``cache_dir`` overrides the server-advertised store
+    (multi-host workers mount it elsewhere); ``sim_backend`` overrides
+    the per-job kernel backend.  When the server advertises a job
+    lease, a background thread heartbeats at a third of it so a slow
+    (but live) job keeps its lease.  Exits after ``max_jobs`` jobs, on
+    server shutdown, or on SIGINT.
     """
     from . import engine as engine_mod
 
-    sock = socket.create_connection(addr)
-    rfile = sock.makefile("rb")
     executed = 0
 
     def log(message: str) -> None:
         if progress:
             print(f"[worker] {message}", file=sys.stderr, flush=True)
 
+    sock = _connect_with_retry(addr, connect_retries, connect_backoff, log)
+    rfile = sock.makefile("rb")
+    send_lock = threading.Lock()
+    stop_beats = threading.Event()
+
+    def send(obj: dict) -> None:
+        with send_lock:
+            _send(sock, obj)
+
+    def beat_loop(interval: float) -> None:
+        while not stop_beats.wait(interval):
+            try:
+                send({"type": "heartbeat"})
+            except OSError:
+                return
+
     try:
-        _send(sock, {"type": "hello", "role": "worker",
-                     "protocol": PROTOCOL_VERSION})
+        send({"type": "hello", "role": "worker",
+              "protocol": PROTOCOL_VERSION})
         welcome = _recv(rfile)
         if not welcome or welcome.get("type") != "welcome":
             raise DispatchError(
                 f"experiment service refused the handshake: {welcome!r}"
             )
         log(f"connected to {addr[0]}:{addr[1]}")
+        lease = welcome.get("lease")
+        if lease:
+            threading.Thread(
+                target=beat_loop,
+                args=(max(float(lease) / 3.0, 0.05),),
+                name="repro-worker-heartbeat",
+                daemon=True,
+            ).start()
         while max_jobs is None or executed < max_jobs:
-            _send(sock, {"type": "fetch"})
+            send({"type": "fetch"})
             msg = _recv(rfile)
             if msg is None or msg.get("type") == "shutdown":
                 log("server went away")
@@ -590,7 +762,7 @@ def run_worker(
                     "served": served,
                     "cached": False,
                 }
-            _send(sock, {"type": "done", "key": key, "value": value})
+            send({"type": "done", "key": key, "value": value})
             ack = _recv(rfile)
             if ack is None:
                 break
@@ -599,8 +771,9 @@ def run_worker(
     except KeyboardInterrupt:
         log("interrupted")
     finally:
+        stop_beats.set()
         try:
-            _send(sock, {"type": "bye"})
+            send({"type": "bye"})
         except OSError:
             pass
         rfile.close()

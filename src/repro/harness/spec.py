@@ -171,8 +171,12 @@ class RunSpec:
     #: ``rank`` at ``frac`` of the probe run's runtime.  A crashed rank
     #: is *not* a finished rank: rounds it participates in abort, later
     #: requests abort immediately, and the coordinator tears the job
-    #: down (recovery is a restart from the last committed image, which
-    #: — like every ``restart_of`` spec — carries no crash fields).
+    #: down.  On a ``restart_of`` spec the fractions are relative to the
+    #: *restart leg's own* crash-free runtime (its probe keeps
+    #: ``restart_of``), so a crash can land while survivors rebuild the
+    #: lower half, replay comm creation, or drain restored p2p.
+    #: Recovery is a further restart from the last committed image —
+    #: see :mod:`repro.harness.recovery` for the bounded-retry planner.
     crash_fracs: tuple[tuple[int, float], ...] = ()
     storage: StorageModel | None = None
     params: ModelParams | None = None
@@ -271,9 +275,16 @@ class RunSpec:
                 "checkpoint_fractions, or checkpoint_completion_fracs) for "
                 "the parent run to commit"
             )
+        # The parent leg keeps the checkpoint schedule (so it commits an
+        # image to restart from) but never the crash: a point that arms
+        # both restarts *past* a parent commit and injects the crash on
+        # the restart leg itself — the crash-during-recovery scenario.
+        crash = fields.pop("crash_fracs", None)
         parent = cls.create(app, nprocs, app_kwargs=app_kwargs, **fields)
         for schedule in _SCHEDULE_FIELDS:
             fields.pop(schedule, None)
+        if crash is not None:
+            fields["crash_fracs"] = crash
         return cls.create(
             app,
             nprocs,
@@ -301,12 +312,6 @@ class RunSpec:
                     "restart specs cannot also use probe-relative checkpoint "
                     "fractions; schedule further checkpoints with absolute "
                     "checkpoint_at"
-                )
-            if self.crash_fracs:
-                raise SpecError(
-                    "restart specs cannot carry crash faults: recovery from "
-                    "a crash restarts from the last committed image, which "
-                    "excludes the crash"
                 )
             if self.restart_of.protocol != self.protocol:
                 raise SpecError(

@@ -146,6 +146,13 @@ class FaultSchedule:
     #: (:meth:`crash_spec`) carry these — the graceful specs the
     #: commit-must-succeed oracles compare stay crash-free.
     crash_fracs: tuple[tuple[int, float], ...] = ()
+    #: Multi-hop failure storm: ``recovery_crash_fracs[i]`` is the
+    #: ``crash_fracs`` plan armed on recovery leg ``i+1`` of the
+    #: bounded-retry chain the ``recovery-chain`` oracle drives (see
+    #: :mod:`repro.harness.recovery`).  Recovery legs are restart specs,
+    #: so a non-empty hop is exactly a crash *on a restart leg*, with
+    #: fractions relative to that leg's own runtime.
+    recovery_crash_fracs: tuple[tuple[tuple[int, float], ...], ...] = ()
 
     @classmethod
     def draw(
@@ -199,6 +206,29 @@ class FaultSchedule:
                     round(float(rng.uniform(0.3, 1.1)), 6),
                 )
                 crash_fracs = tuple(sorted(crash_fracs + (second,)))
+        # Multi-hop storms: crashes armed on the *recovery legs* of the
+        # retry chain chasing the crash above — i.e. crashes on restart
+        # legs, landing while survivors rebuild the lower half or drain
+        # restored p2p.  Drawn after every other axis (and only when a
+        # first crash exists), so every pre-existing seed keeps its
+        # schedule bit-exact.
+        recovery_crash_fracs: tuple[tuple[tuple[int, float], ...], ...] = ()
+        if crash_fracs and rng.random() < 0.5:
+            hops = []
+            hops.append((
+                (
+                    int(rng.integers(0, nprocs)),
+                    round(float(rng.uniform(0.15, 1.0)), 6),
+                ),
+            ))
+            if rng.random() < 0.35:
+                hops.append((
+                    (
+                        int(rng.integers(0, nprocs)),
+                        round(float(rng.uniform(0.15, 1.0)), 6),
+                    ),
+                ))
+            recovery_crash_fracs = tuple(hops)
         return cls(
             seed=seed,
             protocol=protocol,
@@ -211,6 +241,7 @@ class FaultSchedule:
             restart_depth=restart_depth,
             restart_ckpt=restart_ckpt,
             crash_fracs=crash_fracs,
+            recovery_crash_fracs=recovery_crash_fracs,
         )
 
     # -- spec builders ------------------------------------------------- #
@@ -321,6 +352,15 @@ def schedule_to_dict(schedule: FaultSchedule) -> dict:
     out["completion_fracs"] = list(schedule.completion_fracs)
     out["mid_fracs"] = list(schedule.mid_fracs)
     out["crash_fracs"] = [[r, f] for r, f in schedule.crash_fracs]
+    # Only present when armed: existing corpora hash schedules without
+    # this key, and the fuzzer's content-addressed entry keys must not
+    # shift under them.
+    if schedule.recovery_crash_fracs:
+        out["recovery_crash_fracs"] = [
+            [[r, f] for r, f in hop] for hop in schedule.recovery_crash_fracs
+        ]
+    else:
+        out.pop("recovery_crash_fracs", None)
     return out
 
 
@@ -338,6 +378,10 @@ def schedule_from_dict(data: dict) -> FaultSchedule:
         restart_ckpt=int(data["restart_ckpt"]),
         crash_fracs=tuple(
             (int(r), float(f)) for r, f in data.get("crash_fracs", ())
+        ),
+        recovery_crash_fracs=tuple(
+            tuple((int(r), float(f)) for r, f in hop)
+            for hop in data.get("recovery_crash_fracs", ())
         ),
     )
 
@@ -360,6 +404,8 @@ class OracleReport:
     #: ``"mismatch"`` — the oracle's two derivations disagreed;
     #: ``"deadlock"`` — the simulation wedged (a genuine distributed
     #: deadlock, or a hung schedule dying at its ``max_events`` guard);
+    #: ``"recovery"`` — a bounded-retry recovery chain exhausted its
+    #: budget without reaching clean completion;
     #: ``"crash"`` — the oracle itself blew up (ProtocolError, SpecError…).
     kind: str = ""
 
@@ -382,7 +428,15 @@ def _classify_exception(exc: BaseException) -> str:
     guard tripping on a runaway poll loop (:class:`SchedulingError`) —
     both mean "this schedule wedged the simulation", which is its own
     anomaly class, distinct from an oracle implementation blowing up.
+    A :class:`~repro.harness.recovery.RecoveryError` — the retry budget
+    ran dry while the schedule kept crashing the chain — is likewise its
+    own class: the interesting question it raises is "why did every
+    restart leg die", not "which oracle broke".
     """
+    from .recovery import RecoveryError
+
+    if isinstance(exc, RecoveryError) or "RecoveryError" in str(exc):
+        return "recovery"
     if isinstance(exc, DeadlockError):
         return "deadlock"
     if isinstance(exc, SchedulingError) and "max_events" in str(exc):
@@ -952,6 +1006,180 @@ class CrashFaultOracle(Oracle):
         )
 
 
+class RecoveryChainOracle(Oracle):
+    """Bounded-retry recovery: crash → restart → crash → … → baseline.
+
+    Arms the schedule's drawn crash (or a deterministic fallback) on the
+    checkpointed run, then drives :func:`repro.harness.recovery.run_recovery`
+    with the schedule's multi-hop plan (``recovery_crash_fracs``; a
+    fallback hop is armed when the draw produced none, so every seed
+    exercises a crash *on a restart leg*).  Verifies the chain reaches
+    clean completion inside the budget, the recovered final fingerprint
+    is byte-identical to the uninterrupted run's, no leg leaks images
+    out of a crash-aborted round, and per-rank drain conservation holds
+    on every hop.
+    """
+
+    name = "recovery-chain"
+    description = (
+        "a crash — even one landing on a restart leg — recovers under "
+        "bounded retry to the uninterrupted run's fingerprint, with no "
+        "leaked images and drain conservation across every hop"
+    )
+    cache_aware = False
+
+    def _conserved(self, label: str, res: RunResult) -> None:
+        for rank in range(res.nprocs):
+            restored = res.drain_restored[rank]
+            buffered = res.drain_buffered[rank]
+            consumed = res.drain_consumed[rank]
+            leftover = res.drain_leftover[rank]
+            self._require(
+                restored + buffered == consumed + leftover,
+                f"{label}: rank {rank} drain imbalance — restored {restored} "
+                f"+ buffered {buffered} != consumed {consumed} + leftover "
+                f"{leftover}",
+            )
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        from .recovery import (
+            RecoveryError,
+            RecoveryPolicy,
+            resolve_policy,
+            run_recovery,
+        )
+
+        rng = np.random.default_rng(
+            np.random.SeedSequence([0x2ECF, schedule.seed])
+        )
+        hops = schedule.recovery_crash_fracs or (
+            (
+                (
+                    int(rng.integers(0, schedule.nprocs)),
+                    round(float(rng.uniform(0.2, 0.9)), 6),
+                ),
+            ),
+        )
+
+        deps: dict = {}
+        base = schedule.uninterrupted_spec()
+        base_res = execute(base, deps)
+        self._require(not base_res.na_reason, f"baseline NA: {base_res.na_reason}")
+        want = result_fingerprint(base_res)
+
+        # Anchor the chain's first crash *after* the first round's commit
+        # (drawn fractions of probe runtime land before any commit once
+        # checkpointing stretches the run — see the crash-fault oracle's
+        # late leg).  With an image committed, recovery leg 1 is an
+        # image restart carrying the first hop's faults: a crash landing
+        # while survivors rebuild the lower half / replay comm creation /
+        # drain restored p2p — the scenario this oracle exists for.  The
+        # anchor comes from the graceful checkpoint run, deterministic,
+        # so the chain specs are too.
+        graceful = schedule.checkpoint_spec()
+        graceful_res = execute(graceful, deps)
+        self._require(
+            not graceful_res.na_reason, f"ckpt run NA: {graceful_res.na_reason}"
+        )
+        commits = [r for r in graceful_res.checkpoints if r.committed]
+        self._require(bool(commits), "graceful checkpoint run committed nothing")
+        instant = commits[0].t_resumed * 1.05
+        # The crash run's timeline is identical to the graceful run's up
+        # to the crash, so the graceful finish times tell us who is
+        # still alive at the instant — a victim that already exited
+        # would lose the race and the chain would never start.  Prefer a
+        # drawn crash rank when one qualifies.
+        finish = graceful_res.rank_finish_times
+        alive = [
+            r
+            for r in range(schedule.nprocs)
+            if finish[r] is None or finish[r] > instant
+        ]
+        if alive:
+            drawn = [r for r, _f in schedule.crash_fracs if r in alive]
+            victim = drawn[0] if drawn else alive[int(rng.integers(0, len(alive)))]
+            crash_fracs = ((victim, round(instant / base_res.runtime, 6)),)
+        else:
+            # Every rank exited before the first commit (a terminal
+            # snapshot from a request that raced completion past all
+            # exits): no post-commit crash exists, so this seed
+            # exercises the *degraded* chain — an early crash that
+            # commits nothing and recovers from scratch.
+            crash_fracs = schedule.crash_fracs or (
+                (
+                    int(rng.integers(0, schedule.nprocs)),
+                    round(float(rng.uniform(0.3, 0.9)), 6),
+                ),
+            )
+
+        # Every leg runs in-process through a private engine: the chain
+        # is the subject under test, so its execution must not depend on
+        # whatever dispatch backend the sweep itself fans out with.
+        leg_engine = ExperimentEngine(dispatch="inline")
+        # Budget: enough for every armed hop plus slack, and never less
+        # than the resolved default (--max-attempts can only raise it —
+        # a user-lowered budget must not fail chains by construction).
+        policy = RecoveryPolicy(
+            max_attempts=max(
+                resolve_policy(None).max_attempts, len(hops) + 2
+            )
+        )
+        outcome = run_recovery(
+            schedule.crash_spec(crash_fracs),
+            policy,
+            leg_faults=hops,
+            engine=leg_engine,
+        )
+        if not outcome.completed:
+            raise RecoveryError(
+                f"retry budget ({policy.max_attempts}) exhausted: "
+                + outcome.describe()
+            )
+        if alive:
+            self._require(
+                any(
+                    a.spec.restart_of is not None for a in outcome.attempts[1:]
+                ),
+                "chain never took an image-restart leg despite a post-commit "
+                "crash: " + outcome.describe(),
+            )
+
+        for i, attempt in enumerate(outcome.attempts):
+            label = f"leg {i} ({attempt.restarted_from})"
+            res = attempt.result
+            self._require(not res.na_reason, f"{label} NA: {res.na_reason}")
+            self._conserved(label, res)
+            for rec in res.checkpoints:
+                if rec.aborted:
+                    self._require(
+                        not rec.images,
+                        f"{label}: crash-aborted record {rec.ckpt_id} leaked "
+                        f"{len(rec.images)} image(s)",
+                    )
+                if rec.aborted and res.crashed_ranks:
+                    self._require(
+                        "crashed" in rec.abort_reason,
+                        f"{label}: abort without a crash-specific reason: "
+                        f"{rec.abort_reason!r}",
+                    )
+
+        got = result_fingerprint(outcome.final_result)
+        self._require(
+            got == want,
+            f"recovered fingerprint {got} != uninterrupted {want} "
+            f"({outcome.describe()})",
+        )
+        restart_leg_crashes = sum(
+            1
+            for a in outcome.attempts
+            if a.spec.restart_of is not None and a.crashed
+        )
+        return (
+            f"{outcome.describe()}; {restart_leg_crashes} restart-leg "
+            f"crash(es), fingerprint matches baseline, chain {outcome.chain_key()}"
+        )
+
+
 #: Oracle catalog, ``--oracle`` spelling -> instance.
 ORACLES: "dict[str, Oracle]" = {
     oracle.name: oracle
@@ -962,6 +1190,7 @@ ORACLES: "dict[str, Oracle]" = {
         ImageTierOracle(),
         DrainConservationOracle(),
         CrashFaultOracle(),
+        RecoveryChainOracle(),
     )
 }
 

@@ -76,7 +76,8 @@ class _RawConn:
         self.rfile = self.sock.makefile("rb")
         self.send({"type": "hello", "role": role,
                    "protocol": PROTOCOL_VERSION})
-        assert self.recv()["type"] == "welcome"
+        self.welcome = self.recv()
+        assert self.welcome["type"] == "welcome"
 
     def send(self, obj):
         self.sock.sendall(
@@ -189,6 +190,163 @@ class TestWorkerFailure:
         client.close()
 
 
+class TestLeaseAndHeartbeat:
+    """A hung-but-connected worker must not strand its job forever."""
+
+    def test_stalled_worker_job_is_requeued_by_lease(self, tmp_path):
+        server = ExperimentServer(
+            "127.0.0.1", 0, cache_dir=tmp_path / "store", lease=0.5
+        )
+        addr = "%s:%d" % server.start()
+        try:
+            spec = _specs(1)[0]
+            key = spec_hash(spec)
+            client = _RawConn(addr, "client")
+            client.send({
+                "type": "submit", "key": key, "job": job_to_dict(spec, []),
+            })
+            assert client.recv()["state"] == "queued"
+
+            # This worker fetches the job and then hangs: the TCP
+            # connection stays open (so the vanished-worker reap never
+            # fires) but no heartbeat and no `done` ever arrive.
+            stalled = _RawConn(addr, "worker")
+            stalled.send({"type": "fetch"})
+            handed = stalled.recv()
+            assert handed["type"] == "job" and handed["key"] == key
+            assert server.stats()["running"] == 1
+
+            # The lease reaper requeues it within ~a lease and a tick.
+            deadline = 100
+            while server.stats()["running"] and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            assert server.stats()["queued"] == 1
+
+            # A healthy worker finishes it; the client never noticed.
+            worker = _worker_thread(addr, max_jobs=1)
+            client.send({"type": "wait", "keys": [key]})
+            reply = client.recv()
+            assert reply["type"] == "result" and reply["key"] == key
+            assert reply["value"]["result"]["runtime"] > 0
+            worker.join(timeout=30)
+            stalled.close()
+            client.close()
+        finally:
+            server.shutdown()
+
+    def test_heartbeats_keep_a_slow_worker_leased(self, tmp_path):
+        server = ExperimentServer("127.0.0.1", 0, lease=0.4)
+        addr = "%s:%d" % server.start()
+        try:
+            client = _RawConn(addr, "client")
+            client.send({
+                "type": "submit", "key": "check-slow",
+                "job": {"kind": "check", "oracle": "x", "schedule": {}},
+            })
+            assert client.recv()["state"] == "queued"
+
+            # The lease is advertised in the handshake so real workers
+            # can pace their heartbeats off it.
+            slow = _RawConn(addr, "worker")
+            assert slow.welcome.get("lease") == 0.4
+            slow.send({"type": "fetch"})
+            assert slow.recv()["type"] == "job"
+
+            # Hold the job for several leases, heartbeating the whole
+            # time: the job must stay leased to this worker.
+            for _ in range(6):
+                threading.Event().wait(0.2)
+                slow.send({"type": "heartbeat"})  # fire-and-forget
+                assert server.stats()["running"] == 1
+
+            slow.send({"type": "done", "key": "check-slow",
+                       "value": {"ok": True}})
+            assert slow.recv()["type"] == "ack"
+            assert server.stats()["done"] == 1
+            slow.close()
+            client.close()
+        finally:
+            server.shutdown()
+
+    def test_late_done_from_expired_lease_is_harmless(self, tmp_path):
+        # The stalled worker wakes up *after* its lease expired and the
+        # job was requeued: its late `done` is accepted (idempotent) and
+        # the stale queue entry must not hand the done job out again.
+        server = ExperimentServer("127.0.0.1", 0, lease=0.3)
+        addr = "%s:%d" % server.start()
+        try:
+            client = _RawConn(addr, "client")
+            client.send({
+                "type": "submit", "key": "check-late",
+                "job": {"kind": "check", "oracle": "x", "schedule": {}},
+            })
+            assert client.recv()["state"] == "queued"
+
+            stalled = _RawConn(addr, "worker")
+            stalled.send({"type": "fetch"})
+            assert stalled.recv()["type"] == "job"
+            deadline = 100
+            while server.stats()["running"] and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            assert server.stats()["queued"] == 1
+
+            # Late completion lands while the key still sits in the queue.
+            stalled.send({"type": "done", "key": "check-late",
+                          "value": {"late": True}})
+            assert stalled.recv()["type"] == "ack"
+            assert server.stats()["done"] == 1
+
+            # The next fetch must skip the stale queue entry (idle, not
+            # a re-execution of the already-done job).
+            other = _RawConn(addr, "worker")
+            other.send({"type": "fetch"})
+            assert other.recv()["type"] == "idle"
+            assert server.stats()["done"] == 1
+            stalled.close()
+            other.close()
+            client.close()
+        finally:
+            server.shutdown()
+
+
+class TestConnectRetry:
+    def test_worker_retries_until_server_appears(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        executed = []
+        thread = threading.Thread(
+            target=lambda: executed.append(
+                run_worker(
+                    ("127.0.0.1", port),
+                    max_jobs=0,
+                    connect_retries=40,
+                    connect_backoff=0.05,
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()  # nothing is listening yet: the worker backs off
+        threading.Event().wait(0.3)
+        server = ExperimentServer("127.0.0.1", port)
+        server.start()
+        thread.join(timeout=15)
+        server.shutdown()
+        assert executed == [0], "worker never reached the late server"
+
+    def test_zero_retries_fails_fast(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            run_worker(("127.0.0.1", port), max_jobs=0, connect_retries=0)
+
+
 class TestIndexPersistence:
     def test_interrupted_jobs_resume_across_restart(self, tmp_path):
         index = tmp_path / "index"
@@ -236,6 +394,56 @@ class TestIndexPersistence:
         assert client.recv()["state"] == "done"
         client.close()
         third.shutdown()
+
+    def test_corrupt_index_entries_are_quarantined_not_fatal(self, tmp_path):
+        # A crash mid-write (or a disk fault) can leave truncated or
+        # otherwise malformed entries behind.  Resume must shrug: log,
+        # quarantine the bad record, load everything else — and the
+        # damaged job requeues through idempotent resubmission.
+        index = tmp_path / "index"
+        index.mkdir()
+        (index / "truncated.json").write_text('{"schema": 1, "key": "jo')
+        (index / "notdict.json").write_text('[1, 2, 3]')
+        (index / "nokey.json").write_text('{"schema": 1, "state": "queued"}')
+        (index / "nopayload.json").write_text(json.dumps({
+            "schema": 1, "key": "job-hurt", "state": "running",
+            "payload": "not-a-dict",
+        }))
+        (index / "good.json").write_text(json.dumps({
+            "schema": 1, "key": "check-good", "state": "queued",
+            "payload": {"kind": "check", "oracle": "x", "schedule": {}},
+            "submitted": 1.0,
+        }))
+
+        server = ExperimentServer("127.0.0.1", 0, index_dir=index)
+        addr = "%s:%d" % server.start()
+        try:
+            # Only the intact entry resumed; every bad one is renamed
+            # aside so the *next* restart is clean too.
+            assert server.stats() == {
+                "jobs": 1, "queued": 1, "running": 0, "done": 0,
+            }
+            names = sorted(p.name for p in index.iterdir())
+            assert names == [
+                "good.json",
+                "nokey.json.corrupt",
+                "nopayload.json.corrupt",
+                "notdict.json.corrupt",
+                "truncated.json.corrupt",
+            ]
+
+            # The job whose record was destroyed is simply unknown now:
+            # resubmitting it queues it fresh instead of colliding.
+            client = _RawConn(addr, "client")
+            client.send({
+                "type": "submit", "key": "job-hurt",
+                "job": {"kind": "check", "oracle": "x", "schedule": {}},
+            })
+            assert client.recv()["state"] == "queued"
+            assert server.stats()["queued"] == 2
+            client.close()
+        finally:
+            server.shutdown()
 
 
 class TestSeamFanout:

@@ -80,10 +80,17 @@ class TestCrashSemantics:
         assert "crashed" in rec.abort_reason
         assert not rec.images
 
-    def test_restart_specs_reject_crash_faults(self):
+    def test_restart_specs_accept_crash_faults(self):
+        # Crash faults on restart legs are first-class: the fractions
+        # anchor on the restart leg's *own* crash-free runtime (its
+        # probe_spec keeps restart_of but drops schedules and crash).
         parent = _spec(checkpoint_completion_fracs=(0.9,))
-        with pytest.raises(SpecError, match="restart specs cannot carry"):
-            _spec(restart_of=parent, crash_fracs=((0, 0.5),))
+        spec = _spec(restart_of=parent, crash_fracs=((0, 0.5),))
+        assert spec.crash_fracs == ((0, 0.5),)
+        assert "(restart)" in spec.label() and "(crash)" in spec.label()
+        probe = spec.probe_spec()
+        assert probe is not None
+        assert probe.restart_of == parent and not probe.crash_fracs
 
     def test_crash_fracs_validated(self):
         with pytest.raises(SpecError, match="nonexistent rank"):
@@ -127,6 +134,34 @@ class TestCrashDifferential:
         want = result_fingerprint(base_result)
         assert result_fingerprint(graceful_restart) == want
         assert result_fingerprint(crash_restart) == want
+
+    def test_crash_mid_restart_leg_leaves_image_intact(self, base_result):
+        # Kill a rank *during the restart leg itself* — while survivors
+        # rebuild their lower half, replay comm creation, and drain
+        # restored p2p.  The leg must tear down like any crashed run
+        # (corpse recorded, drains conserved) and the parent's committed
+        # image must stay a valid restart point afterwards.
+        parent = _spec(checkpoint_fractions=(0.3,))
+        deps = {_spec(): base_result}
+        parent_res = execute(parent, deps)
+        assert [r for r in parent_res.checkpoints if r.committed]
+        deps[parent] = parent_res
+
+        leg = _spec(restart_of=parent, restart_ckpt=0,
+                    crash_fracs=((1, 0.3),))
+        res = execute(leg, deps)
+        assert res.crashed_ranks == [1]
+        assert res.per_rank[1] is None
+        for rank in range(res.nprocs):
+            assert (
+                res.drain_restored[rank] + res.drain_buffered[rank]
+                == res.drain_consumed[rank] + res.drain_leftover[rank]
+            ), f"rank {rank} leaked or forged drained messages"
+
+        # The crash consumed nothing: relaunching the same restart leg
+        # (crash-free) from the same image still reproduces the base run.
+        clean = execute(_spec(restart_of=parent, restart_ckpt=0), deps)
+        assert result_fingerprint(clean) == result_fingerprint(base_result)
 
     def test_drain_conservation_holds_across_crash(self, base_result):
         spec = _spec(

@@ -1,0 +1,162 @@
+"""The recovery-chain oracle and the fault-schedule recovery axis.
+
+Pinned here: the ``recovery-chain`` oracle sweeps clean over 25+
+fuzz-drawn multi-hop schedules, restart-leg crash schedules recover
+under a :class:`RecoveryPolicy`, a hypothesis property that *any*
+single-crash schedule's recovered fingerprint equals the uninterrupted
+run's, draw/serialization stability of the new ``recovery_crash_fracs``
+axis, and the ``recovery`` anomaly classification.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.fuzz import _shrink_candidates
+from repro.harness.recovery import RecoveryError, RecoveryPolicy, run_recovery
+from repro.harness.spec import RunSpec, execute
+from repro.harness.verify import (
+    ORACLES,
+    FaultSchedule,
+    _classify_exception,
+    result_fingerprint,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.netmodel import StorageModel
+
+KW = dict(
+    app_kwargs={
+        "niters": 60, "shared": 4, "leavers": 1, "memory_bytes": 1 << 10,
+    },
+    protocol="cc",
+    seed=3,
+    storage=StorageModel(base_latency=1e-6),
+)
+
+_BASE_FP = None
+
+
+def _mk(**overrides):
+    kwargs = dict(KW)
+    kwargs.update(overrides)
+    return RunSpec.create("earlyexit", 4, **kwargs)
+
+
+def _base_fp():
+    global _BASE_FP
+    if _BASE_FP is None:
+        _BASE_FP = result_fingerprint(execute(_mk()))
+    return _BASE_FP
+
+
+class TestRecoveryChainOracle:
+    """The new oracle over a healthy tree: every drawn multi-hop chain
+    must end fingerprint-identical to the uninterrupted run, leak no
+    images, and conserve drained messages on every hop."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_oracle_sweeps_clean(self, seed):
+        report = ORACLES["recovery-chain"].check(seed)
+        assert report.ok, f"seed {seed}: {report.detail}\n{report.repro}"
+
+    def test_oracle_exercises_restart_leg_crashes(self):
+        # Across a pile of seeds the oracle must actually reach the
+        # tentpole scenario: a crash landing on a restart leg.
+        details = [ORACLES["recovery-chain"].check(s).detail
+                   for s in range(12)]
+        assert any("restart-leg crash" in d for d in details), details
+
+
+class TestSeededRestartLegCrash:
+    def test_restart_leg_crash_recovers_under_policy(self):
+        # The acceptance scenario, straight-line: checkpoint, commit,
+        # crash the restart leg mid-flight, recover under a bounded
+        # policy, end byte-identical to the uninterrupted run.
+        parent = _mk(checkpoint_fractions=(0.2,))
+        leg = _mk(restart_of=parent, restart_ckpt=0,
+                  crash_fracs=((2, 0.3),))
+        outcome = run_recovery(leg, RecoveryPolicy(max_attempts=3))
+        assert outcome.completed
+        assert outcome.attempts[0].crashed
+        assert result_fingerprint(outcome.final_result) == _base_fp()
+
+
+class TestSingleCrashProperty:
+    @settings(max_examples=25)
+    @given(
+        rank=st.integers(0, 3),
+        frac=st.floats(0.05, 1.2),
+        ckpt=st.booleans(),
+    )
+    def test_any_single_crash_recovers_to_uninterrupted(
+        self, rank, frac, ckpt
+    ):
+        # Whatever rank dies, whenever it dies, with or without a
+        # checkpoint schedule to restart from: a bounded chain always
+        # reaches the uninterrupted run's exact fingerprint.
+        overrides = {"crash_fracs": ((rank, round(frac, 4)),)}
+        if ckpt:
+            overrides["checkpoint_fractions"] = (0.2,)
+        outcome = run_recovery(
+            _mk(**overrides), RecoveryPolicy(max_attempts=3)
+        )
+        assert outcome.completed, outcome.describe()
+        assert result_fingerprint(outcome.final_result) == _base_fp()
+
+
+class TestRecoveryScheduleAxis:
+    def test_draw_arms_hops_only_with_crashes(self):
+        drawn = [FaultSchedule.draw(s) for s in range(80)]
+        with_hops = [d for d in drawn if d.recovery_crash_fracs]
+        assert with_hops, "the draw never arms a recovery hop"
+        assert len(with_hops) < len(drawn), "the draw always arms hops"
+        for schedule in with_hops:
+            assert schedule.crash_fracs, (
+                "recovery hops without an initial crash are meaningless"
+            )
+            assert 1 <= len(schedule.recovery_crash_fracs) <= 2
+            for hop in schedule.recovery_crash_fracs:
+                for rank, frac in hop:
+                    assert 0 <= rank < schedule.nprocs
+                    assert frac > 0
+        assert any(len(d.recovery_crash_fracs) == 2 for d in drawn), (
+            "multi-hop storms never drawn"
+        )
+
+    def test_draw_is_seed_stable(self):
+        for seed in range(20):
+            assert FaultSchedule.draw(seed) == FaultSchedule.draw(seed)
+
+    def test_serialization_round_trips_and_omits_empty(self):
+        for seed in range(40):
+            schedule = FaultSchedule.draw(seed)
+            doc = schedule_to_dict(schedule)
+            # Corpus-key stability: schedules without hops serialize to
+            # exactly the bytes they had before the axis existed.
+            if not schedule.recovery_crash_fracs:
+                assert "recovery_crash_fracs" not in doc
+            assert schedule_from_dict(doc) == schedule
+
+    def test_shrinker_drops_hops_first(self):
+        import dataclasses
+
+        armed = dataclasses.replace(
+            FaultSchedule.draw(0),
+            crash_fracs=((0, 0.4),),
+            recovery_crash_fracs=(((1, 0.5),), ((2, 0.6),)),
+        )
+        candidates = list(_shrink_candidates(armed))
+        assert any(not c.recovery_crash_fracs for c in candidates)
+        assert any(len(c.recovery_crash_fracs) == 1 for c in candidates)
+
+
+class TestAnomalyClassification:
+    def test_recovery_error_classifies_as_recovery(self):
+        exc = RecoveryError("retry budget (3) exhausted: ...")
+        assert _classify_exception(exc) == "recovery"
+        # Stringified across a process boundary it must still classify.
+        wrapped = RuntimeError(
+            "worker died: RecoveryError: retry budget (3) exhausted"
+        )
+        assert _classify_exception(wrapped) == "recovery"

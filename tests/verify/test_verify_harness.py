@@ -76,6 +76,7 @@ class TestOracleCatalog:
             "image-tier",
             "drain-conservation",
             "crash-fault",
+            "recovery-chain",
         }
         for name, oracle in ORACLES.items():
             assert oracle.name == name
