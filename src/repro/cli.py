@@ -104,6 +104,7 @@ from .harness import (
     ResultCache,
     Sweep,
     SweepError,
+    plan_with_scenario,
     run_oracles,
     run_plans,
 )
@@ -140,6 +141,21 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return value
+
+
+def _scenario_arg(text: str) -> str | None:
+    """argparse type for ``--scenario``: canonicalize or reject early.
+
+    Returns the canonical scenario string (``None`` for the baseline
+    spellings ``none``/empty), so specs built from it hash identically
+    to the same scenario written any equivalent way.
+    """
+    from .scenarios import ScenarioError, canonical_scenario
+
+    try:
+        return canonical_scenario(text)
+    except ScenarioError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
@@ -970,6 +986,12 @@ def main(argv: list[str] | None = None) -> int:
                              "(fig5a/fig7/fig8)")
     parser.add_argument("--ppn", type=_positive_int, default=None,
                         help="ranks per node (table1/fig7/fig8/fig9)")
+    parser.add_argument("--scenario", type=_scenario_arg, default=None,
+                        metavar="NAME[:K=V,...]",
+                        help="run every figure cell under a registered "
+                             "scenario (fat-tree, dragonfly, straggler, "
+                             "jitter, degraded-link; e.g. "
+                             "straggler:rank=1,factor=8.0)")
     parser.add_argument("--jobs", "-j", type=_positive_int, default=1,
                         help="parallel simulation worker processes (default 1)")
     _add_backend_arg(parser)
@@ -1005,6 +1027,8 @@ def main(argv: list[str] | None = None) -> int:
 
     names = sorted(PLANNERS) if args.experiment == "all" else [args.experiment]
     plans = [PLANNERS[name](**_planner_kwargs(name, args)) for name in names]
+    if args.scenario:
+        plans = [plan_with_scenario(plan, args.scenario) for plan in plans]
     t0 = time.time()
     # One batch for everything requested: cross-figure dedupe is the
     # whole point of batching `all`.

@@ -35,6 +35,7 @@ from .sweep import MASKS, Sweep, mask_paper_memory_limit
 __all__ = [
     "ExperimentResult",
     "FigurePlan",
+    "plan_with_scenario",
     "run_plans",
     "sweep_plan",
     "sweep_fold",
@@ -103,6 +104,25 @@ class FigurePlan:
     name: str
     specs: list[RunSpec]
     fold: Callable[[Mapping[RunSpec, RunResult]], ExperimentResult]
+
+
+def plan_with_scenario(plan: FigurePlan, scenario: str) -> FigurePlan:
+    """Re-plan a figure under a scenario without touching its fold.
+
+    Every spec (including restart ancestry) gets the scenario stamped
+    in; the fold still looks results up by the specs it originally
+    planned, so the wrapper re-keys the engine's result map back to the
+    scenario-free specs before delegating.
+    """
+    mapping = {
+        spec: spec.with_scenario(scenario)
+        for spec in dict.fromkeys(plan.specs)
+    }
+
+    def fold(results: Mapping[RunSpec, RunResult]) -> ExperimentResult:
+        return plan.fold({orig: results[new] for orig, new in mapping.items()})
+
+    return FigurePlan(plan.name, [mapping[s] for s in plan.specs], fold)
 
 
 def run_plans(

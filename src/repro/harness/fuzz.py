@@ -239,6 +239,10 @@ def _shrink_candidates(s: FaultSchedule) -> "Iterable[FaultSchedule]":
 
     Every candidate must remain a *valid* schedule (spec validation
     would reject e.g. a crash rank outside the shrunken world)."""
+    if s.scenario is not None:
+        # A scenario perturbs every leg of the run; dropping it is the
+        # single biggest simplification when the failure is scenario-free.
+        yield replace(s, scenario=None)
     if s.recovery_crash_fracs:
         # Drop the whole storm first, then one hop at a time (last hop
         # first — earlier hops are likelier to carry the failure).

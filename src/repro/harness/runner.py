@@ -18,7 +18,8 @@ from ..des import Gate, Simulator
 from ..des.errors import DeadlockError
 from ..mana import CheckpointCoordinator, CheckpointImage, CheckpointRecord, Session
 from ..mana.vcomm import session_scope
-from ..netmodel import ClusterTopology, ModelParams, StorageModel, make_topology
+from ..netmodel import ModelParams, StorageModel, Topology, make_topology
+from ..scenarios import Scenario, resolve_scenario
 from ..simmpi import World
 from ..apps.base import AppContext, MpiApp
 
@@ -99,7 +100,7 @@ def launch_run(
     nprocs: int,
     *,
     protocol: str = "native",
-    topo: ClusterTopology | None = None,
+    topo: Topology | None = None,
     params: ModelParams | None = None,
     ppn: int | None = None,
     seed: int = 0,
@@ -108,6 +109,7 @@ def launch_run(
     restore_images: dict[int, CheckpointImage] | None = None,
     max_events: int | None = None,
     crash_at: dict[int, float] | None = None,
+    scenario: "str | Scenario | None" = None,
 ) -> RunResult:
     """Run one simulated MPI job to completion and return measurements.
 
@@ -126,9 +128,20 @@ def launch_run(
             finished (racing a crash against completion is safe).  The
             surviving ranks eventually block on the corpse; that
             deadlock is the crash's expected teardown and ends the run.
+        scenario: a :class:`~repro.scenarios.Scenario` (or its canonical
+            string) perturbing the run — fabric choice, per-message link
+            noise, straggler compute factors.  The perturbations are a
+            pure function of (scenario, seed), so equal specs stay
+            byte-identical across execution and dispatch backends.
     """
+    scn = resolve_scenario(scenario)
     if topo is None:
-        topo = make_topology(nprocs, ppn=ppn, params=params)
+        if scn is not None:
+            topo = scn.make_topology(nprocs, ppn=ppn, params=params)
+        else:
+            topo = make_topology(nprocs, ppn=ppn, params=params)
+    if scn is not None:
+        topo = scn.wrap_topology(topo, seed=seed)
     if topo.nprocs != nprocs:
         raise ValueError(f"topology is for {topo.nprocs} ranks, asked for {nprocs}")
     if checkpoint_at and protocol == "native":
@@ -175,6 +188,11 @@ def launch_run(
                 sessions[rank] = Session.from_image(
                     world, restore_images[rank], coordinator
                 )
+        if scn is not None:
+            factors = scn.compute_factors(nprocs)
+            if factors is not None:
+                for rank in range(nprocs):
+                    sessions[rank].compute_factor = float(factors[rank])
         for sess in sessions.values():
             sess.wire_peers(sessions)
 
@@ -302,12 +320,13 @@ def restart_run(
     app_factory: Callable[[], MpiApp],
     images: dict[int, CheckpointImage],
     *,
-    topo: ClusterTopology | None = None,
+    topo: Topology | None = None,
     params: ModelParams | None = None,
     ppn: int | None = None,
     seed: int = 0,
     storage: StorageModel | None = None,
     checkpoint_at: Sequence[float] = (),
+    scenario: "str | Scenario | None" = None,
 ) -> RunResult:
     """Restart a job from a checkpoint set (a fresh lower half, as in
     MANA: a new 'trivial' MPI job adopts the images)."""
@@ -324,4 +343,5 @@ def restart_run(
         storage=storage,
         restore_images=images,
         checkpoint_at=checkpoint_at,
+        scenario=scenario,
     )

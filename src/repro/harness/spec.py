@@ -55,6 +55,7 @@ from ..netmodel import (
     OverheadCosts,
     StorageModel,
 )
+from ..scenarios import ScenarioError, canonical_scenario
 from ..util.hashing import stable_json_hash
 from .runner import RunResult, launch_run
 
@@ -101,6 +102,7 @@ SPEC_POINT_FIELDS = (
     "restart",
     "restart_ckpt",
     "crash_fracs",
+    "scenario",
 )
 
 #: The schedule-shaped point fields (scalars promoted to 1-tuples).
@@ -185,6 +187,11 @@ class RunSpec:
     restart_of: "RunSpec | None" = None
     #: Index into the parent run's *committed* checkpoint list.
     restart_ckpt: int = 0
+    #: Canonical scenario string (:mod:`repro.scenarios`) perturbing the
+    #: run — fabric, stragglers, link degradation.  ``None`` is the
+    #: unperturbed run and (like the fault-schedule fields) stays out of
+    #: the serialized form, so pre-scenario specs keep their hashes.
+    scenario: str | None = None
 
     @classmethod
     def create(
@@ -205,7 +212,12 @@ class RunSpec:
         max_events: int | None = None,
         restart_of: "RunSpec | None" = None,
         restart_ckpt: int = 0,
+        scenario: Any = None,
     ) -> "RunSpec":
+        try:
+            scenario = canonical_scenario(scenario)
+        except ScenarioError as exc:
+            raise SpecError(str(exc)) from None
         spec = cls(
             # Canonicalize aliases ("vasp" -> "minivasp") here, where
             # nprocs/seed are already being normalized: spec equality,
@@ -231,6 +243,7 @@ class RunSpec:
             max_events=max_events,
             restart_of=restart_of,
             restart_ckpt=int(restart_ckpt),
+            scenario=scenario,
         )
         spec.validate()
         return spec
@@ -333,6 +346,16 @@ class RunSpec:
                 raise SpecError(f"crash_fracs names nonexistent rank(s) {bad}")
             if any(f <= 0 for _r, f in self.crash_fracs):
                 raise SpecError("crash fractions must be positive")
+        if self.scenario is not None:
+            try:
+                canonical = canonical_scenario(self.scenario)
+            except ScenarioError as exc:
+                raise SpecError(str(exc)) from None
+            if canonical != self.scenario:
+                raise SpecError(
+                    f"scenario {self.scenario!r} is not canonical (expected "
+                    f"{canonical!r}); build specs via RunSpec.create"
+                )
 
     # -- structure ------------------------------------------------------ #
 
@@ -352,6 +375,24 @@ class RunSpec:
             checkpoint_completion_fracs=(),
             crash_fracs=(),
         )
+
+    def with_scenario(self, scenario: Any) -> "RunSpec":
+        """This spec — and its whole restart chain — under ``scenario``.
+
+        A restart leg and its parent must see the same fabric for the
+        images to replay faithfully, so the rewrite recurses through
+        ``restart_of``.
+        """
+        try:
+            canonical = canonical_scenario(scenario)
+        except ScenarioError as exc:
+            raise SpecError(str(exc)) from None
+        parent = (
+            None
+            if self.restart_of is None
+            else self.restart_of.with_scenario(canonical)
+        )
+        return replace(self, scenario=canonical, restart_of=parent)
 
     def parents(self) -> "tuple[RunSpec, ...]":
         """Specs whose results this spec's execution depends on."""
@@ -452,6 +493,8 @@ class RunSpec:
             tag += " (ckpt)"
         if self.crash_fracs:
             tag += " (crash)"
+        if self.scenario:
+            tag += f" [{self.scenario}]"
         return tag
 
 
@@ -590,6 +633,7 @@ def _execute(
             restore_images=restore_images,
             max_events=max_events,
             crash_at=crash_at,
+            scenario=spec.scenario,
         )
     except ProcessFailed as exc:
         if isinstance(exc.original, UnsupportedOperationError):
@@ -679,6 +723,8 @@ def spec_to_dict(spec: RunSpec) -> dict:
         out["checkpoint_completion_fracs"] = list(spec.checkpoint_completion_fracs)
     if spec.crash_fracs:
         out["crash_fracs"] = [[r, f] for r, f in spec.crash_fracs]
+    if spec.scenario:
+        out["scenario"] = spec.scenario
     return out
 
 
@@ -714,6 +760,7 @@ def spec_from_dict(data: Mapping[str, Any]) -> RunSpec:
         max_events=data.get("max_events"),
         restart_of=None if restart_of is None else spec_from_dict(restart_of),
         restart_ckpt=data.get("restart_ckpt", 0),
+        scenario=data.get("scenario"),
     )
 
 

@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..des.errors import DeadlockError, SchedulingError
+from ..scenarios import SCENARIOS
 from ..util.hashing import stable_json_hash
 from .cache import ResultCache
 from .engine import ExperimentEngine
@@ -153,6 +154,11 @@ class FaultSchedule:
     #: so a non-empty hop is exactly a crash *on a restart leg*, with
     #: fractions relative to that leg's own runtime.
     recovery_crash_fracs: tuple[tuple[tuple[int, float], ...], ...] = ()
+    #: Canonical scenario string (:mod:`repro.scenarios`) the whole
+    #: schedule runs under — fabric, straggler, degraded link — so the
+    #: fuzzer explores scenarios against crashes and recovery chains.
+    #: ``None`` is the unperturbed cluster.
+    scenario: "str | None" = None
 
     @classmethod
     def draw(
@@ -229,6 +235,13 @@ class FaultSchedule:
                     ),
                 ))
             recovery_crash_fracs = tuple(hops)
+        # Scenario axis: run the whole schedule — baseline, checkpoint,
+        # crash, and every recovery leg — under a perturbed fabric or
+        # compute condition.  Drawn after every other axis, so every
+        # pre-existing seed keeps its schedule bit-exact.
+        scenario: "str | None" = None
+        if rng.random() < 0.35:
+            scenario = str(rng.choice(sorted(SCENARIOS)))
         return cls(
             seed=seed,
             protocol=protocol,
@@ -242,6 +255,7 @@ class FaultSchedule:
             restart_ckpt=restart_ckpt,
             crash_fracs=crash_fracs,
             recovery_crash_fracs=recovery_crash_fracs,
+            scenario=scenario,
         )
 
     # -- spec builders ------------------------------------------------- #
@@ -264,6 +278,7 @@ class FaultSchedule:
             protocol=self.protocol,
             seed=self.seed,
             storage=_storage(),
+            scenario=self.scenario,
         )
 
     def checkpoint_spec(self) -> RunSpec:
@@ -278,6 +293,7 @@ class FaultSchedule:
             checkpoint_fractions=self.mid_fracs,
             checkpoint_completion_fracs=self.completion_fracs,
             storage=_storage(),
+            scenario=self.scenario,
         )
 
     def crash_spec(
@@ -303,6 +319,7 @@ class FaultSchedule:
             checkpoint_completion_fracs=self.completion_fracs,
             crash_fracs=fracs,
             storage=_storage(),
+            scenario=self.scenario,
         )
 
     def restart_chain(self, base_runtime: float) -> "list[RunSpec]":
@@ -333,6 +350,7 @@ class FaultSchedule:
                     # their own completion: a terminal snapshot is a
                     # legal parent now) so the chain can keep going.
                     checkpoint_at=() if last else (base_runtime * 1.5,),
+                    scenario=self.scenario,
                 )
             )
             parent = chain[-1]
@@ -361,6 +379,10 @@ def schedule_to_dict(schedule: FaultSchedule) -> dict:
         ]
     else:
         out.pop("recovery_crash_fracs", None)
+    if schedule.scenario:
+        out["scenario"] = schedule.scenario
+    else:
+        out.pop("scenario", None)
     return out
 
 
@@ -383,6 +405,7 @@ def schedule_from_dict(data: dict) -> FaultSchedule:
             tuple((int(r), float(f)) for r, f in hop)
             for hop in data.get("recovery_crash_fracs", ())
         ),
+        scenario=data.get("scenario"),
     )
 
 
@@ -588,15 +611,91 @@ class RankCompletionOracle(Oracle):
         )
 
 
-class SafeCutOracle(Oracle):
-    """Online CC cut vs the offline topological-sort fixpoint.
+def _safe_cut_detail(
+    schedule: FaultSchedule, scenario: "str | None" = None
+) -> str:
+    """Shared body of the safe-cut check: online CC cut vs the offline
+    topological-sort fixpoint, optionally under a scenario.
 
     Runs the schedule-known ``scheduled`` app, checkpoints it at a
     seed-drawn instant, and verifies the per-group SEQ values frozen in
     the images equal :func:`repro.core.graph.compute_safe_cut` applied
     to the request-time reports (paper Section 4.2.2).  Executes fresh
     (never from cache): the comparison needs the full images' SEQ
-    tables, which never cross the JSON boundary.
+    tables, which never cross the JSON boundary.  The scenario changes
+    *when* the cut lands (fabric and compute skew shift every request
+    instant), never *whether* its structure is safe — exactly what the
+    scenario-invariance oracle leans on.
+    """
+    from ..apps.scheduled import ScheduledMix
+    from ..core import compute_safe_cut
+
+    rng = np.random.default_rng(np.random.SeedSequence([0xC0DE, schedule.seed]))
+    nprocs = int(rng.choice([4, 6]))
+    niters = int(rng.integers(8, 13))
+    frac = float(rng.uniform(0.15, 1.05))
+    app_kwargs = {
+        "niters": niters,
+        "nprocs": nprocs,
+        "schedule_seed": schedule.seed,
+    }
+    spec = RunSpec.create(
+        "scheduled",
+        nprocs,
+        app_kwargs=app_kwargs,
+        protocol="cc",
+        seed=2,
+        checkpoint_fractions=(frac,),
+        storage=_storage(),
+        scenario=scenario,
+    )
+    result = execute(spec)
+    Oracle._require(not result.na_reason, f"run NA: {result.na_reason}")
+    committed = [r for r in result.checkpoints if r.committed]
+    Oracle._require(bool(committed), "request did not commit")
+
+    program = ScheduledMix(**app_kwargs).offline_program()
+    checked = 0
+    for rec in committed:
+        start = tuple(
+            program_position_for(program, r, rec.seq_reports.get(r, {}))
+            for r in range(nprocs)
+        )
+        cut = compute_safe_cut(program, start)
+        for g, target in cut.targets.items():
+            for r in program.members[g]:
+                snap = rec.images[r].seq_table["seq"].get(g, 0)
+                Oracle._require(
+                    snap == target,
+                    f"group {g:#x}: rank {r} snapshot seq {snap} != "
+                    f"oracle target {target}",
+                )
+                checked += 1
+    return f"{len(committed)} cut(s), {checked} (group, rank) targets match"
+
+
+def _require_conserved(label: str, res: RunResult) -> None:
+    """Per-rank drain conservation (restored + buffered == consumed +
+    leftover) — shared by every oracle that sweeps run legs."""
+    for rank in range(res.nprocs):
+        restored = res.drain_restored[rank]
+        buffered = res.drain_buffered[rank]
+        consumed = res.drain_consumed[rank]
+        leftover = res.drain_leftover[rank]
+        Oracle._require(
+            restored + buffered == consumed + leftover,
+            f"{label}: rank {rank} drain imbalance — restored {restored} "
+            f"+ buffered {buffered} != consumed {consumed} + leftover "
+            f"{leftover}",
+        )
+
+
+class SafeCutOracle(Oracle):
+    """Online CC cut vs the offline topological-sort fixpoint.
+
+    See :func:`_safe_cut_detail` — the check honors the schedule's drawn
+    scenario, so the fuzzer stresses cut structure under perturbed
+    fabrics and compute skew too.
     """
 
     name = "safe-cut"
@@ -607,50 +706,7 @@ class SafeCutOracle(Oracle):
     cache_aware = False
 
     def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
-        from ..apps.scheduled import ScheduledMix
-        from ..core import compute_safe_cut
-
-        rng = np.random.default_rng(np.random.SeedSequence([0xC0DE, schedule.seed]))
-        nprocs = int(rng.choice([4, 6]))
-        niters = int(rng.integers(8, 13))
-        frac = float(rng.uniform(0.15, 1.05))
-        app_kwargs = {
-            "niters": niters,
-            "nprocs": nprocs,
-            "schedule_seed": schedule.seed,
-        }
-        spec = RunSpec.create(
-            "scheduled",
-            nprocs,
-            app_kwargs=app_kwargs,
-            protocol="cc",
-            seed=2,
-            checkpoint_fractions=(frac,),
-            storage=_storage(),
-        )
-        result = execute(spec)
-        self._require(not result.na_reason, f"run NA: {result.na_reason}")
-        committed = [r for r in result.checkpoints if r.committed]
-        self._require(bool(committed), "request did not commit")
-
-        program = ScheduledMix(**app_kwargs).offline_program()
-        checked = 0
-        for rec in committed:
-            start = tuple(
-                program_position_for(program, r, rec.seq_reports.get(r, {}))
-                for r in range(nprocs)
-            )
-            cut = compute_safe_cut(program, start)
-            for g, target in cut.targets.items():
-                for r in program.members[g]:
-                    snap = rec.images[r].seq_table["seq"].get(g, 0)
-                    self._require(
-                        snap == target,
-                        f"group {g:#x}: rank {r} snapshot seq {snap} != "
-                        f"oracle target {target}",
-                    )
-                    checked += 1
-        return f"{len(committed)} cut(s), {checked} (group, rank) targets match"
+        return _safe_cut_detail(schedule, scenario=schedule.scenario)
 
 
 class EngineEquivalenceOracle(Oracle):
@@ -770,17 +826,7 @@ class DrainConservationOracle(Oracle):
     cache_aware = False
 
     def _conserved(self, label: str, res: RunResult) -> None:
-        for rank in range(res.nprocs):
-            restored = res.drain_restored[rank]
-            buffered = res.drain_buffered[rank]
-            consumed = res.drain_consumed[rank]
-            leftover = res.drain_leftover[rank]
-            self._require(
-                restored + buffered == consumed + leftover,
-                f"{label}: rank {rank} drain imbalance — restored {restored} "
-                f"+ buffered {buffered} != consumed {consumed} + leftover "
-                f"{leftover}",
-            )
+        _require_conserved(label, res)
 
     def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
         parent = schedule.checkpoint_spec()
@@ -1029,17 +1075,7 @@ class RecoveryChainOracle(Oracle):
     cache_aware = False
 
     def _conserved(self, label: str, res: RunResult) -> None:
-        for rank in range(res.nprocs):
-            restored = res.drain_restored[rank]
-            buffered = res.drain_buffered[rank]
-            consumed = res.drain_consumed[rank]
-            leftover = res.drain_leftover[rank]
-            self._require(
-                restored + buffered == consumed + leftover,
-                f"{label}: rank {rank} drain imbalance — restored {restored} "
-                f"+ buffered {buffered} != consumed {consumed} + leftover "
-                f"{leftover}",
-            )
+        _require_conserved(label, res)
 
     def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
         from .recovery import (
@@ -1180,6 +1216,111 @@ class RecoveryChainOracle(Oracle):
         )
 
 
+class ScenarioInvarianceOracle(Oracle):
+    """Every registered scenario preserves the system's invariants.
+
+    Per scenario: the checkpointed run commits, drain conservation
+    holds on every rank, safe-cut structure matches the offline
+    topological-sort fixpoint, and the serialized result is
+    byte-identical across the ``threads``/``inline`` execution backends
+    and the ``inline``/``local-pool``/``service`` dispatch backends —
+    a scenario may change *what happens*, never *whether it is
+    deterministic*.
+    """
+
+    name = "scenario-invariance"
+    description = (
+        "every registered scenario commits, conserves drains, keeps the "
+        "safe cut, and is byte-identical across execution and dispatch "
+        "backends"
+    )
+    cache_aware = False
+
+    def verify(self, schedule: FaultSchedule, engine: ExperimentEngine) -> str:
+        names = sorted(SCENARIOS)
+        specs = {
+            name: replace(schedule, scenario=name).checkpoint_spec()
+            for name in names
+        }
+        # Execution backends, in-process dispatch: the reference hashes.
+        ref: "dict[str, str]" = {}
+        for name in names:
+            for backend in ("threads", "inline"):
+                res = ExperimentEngine(
+                    backend=backend, dispatch="inline"
+                ).run(specs[name])
+                self._require(
+                    not res.na_reason, f"{name}/{backend}: NA: {res.na_reason}"
+                )
+                _require_conserved(f"{name}/{backend}", res)
+                self._require(
+                    any(r.committed for r in res.checkpoints),
+                    f"{name}/{backend}: checkpoint run committed nothing",
+                )
+                digest = stable_json_hash(run_result_to_dict(res))
+                if backend == "threads":
+                    ref[name] = digest
+                else:
+                    self._require(
+                        digest == ref[name],
+                        f"{name}: inline-backend result {digest} != "
+                        f"threads {ref[name]}",
+                    )
+        # Dispatch backends: the same specs as one batch per backend.
+        batch = [specs[name] for name in names]
+        pool = ExperimentEngine(jobs=2, dispatch="local-pool").run_batch(batch)
+        for name in names:
+            digest = stable_json_hash(run_result_to_dict(pool[specs[name]]))
+            self._require(
+                digest == ref[name],
+                f"{name}: local-pool result {digest} != inline dispatch "
+                f"{ref[name]}",
+            )
+        self._service_pass(batch, specs, ref)
+        # Safe-cut structure under every scenario.
+        for name in names:
+            _safe_cut_detail(schedule, scenario=name)
+        return (
+            f"{len(names)} scenario(s) committed, conserved, cut-safe, and "
+            "byte-identical across threads/inline execution and "
+            "inline/local-pool/service dispatch"
+        )
+
+    def _service_pass(
+        self,
+        batch: "list[RunSpec]",
+        specs: "dict[str, RunSpec]",
+        ref: "dict[str, str]",
+    ) -> None:
+        import threading
+
+        from .service import ExperimentServer, run_worker
+
+        with tempfile.TemporaryDirectory(prefix="repro-scenario-") as tmp:
+            server = ExperimentServer("127.0.0.1", 0, cache_dir=tmp)
+            host, port = server.start()
+            worker = threading.Thread(
+                target=run_worker, args=((host, port),), daemon=True
+            )
+            worker.start()
+            try:
+                results = ExperimentEngine(
+                    dispatch="service", service=f"{host}:{port}"
+                ).run_batch(batch)
+                for name in sorted(specs):
+                    digest = stable_json_hash(
+                        run_result_to_dict(results[specs[name]])
+                    )
+                    self._require(
+                        digest == ref[name],
+                        f"{name}: service result {digest} != inline dispatch "
+                        f"{ref[name]}",
+                    )
+            finally:
+                server.shutdown()
+                worker.join(timeout=10)
+
+
 #: Oracle catalog, ``--oracle`` spelling -> instance.
 ORACLES: "dict[str, Oracle]" = {
     oracle.name: oracle
@@ -1191,6 +1332,7 @@ ORACLES: "dict[str, Oracle]" = {
         DrainConservationOracle(),
         CrashFaultOracle(),
         RecoveryChainOracle(),
+        ScenarioInvarianceOracle(),
     )
 }
 

@@ -103,6 +103,9 @@ class Session:
         self._replay_end = 0
         self._pending_remaining: float | None = None
         self.rebuilding = False
+        #: Scenario compute slowdown (straggler ranks); scales fresh
+        #: compute calls only — a restored remainder is already scaled.
+        self.compute_factor = 1.0
 
         # p2p drain bookkeeping; keys are (ckey, peer_world_rank).
         self.sent_to: dict[tuple, int] = {}
@@ -255,6 +258,8 @@ class Session:
         if self._pending_remaining is not None:
             seconds = self._pending_remaining
             self._pending_remaining = None
+        else:
+            seconds = seconds * self.compute_factor
         end = self.sim.now() + seconds
         interruptible = self.protocol.adds_wrapper_cost
         while True:

@@ -25,7 +25,14 @@ from .collectives import (
     make_solver,
 )
 from .storage import StorageModel
-from .topology import ClusterTopology, make_topology
+from .topology import (
+    TOPOLOGIES,
+    ClusterTopology,
+    DragonflyTopology,
+    FatTreeTopology,
+    Topology,
+    make_topology,
+)
 
 __all__ = [
     "LinkParams",
@@ -33,7 +40,11 @@ __all__ = [
     "CollectiveTuning",
     "ComputeModel",
     "ModelParams",
+    "Topology",
     "ClusterTopology",
+    "FatTreeTopology",
+    "DragonflyTopology",
+    "TOPOLOGIES",
     "make_topology",
     "ExitSolver",
     "SynchronizingSolver",

@@ -1,0 +1,46 @@
+"""Composable run scenarios: fabrics, stragglers, and degraded links.
+
+The registry of named :class:`Scenario` classes that parameterize any
+app/protocol run.  Scenarios travel as canonical strings through the
+``RunSpec`` content hash, the ``--axis scenario=...`` sweep axis, the
+``repro-mpi`` CLI, and the fault-schedule draw; ``launch_run`` resolves
+the string back into topology/compute perturbations at simulation time.
+
+Catalog (``SCENARIOS``): ``fat-tree``, ``dragonfly``, ``straggler``,
+``jitter``, ``degraded-link`` — see :mod:`repro.scenarios.catalog`.
+"""
+
+from .base import (
+    SCENARIOS,
+    Scenario,
+    ScenarioError,
+    canonical_scenario,
+    parse_scenario,
+    register_scenario,
+    resolve_scenario,
+)
+from .catalog import (
+    DegradedLinkScenario,
+    DragonflyScenario,
+    FatTreeScenario,
+    JitterScenario,
+    StragglerScenario,
+)
+from .wrappers import DegradedLinkTopology, JitterTopology
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioError",
+    "canonical_scenario",
+    "parse_scenario",
+    "register_scenario",
+    "resolve_scenario",
+    "FatTreeScenario",
+    "DragonflyScenario",
+    "StragglerScenario",
+    "JitterScenario",
+    "DegradedLinkScenario",
+    "JitterTopology",
+    "DegradedLinkTopology",
+]

@@ -1,0 +1,165 @@
+"""The built-in scenario catalog.
+
+Every class here is frozen, fully defaulted, and registered under its
+canonical name — ``repro-mpi`` flags, sweep axes, the fault-schedule
+draw, and the scenario-invariance oracle all enumerate this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netmodel import (
+    DragonflyTopology,
+    FatTreeTopology,
+    ModelParams,
+    Topology,
+    make_topology,
+)
+from .base import Scenario, ScenarioError, register_scenario
+from .wrappers import DegradedLinkTopology, JitterTopology
+
+
+def _resolve_params(params: "ModelParams | None") -> ModelParams:
+    return ModelParams.perlmutter_like() if params is None else params
+
+
+@register_scenario
+@dataclass(frozen=True)
+class FatTreeScenario(Scenario):
+    """Fat-tree fabric: pods of nodes behind an oversubscribed core."""
+
+    name = "fat-tree"
+    description = (
+        "two-tier fat-tree: ranks spread one-per-node (ppn), nodes in "
+        "pods of nodes_per_pod, cross-pod traffic through a stretched "
+        "core link"
+    )
+
+    nodes_per_pod: int = 2
+    #: Default placement spreads ranks across nodes so pods actually
+    #: exist at test scale (the flat default would pack <=128 ranks
+    #: onto one node and erase the fabric).
+    ppn: int = 1
+
+    def make_topology(self, nprocs, *, ppn=None, params=None) -> Topology:
+        return FatTreeTopology(
+            nprocs=nprocs,
+            ppn=self.ppn if ppn is None else ppn,
+            params=_resolve_params(params),
+            nodes_per_pod=self.nodes_per_pod,
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class DragonflyScenario(Scenario):
+    """Dragonfly / multi-region fabric: groups joined by global links."""
+
+    name = "dragonfly"
+    description = (
+        "dragonfly/multi-region: ranks spread one-per-node (ppn), nodes "
+        "in groups of nodes_per_group, cross-group traffic over long "
+        "global links"
+    )
+
+    nodes_per_group: int = 2
+    ppn: int = 1
+
+    def make_topology(self, nprocs, *, ppn=None, params=None) -> Topology:
+        return DragonflyTopology(
+            nprocs=nprocs,
+            ppn=self.ppn if ppn is None else ppn,
+            params=_resolve_params(params),
+            nodes_per_group=self.nodes_per_group,
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class StragglerScenario(Scenario):
+    """One rank computes ``factor`` × slower than everyone else."""
+
+    name = "straggler"
+    description = (
+        "rank (mod nprocs) computes factor x slower — skews the traffic "
+        "and drag the safe cut must absorb"
+    )
+
+    rank: int = 0
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ScenarioError(
+                f"straggler factor must be > 0, got {self.factor}"
+            )
+        if self.rank < 0:
+            raise ScenarioError(f"straggler rank must be >= 0, got {self.rank}")
+
+    def compute_factors(self, nprocs: int) -> "tuple[float, ...]":
+        factors = [1.0] * nprocs
+        factors[self.rank % nprocs] = float(self.factor)
+        return tuple(factors)
+
+
+@register_scenario
+@dataclass(frozen=True)
+class JitterScenario(Scenario):
+    """Deterministic seeded per-message latency noise on every link."""
+
+    name = "jitter"
+    description = (
+        "every p2p message adds up to amp x link latency of seeded, "
+        "deterministic noise"
+    )
+
+    amp: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.amp < 0:
+            raise ScenarioError(f"jitter amp must be >= 0, got {self.amp}")
+
+    def wrap_topology(self, topo: Topology, *, seed: int = 0) -> Topology:
+        return JitterTopology(topo, seed=seed, amp=self.amp)
+
+
+@register_scenario
+@dataclass(frozen=True)
+class DegradedLinkScenario(Scenario):
+    """The node pair (node_a, node_b) at 10× latency / 0.1× bandwidth."""
+
+    name = "degraded-link"
+    description = (
+        "one node pair's link at latency_x x latency and bandwidth_x x "
+        "bandwidth (ranks split across two nodes by default)"
+    )
+
+    node_a: int = 0
+    node_b: int = 1
+    latency_x: float = 10.0
+    bandwidth_x: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.latency_x <= 0 or self.bandwidth_x <= 0:
+            raise ScenarioError(
+                "degraded-link factors must be > 0, got "
+                f"latency_x={self.latency_x}, bandwidth_x={self.bandwidth_x}"
+            )
+
+    def make_topology(self, nprocs, *, ppn=None, params=None) -> Topology:
+        if ppn is None:
+            # Split the world across two nodes so the degraded pair
+            # exists even at test scale (the flat default would place
+            # everything on one node).
+            ppn = max(1, -(-nprocs // 2))
+        return make_topology(nprocs, ppn=ppn, params=params)
+
+    def wrap_topology(self, topo: Topology, *, seed: int = 0) -> Topology:
+        return DegradedLinkTopology(
+            topo,
+            node_a=self.node_a,
+            node_b=self.node_b,
+            latency_x=self.latency_x,
+            bandwidth_x=self.bandwidth_x,
+        )

@@ -93,3 +93,149 @@ def test_default_ppn_single_node_when_small():
     assert topo.nnodes == 1
     topo = make_topology(256)
     assert topo.nnodes == 2
+
+
+# ---------------------------------------------------------------------------
+# Property suite over every registered topology class (hypothesis).
+# ---------------------------------------------------------------------------
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel import TOPOLOGIES, DragonflyTopology, FatTreeTopology
+
+_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Per-class extra shape knob (field name, strategy) beyond (nprocs, ppn).
+_EXTRA_SHAPE = {
+    "fat-tree": ("nodes_per_pod", st.integers(min_value=1, max_value=4)),
+    "dragonfly": ("nodes_per_group", st.integers(min_value=1, max_value=4)),
+}
+
+
+@st.composite
+def topologies(draw):
+    """A random registered topology with a random small shape."""
+    name = draw(st.sampled_from(sorted(TOPOLOGIES)))
+    nprocs = draw(st.integers(min_value=1, max_value=24))
+    ppn = draw(st.integers(min_value=1, max_value=6))
+    kwargs = {}
+    if name in _EXTRA_SHAPE:
+        field_name, strategy = _EXTRA_SHAPE[name]
+        kwargs[field_name] = draw(strategy)
+    params = (
+        ModelParams.perlmutter_like()
+        if draw(st.booleans())
+        else ModelParams.slow_network()
+    )
+    return TOPOLOGIES[name](nprocs, ppn, params, **kwargs)
+
+
+class TestTopologyProperties:
+    @_settings
+    @given(topo=topologies())
+    def test_link_symmetry(self, topo):
+        """link(a, b) == link(b, a) for every rank pair."""
+        for a in range(topo.nprocs):
+            for b in range(topo.nprocs):
+                assert topo.link(a, b) == topo.link(b, a)
+
+    @_settings
+    @given(topo=topologies())
+    def test_node_of_total_on_world(self, topo):
+        """node_of maps every rank into [0, nnodes) and rejects others."""
+        for rank in range(topo.nprocs):
+            node = topo.node_of(rank)
+            assert 0 <= node < topo.nnodes
+        with pytest.raises(ValueError):
+            topo.node_of(topo.nprocs)
+        with pytest.raises(ValueError):
+            topo.node_of(-1)
+
+    @_settings
+    @given(topo=topologies())
+    def test_mean_alpha_within_link_bounds(self, topo):
+        """mean_alpha is a convex combination of the links actually used."""
+        links = [
+            topo.link(a, b)
+            for a in range(topo.nprocs)
+            for b in range(topo.nprocs)
+        ]
+        lo = min(l.latency for l in links)
+        hi = max(l.latency for l in links)
+        a = topo.mean_alpha()
+        assert lo <= a <= hi or a == pytest.approx(lo) or a == pytest.approx(hi)
+        if topo.nprocs <= 1:
+            assert a == pytest.approx(topo.params.intra.latency)
+
+    @_settings
+    @given(topo=topologies())
+    def test_mean_inv_bandwidth_within_link_bounds(self, topo):
+        """mean_inv_bandwidth lies between the best and worst link."""
+        links = [
+            topo.link(a, b)
+            for a in range(topo.nprocs)
+            for b in range(topo.nprocs)
+        ]
+        lo = min(1.0 / l.bandwidth for l in links)
+        hi = max(1.0 / l.bandwidth for l in links)
+        beta = topo.mean_inv_bandwidth()
+        assert (
+            lo <= beta <= hi
+            or beta == pytest.approx(lo)
+            or beta == pytest.approx(hi)
+        )
+
+    @_settings
+    @given(topo=topologies())
+    def test_explicit_world_group_matches_default(self, topo):
+        """ranks=(0..n-1) and ranks=None agree for every class.
+
+        For ClusterTopology this cross-checks the closed-form divmod
+        mean against the generic pair enumeration.
+        """
+        world = tuple(range(topo.nprocs))
+        assert topo.mean_alpha(world) == pytest.approx(topo.mean_alpha())
+        assert topo.mean_inv_bandwidth(world) == pytest.approx(
+            topo.mean_inv_bandwidth()
+        )
+
+
+class TestEmptyGroupRejected:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_mean_alpha_empty_ranks(self, name):
+        topo = TOPOLOGIES[name](8, 2, ModelParams.perlmutter_like())
+        with pytest.raises(ValueError, match="empty rank group"):
+            topo.mean_alpha(())
+        with pytest.raises(ValueError, match="empty rank group"):
+            topo.mean_inv_bandwidth(())
+
+
+class TestHierarchicalTiers:
+    def test_fat_tree_core_slower_than_pod(self):
+        params = ModelParams.perlmutter_like()
+        topo = FatTreeTopology(8, 1, params, nodes_per_pod=2)
+        intra = topo.link(0, 0)
+        pod = topo.link(0, 1)     # nodes 0,1: same pod
+        core = topo.link(0, 2)    # nodes 0,2: across pods
+        assert intra.latency < pod.latency < core.latency
+        assert intra.bandwidth > pod.bandwidth > core.bandwidth
+
+    def test_dragonfly_global_slower_than_group(self):
+        params = ModelParams.perlmutter_like()
+        topo = DragonflyTopology(8, 1, params, nodes_per_group=2)
+        local = topo.link(0, 1)
+        global_ = topo.link(0, 2)
+        assert local.latency < global_.latency
+        assert local.bandwidth > global_.bandwidth
+
+    def test_fat_tree_mean_alpha_exceeds_cluster(self):
+        """Crossing the core raises the average latency vs a flat cluster."""
+        params = ModelParams.perlmutter_like()
+        flat = ClusterTopology(8, 1, params)
+        tree = FatTreeTopology(8, 1, params, nodes_per_pod=2)
+        assert tree.mean_alpha() > flat.mean_alpha()

@@ -40,14 +40,24 @@ def test_sweep_actually_exercises_finished_rank_images():
         if max(FaultSchedule.draw(seed).completion_fracs) >= 1.0
     ]
     assert len(racing) >= N_SEEDS // 4
-    result = execute(FaultSchedule.draw(racing[0]).checkpoint_spec())
-    finished = [
-        im
-        for rec in result.checkpoints
-        for im in rec.images.values()
-        if im.finished
-    ]
-    assert finished, "racing schedule committed no finished-rank image"
+
+    def finished_images(seed):
+        result = execute(FaultSchedule.draw(seed).checkpoint_spec())
+        return [
+            im
+            for rec in result.checkpoints
+            for im in rec.images.values()
+            if im.finished
+        ]
+
+    # A racing anchor is necessary but not sufficient: checkpoint
+    # overhead (amplified under drawn scenarios like degraded-link)
+    # pushes real finish times past the probe's, so some racing seeds
+    # legitimately land mid-run.  The sweep degenerates only if NO
+    # racing seed commits a terminal image.
+    assert any(finished_images(seed) for seed in racing), (
+        "no racing schedule committed a finished-rank image"
+    )
 
 
 def test_oracle_reports_are_reproducible():

@@ -160,3 +160,136 @@ class TestAnomalyClassification:
             "worker died: RecoveryError: retry budget (3) exhausted"
         )
         assert _classify_exception(wrapped) == "recovery"
+
+
+_SCENARIO_FP = {}
+
+
+def _scenario_fp(scenario):
+    """Uninterrupted-run fingerprint under ``scenario`` (cached).
+
+    A scenario changes the simulated physics, so a faulted chain run
+    under one must be compared against a baseline run under the *same*
+    scenario — never against the scenario-free fingerprint.
+    """
+    if scenario not in _SCENARIO_FP:
+        _SCENARIO_FP[scenario] = result_fingerprint(
+            execute(_mk(scenario=scenario))
+        )
+    return _SCENARIO_FP[scenario]
+
+
+class TestScenarioFaultChains:
+    """Scenario x fault composition: perturbed physics, same recovery
+    guarantees."""
+
+    def test_scenario_baselines_differ_from_flat(self):
+        # Sanity for everything below: these chains really do run under
+        # perturbed physics, not silently under the flat cluster.  The
+        # *application-visible* fingerprint is time-independent by
+        # design, so compare the full serialized results (which carry
+        # runtimes) instead.
+        from repro.harness.spec import run_result_to_dict
+        from repro.util.hashing import stable_json_hash
+
+        def full_hash(scenario):
+            res = execute(_mk(scenario=scenario))
+            return stable_json_hash(run_result_to_dict(res))
+
+        flat = full_hash(None)
+        assert full_hash("straggler") != flat
+        assert full_hash("degraded-link") != flat
+
+    def test_straggler_crash_recovers_to_straggler_baseline(self):
+        # Rank 0 computes 4x slower *and* rank 2 dies mid-run: the
+        # bounded chain must still land byte-identical to the
+        # uninterrupted straggler run.
+        spec = _mk(
+            scenario="straggler",
+            checkpoint_fractions=(0.2,),
+            crash_fracs=((2, 0.5),),
+        )
+        outcome = run_recovery(spec, RecoveryPolicy(max_attempts=3))
+        assert outcome.completed, outcome.describe()
+        assert outcome.attempts[0].crashed
+        fp = result_fingerprint(outcome.final_result)
+        assert fp == _scenario_fp("straggler")
+
+    def test_degraded_link_restart_leg_crash_recovers(self):
+        # The acceptance composition: a degraded fabric, a committed
+        # checkpoint, and a crash landing on the *restart leg* itself.
+        # The scenario rides restart ancestry (with_scenario/replace),
+        # so every leg of the chain sees the same broken link.
+        parent = _mk(scenario="degraded-link", checkpoint_fractions=(0.2,))
+        leg = _mk(
+            scenario="degraded-link",
+            restart_of=parent,
+            restart_ckpt=0,
+            crash_fracs=((2, 0.3),),
+        )
+        outcome = run_recovery(leg, RecoveryPolicy(max_attempts=3))
+        assert outcome.completed, outcome.describe()
+        assert outcome.attempts[0].crashed
+        fp = result_fingerprint(outcome.final_result)
+        assert fp == _scenario_fp("degraded-link")
+
+    def test_with_scenario_stamps_restart_ancestry(self):
+        parent = _mk(checkpoint_fractions=(0.2,))
+        leg = _mk(restart_of=parent, restart_ckpt=0)
+        stamped = leg.with_scenario("degraded-link")
+        assert stamped.scenario == "degraded-link"
+        assert stamped.restart_of.scenario == "degraded-link"
+
+
+class TestScenarioScheduleAxis:
+    """The ``scenario`` fault-schedule axis mirrors the recovery axis:
+    drawn sometimes, serialized only when set, shrunk away first."""
+
+    def test_draw_arms_scenarios_sometimes(self):
+        from repro.scenarios import SCENARIOS
+
+        drawn = [FaultSchedule.draw(s) for s in range(80)]
+        armed = [d for d in drawn if d.scenario]
+        assert armed, "the draw never arms a scenario"
+        assert len(armed) < len(drawn), "the draw always arms a scenario"
+        for schedule in armed:
+            assert schedule.scenario in SCENARIOS
+        assert len({d.scenario for d in armed}) > 1, (
+            "the draw is stuck on one scenario"
+        )
+
+    def test_serialization_omits_absent_scenario(self):
+        for seed in range(40):
+            schedule = FaultSchedule.draw(seed)
+            doc = schedule_to_dict(schedule)
+            # Corpus-key stability: scenario-free schedules serialize
+            # to exactly the bytes they had before the axis existed.
+            if not schedule.scenario:
+                assert "scenario" not in doc
+            assert schedule_from_dict(doc) == schedule
+
+    def test_shrinker_drops_scenario_first(self):
+        import dataclasses
+
+        armed = dataclasses.replace(
+            FaultSchedule.draw(0), scenario="degraded-link"
+        )
+        first = next(iter(_shrink_candidates(armed)))
+        assert first.scenario is None
+        assert first == dataclasses.replace(armed, scenario=None)
+
+    def test_recovery_oracle_passes_under_scenario(self):
+        # A scenario-armed schedule with a real crash chain: the
+        # recovery-chain oracle must still verify the perturbed run
+        # against its own (same-scenario) uninterrupted baseline.
+        import dataclasses
+
+        base = FaultSchedule.draw(0)
+        schedule = dataclasses.replace(
+            base,
+            scenario="straggler",
+            crash_fracs=((1, 0.4),),
+            recovery_crash_fracs=(((2, 0.5),),),
+        )
+        report = ORACLES["recovery-chain"].check_schedule(schedule)
+        assert report.ok, report.detail

@@ -77,6 +77,7 @@ class TestOracleCatalog:
             "drain-conservation",
             "crash-fault",
             "recovery-chain",
+            "scenario-invariance",
         }
         for name, oracle in ORACLES.items():
             assert oracle.name == name
